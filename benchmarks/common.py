@@ -1,0 +1,49 @@
+"""Shared helpers for the table/figure benchmarks.
+
+Every benchmark prints its reproduced table to stdout (visible with
+``pytest -s``) and writes it to ``benchmarks/results/<name>.txt`` so the
+output survives pytest's capture.  EXPERIMENTS.md summarizes the
+paper-versus-measured comparison these files feed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Key sizes swept by the paper.
+KEY_SIZES = (1024, 2048, 4096)
+
+#: The evaluation grid.
+MODELS = ("Homo LR", "Hetero LR", "Hetero SBT", "Hetero NN")
+DATASETS = ("RCV1", "Avazu", "Synthetic")
+
+
+def fast_mode() -> bool:
+    """True when REPRO_BENCH_FAST=1 trims sweeps to a subset."""
+    return os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+
+def bench_key_sizes() -> tuple:
+    """Key sizes to sweep (trimmed in fast mode)."""
+    return (1024,) if fast_mode() else KEY_SIZES
+
+
+def bench_models() -> tuple:
+    """Models to sweep (trimmed in fast mode)."""
+    return ("Homo LR", "Hetero LR") if fast_mode() else MODELS
+
+
+def bench_datasets() -> tuple:
+    """Datasets to sweep (trimmed in fast mode)."""
+    return ("Synthetic",) if fast_mode() else DATASETS
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

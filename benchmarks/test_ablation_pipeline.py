@@ -1,0 +1,59 @@
+"""Design-choice ablation: pipelined processing (paper Sec. V).
+
+Sweeps the stream depth of the Fig. 4 pipeline and the workload's
+transfer/compute ratio, showing where the cost model's managed constants
+(depth 8, 90% transfer overlap) come from and when pipelining stops
+mattering.
+"""
+
+from benchmarks.common import publish
+from repro.experiments import format_table
+from repro.gpu.cost_model import DEFAULT_PROFILE
+from repro.pipeline.scheduler import StreamScheduler, he_shaped_batches
+
+DEPTHS = (1, 2, 4, 8, 16)
+TRANSFER_FRACTIONS = (0.05, 0.25, 1.0)
+BATCHES = 64
+
+
+def collect():
+    cells = {}
+    for fraction in TRANSFER_FRACTIONS:
+        batches = he_shaped_batches(BATCHES, transfer_fraction=fraction)
+        serial = StreamScheduler(depth=1).serial_makespan(batches)
+        for depth in DEPTHS:
+            scheduler = StreamScheduler(depth=depth)
+            cells[(fraction, depth)] = (
+                scheduler.makespan(batches) / serial,
+                scheduler.overlap_efficiency(batches))
+    return cells
+
+
+def test_ablation_pipeline_depth(benchmark):
+    cells = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = [[f"{fraction:.0%}", depth, f"{relative:.3f}",
+             f"{efficiency:.1%}"]
+            for (fraction, depth), (relative, efficiency)
+            in sorted(cells.items())]
+    table = format_table(
+        ["Transfer/compute", "Stream depth", "Makespan vs serial",
+         "Transfer hidden"],
+        rows,
+        title="Pipeline-depth ablation (Sec. V pipelined processing)")
+    publish("ablation_pipeline_depth", table)
+
+    for fraction in TRANSFER_FRACTIONS:
+        spans = [cells[(fraction, depth)][0] for depth in DEPTHS]
+        # Deeper pipelines never hurt; depth 1 is serial by definition.
+        assert spans[0] == 1.0 or abs(spans[0] - 1.0) < 1e-9
+        assert all(later <= earlier + 1e-9
+                   for earlier, later in zip(spans, spans[1:]))
+    # HE-shaped workloads (small transfers) reach the cost model's
+    # managed overlap at its configured depth.
+    managed_depth = DEFAULT_PROFILE.pipeline_depth_managed
+    assert cells[(0.05, managed_depth)][1] >= \
+        DEFAULT_PROFILE.transfer_overlap_managed
+    # Transfer-heavy workloads cannot hide everything: the copy engines
+    # saturate, which is why pipelining is not a substitute for BC.
+    assert cells[(1.0, max(DEPTHS))][1] < 0.99

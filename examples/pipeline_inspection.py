@@ -1,0 +1,73 @@
+"""Inside the FLBooster pipeline (paper Fig. 4) and the BC theory.
+
+Run:  python examples/pipeline_inspection.py
+
+Walks one gradient batch through the staged encryption pipeline, shows
+the per-stage time breakdown, then sweeps the batch-compression theory
+(Eqs. 11-12) across key sizes and slot layouts.
+"""
+
+import numpy as np
+
+from repro.crypto.cpu_engine import CpuPaillierEngine
+from repro.experiments import format_table
+from repro.federation.runtime import cached_keypair
+from repro.mpint.primes import LimbRandom
+from repro.pipeline import DecryptionPipeline, EncryptionPipeline
+from repro.quantization.encoding import QuantizationScheme
+from repro.quantization.packing import (
+    BatchPacker,
+    compression_ratio,
+    packing_capacity,
+    plaintext_space_utilization,
+)
+
+
+def main() -> None:
+    keypair = cached_keypair(1024)
+    engine = CpuPaillierEngine(keypair, rng=LimbRandom(seed=3),
+                               randomizer_pool_size=16)
+    scheme = QuantizationScheme(alpha=1.0, r_bits=29, num_parties=4)
+    packer = BatchPacker(scheme,
+                         plaintext_bits=engine.physical_plaintext_bits)
+    print(f"1024-bit Paillier, r = {scheme.r_bits} value bits + "
+          f"{scheme.overflow_bits} overflow bits, "
+          f"capacity = {packer.capacity} gradients per ciphertext\n")
+
+    gradients = np.random.default_rng(1).uniform(-1, 1, 256)
+    encrypted = EncryptionPipeline(engine, packer).run(gradients)
+    print("encryption pipeline (Fig. 4, steps 1-4):")
+    for stage in encrypted.stages:
+        share = 100 * stage.seconds / encrypted.total_seconds
+        print(f"  {stage.name:<18s} {stage.seconds * 1e3:9.3f} ms  "
+              f"({share:5.1f}%)  [{stage.items} items]")
+    print(f"  {'TOTAL':<18s} {encrypted.total_seconds * 1e3:9.3f} ms  "
+          f"-> {len(encrypted.values)} ciphertexts\n")
+
+    decrypted = DecryptionPipeline(engine, packer).run(
+        encrypted.values, count=len(gradients))
+    print("decryption pipeline (Fig. 4, steps 5-9):")
+    for stage in decrypted.stages:
+        share = 100 * stage.seconds / decrypted.total_seconds
+        print(f"  {stage.name:<18s} {stage.seconds * 1e3:9.3f} ms  "
+              f"({share:5.1f}%)")
+    error = float(np.max(np.abs(np.array(decrypted.values) - gradients)))
+    print(f"  max roundtrip error: {error:.2e} "
+          f"(quantization step {scheme.quantization_step:.2e})\n")
+
+    rows = []
+    for key_bits in (1024, 2048, 4096):
+        for r_bits in (14, 30, 62):
+            capacity = packing_capacity(key_bits, r_bits, 4)
+            rows.append([key_bits, r_bits + 2, capacity,
+                         f"{compression_ratio(100_000, key_bits, r_bits, 4):.1f}x",
+                         f"{plaintext_space_utilization(100_000, key_bits, r_bits, 4):.1%}"])
+    print(format_table(
+        ["Key bits", "Slot bits", "Capacity", "Compression (Eq. 11)",
+         "PSU (Eq. 12)"],
+        rows,
+        title="Batch-compression theory sweep"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` works where PEP 660 editable
+builds are available; this shim keeps legacy ``setup.py develop`` working
+in fully offline environments.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""FLBooster reproduction: unified and efficient FL acceleration.
+
+A from-scratch Python reproduction of *FLBooster: A Unified and Efficient
+Platform for Federated Learning Acceleration* (Zeng et al., ICDE 2023):
+GPU-parallel Paillier homomorphic encryption (simulated device, real
+mathematics), secure encoding-quantization, batch compression, a FATE-like
+federation substrate, the four benchmark FL models, and the FATE / HAFLO
+baselines -- plus a benchmark harness regenerating every table and figure
+of the paper's evaluation.
+
+Quick start::
+
+    from repro import FlBooster
+    fl = FlBooster()
+    pri, pub = fl.paillier.key_gen(1024)
+    c = fl.paillier.encrypt(pub, [1, 2, 3])
+    fl.paillier.decrypt(pri, fl.paillier.add(pub, c, c))   # [2, 4, 6]
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-versus-measured results.
+"""
+
+from repro.api import FlBooster, ArrayOps, PaillierApi, RsaApi
+from repro.crypto import Paillier, Rsa
+from repro.federation.runtime import (
+    FederationRuntime,
+    SystemConfig,
+    FATE_SYSTEM,
+    HAFLO_SYSTEM,
+    FLBOOSTER_SYSTEM,
+)
+from repro.ledger import CostLedger
+from repro.quantization import QuantizationScheme, BatchPacker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlBooster",
+    "ArrayOps",
+    "PaillierApi",
+    "RsaApi",
+    "Paillier",
+    "Rsa",
+    "FederationRuntime",
+    "SystemConfig",
+    "FATE_SYSTEM",
+    "HAFLO_SYSTEM",
+    "FLBOOSTER_SYSTEM",
+    "CostLedger",
+    "QuantizationScheme",
+    "BatchPacker",
+    "__version__",
+]

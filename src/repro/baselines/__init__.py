@@ -1,0 +1,28 @@
+"""Baseline and ablation system configurations (paper Sec. VI-A, VI-E).
+
+Thin façade over :mod:`repro.federation.runtime`: the compared systems are
+*configurations* of the same components, exactly as the paper's ablation
+treats them.
+"""
+
+from repro.baselines.systems import (
+    FATE,
+    HAFLO,
+    FLBOOSTER,
+    WITHOUT_GHE,
+    WITHOUT_BC,
+    STANDARD_SYSTEMS,
+    ABLATION_SYSTEMS,
+    system_by_name,
+)
+
+__all__ = [
+    "FATE",
+    "HAFLO",
+    "FLBOOSTER",
+    "WITHOUT_GHE",
+    "WITHOUT_BC",
+    "STANDARD_SYSTEMS",
+    "ABLATION_SYSTEMS",
+    "system_by_name",
+]

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info``                       -- version, systems, simulated device.
+- ``demo``                       -- the Table I API quickstart.
+- ``train MODEL [DATASET]``      -- quick federated training comparison.
+- ``compress [KEY_BITS]``        -- batch-compression theory table.
+- ``report [--output PATH]``     -- aggregate benchmarks/results/ into
+  one markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.baselines import systems
+    from repro.gpu.device import RTX_3090
+
+    print(f"repro {repro.__version__} -- FLBooster reproduction (ICDE 2023)")
+    print("\nsystem configurations:")
+    for config in (systems.FATE, systems.HAFLO, systems.FLBOOSTER,
+                   systems.WITHOUT_GHE, systems.WITHOUT_BC):
+        print(f"  {config.name:<10s} gpu={config.gpu_he!s:<5s} "
+              f"managed={config.managed_gpu!s:<5s} "
+              f"bc={config.batch_compression!s:<5s} "
+              f"r_bits={config.r_bits}")
+    spec = RTX_3090
+    print(f"\nsimulated device: {spec.name}")
+    print(f"  {spec.num_sms} SMs x {spec.max_threads_per_sm} threads, "
+          f"{spec.registers_per_sm} registers/SM, "
+          f"{spec.global_memory // 2**30} GiB")
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    from repro import FlBooster
+
+    fl = FlBooster(seed=1)
+    pri, pub = fl.paillier.key_gen(1024)
+    values = [3, 14, 159]
+    ciphertexts = fl.paillier.encrypt(pub, values)
+    total = fl.paillier.add(pub, ciphertexts, ciphertexts)
+    print(f"encrypt {values} under a {pub.key_bits}-bit Paillier key,")
+    print(f"homomorphically double, decrypt ->",
+          fl.paillier.decrypt(pri, total))
+    device = fl.kernels.device
+    print(f"({len(device.launches)} simulated kernel launches, "
+          f"SM utilization {device.mean_sm_utilization():.0%})")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.baselines import FATE, FLBOOSTER, HAFLO
+    from repro.experiments import format_table, run_training
+
+    rows = []
+    for config in (FATE, HAFLO, FLBOOSTER):
+        trace = run_training(config, args.model, args.dataset,
+                             key_bits=args.key_bits,
+                             max_epochs=args.epochs,
+                             physical_key_bits=256,
+                             bc_capacity="physical")
+        rows.append([config.name, f"{trace.losses[0]:.4f}",
+                     f"{trace.final_loss:.4f}",
+                     f"{trace.cumulative_seconds[-1]:.2f}"])
+    print(format_table(
+        ["System", "First loss", "Final loss", "Modelled time (s)"],
+        rows,
+        title=f"{args.model} on {args.dataset} @{args.key_bits} "
+              f"({args.epochs} epochs)"))
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.experiments import format_table
+    from repro.quantization.packing import (
+        compression_ratio,
+        packing_capacity,
+        plaintext_space_utilization,
+    )
+
+    rows = []
+    for key_bits in (1024, 2048, 4096) if args.key_bits is None \
+            else (args.key_bits,):
+        capacity = packing_capacity(key_bits, 30, 4)
+        rows.append([key_bits, capacity,
+                     f"{compression_ratio(100_000, key_bits, 30, 4):.1f}x",
+                     f"{plaintext_space_utilization(100_000, key_bits, 30, 4):.1%}"])
+    print(format_table(
+        ["Key bits", "Capacity", "Compression (Eq. 11)", "PSU (Eq. 12)"],
+        rows, title="Batch compression (r=30, 4 parties)"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import build_report
+
+    results = Path(args.results_dir)
+    output = Path(args.output) if args.output else None
+    report = build_report(results, output_path=output)
+    if output:
+        print(f"wrote {output} ({len(report.splitlines())} lines)")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FLBooster reproduction command-line interface")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="show configuration and device") \
+        .set_defaults(handler=_cmd_info)
+    commands.add_parser("demo", help="run the Table I quickstart") \
+        .set_defaults(handler=_cmd_demo)
+
+    train = commands.add_parser("train",
+                                help="quick training comparison")
+    train.add_argument("model",
+                       choices=["Homo LR", "Hetero LR", "Hetero SBT",
+                                "Hetero NN", "Homo NN"])
+    train.add_argument("dataset", nargs="?", default="Synthetic",
+                       choices=["RCV1", "Avazu", "Synthetic"])
+    train.add_argument("--epochs", type=int, default=3)
+    train.add_argument("--key-bits", type=int, default=1024)
+    train.set_defaults(handler=_cmd_train)
+
+    compress = commands.add_parser("compress",
+                                   help="compression theory table")
+    compress.add_argument("key_bits", nargs="?", type=int, default=None)
+    compress.set_defaults(handler=_cmd_compress)
+
+    report = commands.add_parser(
+        "report", help="aggregate benchmark results into one document")
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--output", default=None)
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Homomorphic encryption (paper Sec. III-B, IV-A3).
+
+Implements the two cryptosystems FLBooster exposes through its API layer:
+
+- :mod:`repro.crypto.paillier` -- the additively homomorphic Paillier
+  cryptosystem used for secure federated averaging.
+- :mod:`repro.crypto.rsa` -- multiplicatively homomorphic (textbook) RSA,
+  provided by the paper's API table for intersection protocols.
+- :mod:`repro.crypto.damgard_jurik` -- the Damgard-Jurik generalization of
+  Paillier (paper ref. [21]), an extension beyond the headline system.
+
+Engines split the *where* from the *what*:
+
+- :class:`repro.crypto.cpu_engine.CpuPaillierEngine` -- scalar CPU path
+  (the FATE baseline).
+- :class:`repro.crypto.gpu_engine.GpuPaillierEngine` -- batched kernels on
+  the simulated GPU (the HAFLO / FLBooster path).
+"""
+
+from repro.crypto.keys import (
+    PaillierKeypair,
+    PaillierPublicKey,
+    PaillierPrivateKey,
+    RsaKeypair,
+    RsaPublicKey,
+    RsaPrivateKey,
+)
+from repro.crypto.paillier import Paillier, PaillierCiphertext
+from repro.crypto.rsa import Rsa, RsaCiphertext
+from repro.crypto.cpu_engine import CpuPaillierEngine
+from repro.crypto.gpu_engine import GpuPaillierEngine
+from repro.crypto.engine import HeEngine, EngineReport
+from repro.crypto.damgard_jurik import (
+    DamgardJurik,
+    DamgardJurikKeypair,
+    generate_damgard_jurik_keypair,
+)
+from repro.crypto.symmetric_he import MaskingScheme, AffineScheme
+
+__all__ = [
+    "PaillierKeypair",
+    "PaillierPublicKey",
+    "PaillierPrivateKey",
+    "RsaKeypair",
+    "RsaPublicKey",
+    "RsaPrivateKey",
+    "Paillier",
+    "PaillierCiphertext",
+    "Rsa",
+    "RsaCiphertext",
+    "HeEngine",
+    "EngineReport",
+    "CpuPaillierEngine",
+    "GpuPaillierEngine",
+    "DamgardJurik",
+    "DamgardJurikKeypair",
+    "generate_damgard_jurik_keypair",
+    "MaskingScheme",
+    "AffineScheme",
+]

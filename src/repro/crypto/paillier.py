@@ -1,0 +1,196 @@
+"""The Paillier cryptosystem (paper Sec. III-B, Eqs. 3-5).
+
+Implements the four processes the paper describes -- key generation,
+encryption ``E(m) = g^m r^n mod n^2``, decryption
+``D(c) = L(c^lambda mod n^2) / L(g^lambda mod n^2) mod n``, and the
+additive homomorphic property ``E(m1) * E(m2) = E(m1 + m2)`` -- plus the
+scalar multiplication ``E(m)^k = E(k m)`` federated aggregation uses.
+
+The class-level functions operate on raw integers so the engines can batch
+them; :class:`PaillierCiphertext` is the ergonomic wrapper the public API
+exposes with operator overloading.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.keys import (
+    PaillierKeypair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_paillier_keypair,
+)
+from repro.mpint.primes import LimbRandom
+
+
+class Paillier:
+    """Namespace of Paillier primitives over raw integers.
+
+    Mirrors the paper's API surface (Table I): ``key_gen``, ``encrypt``,
+    ``decrypt``, ``add``.
+    """
+
+    @staticmethod
+    def key_gen(key_bits: int, rng: Optional[LimbRandom] = None) -> PaillierKeypair:
+        """Generate a keypair (paper: ``Paillier::key_gen(size)``)."""
+        return generate_paillier_keypair(key_bits, rng=rng)
+
+    @staticmethod
+    def raw_encrypt(public_key: PaillierPublicKey, plaintext: int,
+                    r: Optional[int] = None,
+                    rng: Optional[LimbRandom] = None) -> int:
+        """Encrypt an integer plaintext (Eq. 3).
+
+        Args:
+            public_key: The recipient's public key.
+            plaintext: Integer in ``[0, n)``.
+            r: Explicit randomizer in ``Z*_n`` (tests use this for
+                determinism); drawn fresh when omitted.
+            rng: Random source for the randomizer.
+        """
+        n = public_key.n
+        if not 0 <= plaintext < n:
+            raise ValueError(
+                f"plaintext {plaintext} outside [0, {n})")
+        n_squared = public_key.n_squared
+        if r is None:
+            if rng is None:
+                rng = LimbRandom()
+            r = rng.random_unit(n)
+        elif math.gcd(r, n) != 1:
+            raise ValueError("randomizer must be a unit modulo n")
+        if public_key.g == n + 1:
+            # g^m = (1 + n)^m = 1 + m n (mod n^2): one multiplication.
+            g_m = (1 + plaintext * n) % n_squared
+        else:
+            g_m = pow(public_key.g, plaintext, n_squared)
+        return (g_m * pow(r, n, n_squared)) % n_squared
+
+    @staticmethod
+    def raw_decrypt(private_key: PaillierPrivateKey, ciphertext: int) -> int:
+        """Decrypt an integer ciphertext (Eq. 4), via CRT.
+
+        Computes ``m mod p`` and ``m mod q`` with half-size
+        exponentiations and recombines -- numerically identical to the
+        textbook formula (verified by the property tests) at a quarter of
+        the cost.
+        """
+        public = private_key.public_key
+        n_squared = public.n_squared
+        if not 0 <= ciphertext < n_squared:
+            raise ValueError("ciphertext outside Z_{n^2}")
+        p, q = private_key.p, private_key.q
+        p_squared = p * p
+        q_squared = q * q
+        m_p = ((pow(ciphertext, p - 1, p_squared) - 1) // p
+               * private_key.hp) % p
+        m_q = ((pow(ciphertext, q - 1, q_squared) - 1) // q
+               * private_key.hq) % q
+        # Garner recombination.
+        diff = ((m_p - m_q) * private_key.q_inverse) % p
+        return m_q + diff * q
+
+    @staticmethod
+    def raw_decrypt_textbook(private_key: PaillierPrivateKey,
+                             ciphertext: int) -> int:
+        """Decrypt with the literal Eq. 4 formula (reference path)."""
+        public = private_key.public_key
+        n = public.n
+        n_squared = public.n_squared
+        if not 0 <= ciphertext < n_squared:
+            raise ValueError("ciphertext outside Z_{n^2}")
+        c_lambda = pow(ciphertext, private_key.lam, n_squared)
+        l_value = (c_lambda - 1) // n
+        return (l_value * private_key.mu) % n
+
+    @staticmethod
+    def raw_add(public_key: PaillierPublicKey, c1: int, c2: int) -> int:
+        """Homomorphic addition: multiply ciphertexts (Eq. 5)."""
+        return (c1 * c2) % public_key.n_squared
+
+    @staticmethod
+    def raw_add_plain(public_key: PaillierPublicKey, c: int,
+                      plaintext: int) -> int:
+        """Add a plaintext to a ciphertext: ``c * g^m mod n^2``."""
+        n = public_key.n
+        n_squared = public_key.n_squared
+        plaintext %= n
+        if public_key.g == n + 1:
+            g_m = (1 + plaintext * n) % n_squared
+        else:
+            g_m = pow(public_key.g, plaintext, n_squared)
+        return (c * g_m) % n_squared
+
+    @staticmethod
+    def raw_scalar_mul(public_key: PaillierPublicKey, c: int,
+                       scalar: int) -> int:
+        """Multiply the underlying plaintext by ``scalar``: ``c^scalar``."""
+        if scalar < 0:
+            raise ValueError("negative scalars require encoding; use the "
+                             "quantization layer")
+        return pow(c, scalar, public_key.n_squared)
+
+    # Ergonomic wrappers -------------------------------------------------
+
+    @staticmethod
+    def encrypt(public_key: PaillierPublicKey, plaintext: int,
+                rng: Optional[LimbRandom] = None) -> "PaillierCiphertext":
+        """Encrypt into a :class:`PaillierCiphertext` wrapper."""
+        value = Paillier.raw_encrypt(public_key, plaintext, rng=rng)
+        return PaillierCiphertext(value=value, public_key=public_key)
+
+    @staticmethod
+    def decrypt(private_key: PaillierPrivateKey,
+                ciphertext: "PaillierCiphertext") -> int:
+        """Decrypt a wrapped ciphertext."""
+        return Paillier.raw_decrypt(private_key, ciphertext.value)
+
+    @staticmethod
+    def add(public_key: PaillierPublicKey, c1: "PaillierCiphertext",
+            c2: "PaillierCiphertext") -> "PaillierCiphertext":
+        """Homomorphic addition of two wrapped ciphertexts."""
+        return PaillierCiphertext(
+            value=Paillier.raw_add(public_key, c1.value, c2.value),
+            public_key=public_key)
+
+
+@dataclass(frozen=True)
+class PaillierCiphertext:
+    """A Paillier ciphertext bound to its public key.
+
+    Supports ``+`` with another ciphertext or a plain integer and ``*`` with
+    a non-negative integer scalar, the exact operations secure federated
+    averaging needs.
+    """
+
+    value: int
+    public_key: PaillierPublicKey
+
+    def __add__(self, other) -> "PaillierCiphertext":
+        if isinstance(other, PaillierCiphertext):
+            if other.public_key is not self.public_key and \
+                    other.public_key != self.public_key:
+                raise ValueError("cannot add ciphertexts under different keys")
+            new = Paillier.raw_add(self.public_key, self.value, other.value)
+        elif isinstance(other, int):
+            new = Paillier.raw_add_plain(self.public_key, self.value, other)
+        else:
+            return NotImplemented
+        return PaillierCiphertext(value=new, public_key=self.public_key)
+
+    __radd__ = __add__
+
+    def __mul__(self, scalar) -> "PaillierCiphertext":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        new = Paillier.raw_scalar_mul(self.public_key, self.value, scalar)
+        return PaillierCiphertext(value=new, public_key=self.public_key)
+
+    __rmul__ = __mul__
+
+    def serialized_bytes(self) -> int:
+        """Byte size of this ciphertext on the wire."""
+        return self.public_key.ciphertext_bytes()

@@ -1,0 +1,93 @@
+"""Textbook RSA with its multiplicative homomorphism (paper Table I).
+
+FLBooster's API layer exposes ``RSA::key_gen / encrypt / decrypt / mul``;
+the multiplicative property ``E(m1) * E(m2) = E(m1 * m2) mod n`` is what
+private-set-intersection style FL pre-processing uses.  Textbook (unpadded)
+RSA is intentional here -- padding would destroy the homomorphism -- and
+callers must treat it as a homomorphic primitive, not general encryption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.keys import (
+    RsaKeypair,
+    RsaPrivateKey,
+    RsaPublicKey,
+    generate_rsa_keypair,
+)
+from repro.mpint.primes import LimbRandom
+
+
+class Rsa:
+    """Namespace of RSA primitives over raw integers (paper Table I)."""
+
+    @staticmethod
+    def key_gen(key_bits: int, rng: Optional[LimbRandom] = None) -> RsaKeypair:
+        """Generate a keypair (paper: ``RSA::key_gen(size)``)."""
+        return generate_rsa_keypair(key_bits, rng=rng)
+
+    @staticmethod
+    def raw_encrypt(public_key: RsaPublicKey, plaintext: int) -> int:
+        """Encrypt: ``m^e mod n``."""
+        if not 0 <= plaintext < public_key.n:
+            raise ValueError(f"plaintext {plaintext} outside [0, {public_key.n})")
+        return pow(plaintext, public_key.e, public_key.n)
+
+    @staticmethod
+    def raw_decrypt(private_key: RsaPrivateKey, ciphertext: int) -> int:
+        """Decrypt: ``c^d mod n``."""
+        public = private_key.public_key
+        if not 0 <= ciphertext < public.n:
+            raise ValueError("ciphertext outside Z_n")
+        return pow(ciphertext, private_key.d, public.n)
+
+    @staticmethod
+    def raw_mul(public_key: RsaPublicKey, c1: int, c2: int) -> int:
+        """Homomorphic multiplication: ``E(m1) * E(m2) = E(m1 m2)``."""
+        return (c1 * c2) % public_key.n
+
+    # Ergonomic wrappers -------------------------------------------------
+
+    @staticmethod
+    def encrypt(public_key: RsaPublicKey, plaintext: int) -> "RsaCiphertext":
+        """Encrypt into an :class:`RsaCiphertext` wrapper."""
+        return RsaCiphertext(value=Rsa.raw_encrypt(public_key, plaintext),
+                             public_key=public_key)
+
+    @staticmethod
+    def decrypt(private_key: RsaPrivateKey,
+                ciphertext: "RsaCiphertext") -> int:
+        """Decrypt a wrapped ciphertext."""
+        return Rsa.raw_decrypt(private_key, ciphertext.value)
+
+    @staticmethod
+    def mul(public_key: RsaPublicKey, c1: "RsaCiphertext",
+            c2: "RsaCiphertext") -> "RsaCiphertext":
+        """Homomorphic multiplication of wrapped ciphertexts."""
+        return RsaCiphertext(
+            value=Rsa.raw_mul(public_key, c1.value, c2.value),
+            public_key=public_key)
+
+
+@dataclass(frozen=True)
+class RsaCiphertext:
+    """An RSA ciphertext bound to its public key; supports ``*``."""
+
+    value: int
+    public_key: RsaPublicKey
+
+    def __mul__(self, other) -> "RsaCiphertext":
+        if not isinstance(other, RsaCiphertext):
+            return NotImplemented
+        if other.public_key != self.public_key:
+            raise ValueError("cannot multiply ciphertexts under different keys")
+        return RsaCiphertext(
+            value=Rsa.raw_mul(self.public_key, self.value, other.value),
+            public_key=self.public_key)
+
+    def serialized_bytes(self) -> int:
+        """Byte size of this ciphertext on the wire."""
+        return self.public_key.ciphertext_bytes()

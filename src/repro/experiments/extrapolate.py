@@ -1,0 +1,73 @@
+"""Paper-scale extrapolation of scaled epoch measurements.
+
+The scaled datasets preserve each paper dataset's *shape* but not its
+size, so modelled epoch seconds are proportionally small.  Each model's
+dominant cost drivers scale with known dataset dimensions:
+
+- **Homo LR** -- HE ops and transfers carry the *gradient vector*
+  (proportional to the feature count); plaintext compute is
+  instances x features.
+- **Hetero LR / Hetero NN** -- HE ops and transfers carry *per-instance
+  tensors* each epoch (forward fragments, residuals, activations);
+  compute is instances x features.
+- **Hetero SBT** -- transfers carry per-instance gradients plus
+  per-(feature, bin) histograms per level; compute is instances x
+  features.
+
+``extrapolate_report`` applies the per-component factor to a scaled
+:class:`~repro.federation.metrics.EpochReport`.  The result is an order-
+of-magnitude estimate for comparing against the paper's Table III, not a
+measurement -- EXPERIMENTS.md carries the caveats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.generators import Dataset
+from repro.federation.metrics import EpochReport
+
+#: Histogram geometry used by the scaled SBT (harness defaults).
+SBT_BINS = 4
+SBT_LEVELS = 2
+
+
+@dataclass(frozen=True)
+class ExtrapolationFactors:
+    """Per-component multipliers from scaled to paper scale."""
+
+    he_comm: float
+    compute: float
+
+    def apply(self, report: EpochReport) -> float:
+        """Estimated paper-scale epoch seconds for a scaled report."""
+        return (self.he_comm * (report.he_seconds + report.comm_seconds)
+                + self.compute * report.other_seconds)
+
+
+def extrapolation_factors(model_name: str,
+                          dataset: Dataset) -> ExtrapolationFactors:
+    """Scaling factors for one (model, dataset) pair."""
+    instances_ratio = dataset.paper_instances / dataset.num_instances
+    features_ratio = dataset.paper_features / dataset.num_features
+    compute = instances_ratio * features_ratio
+
+    if model_name == "Homo LR":
+        he_comm = features_ratio
+    elif model_name in ("Hetero LR", "Hetero NN"):
+        he_comm = instances_ratio
+    elif model_name == "Hetero SBT":
+        scaled = (2 * dataset.num_instances
+                  + dataset.num_features // 2 * SBT_BINS * SBT_LEVELS)
+        paper = (2 * dataset.paper_instances
+                 + dataset.paper_features // 2 * SBT_BINS * SBT_LEVELS)
+        he_comm = paper / scaled
+    else:
+        raise KeyError(f"unknown model {model_name!r}")
+    return ExtrapolationFactors(he_comm=he_comm, compute=compute)
+
+
+def extrapolate_report(report: EpochReport,
+                       dataset: Dataset) -> float:
+    """Paper-scale epoch-seconds estimate for a scaled report."""
+    return extrapolation_factors(report.model, dataset).apply(report)

@@ -1,0 +1,98 @@
+"""ASCII chart rendering for the figure benchmarks.
+
+The environment has no plotting stack, so the figure benchmarks render
+their curves as monospace charts: good enough to *see* the Fig. 6/7/8
+shapes in a terminal or a results file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Series markers, assigned in insertion order.
+MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def ascii_chart(series: Dict[str, Sequence[Tuple[float, float]]],
+                width: int = 60, height: int = 16,
+                title: str = "", x_label: str = "", y_label: str = "",
+                log_x: bool = False) -> str:
+    """Render named (x, y) series as a monospace scatter/line chart.
+
+    Args:
+        series: Name -> list of points.  Markers follow insertion order.
+        width / height: Plot-area size in characters.
+        title / x_label / y_label: Annotations.
+        log_x: Place x positions on a log10 scale (throughput sweeps).
+
+    Returns:
+        The chart as a multi-line string, with a legend.
+    """
+    if not series or all(not points for points in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to draw")
+
+    def x_of(value: float) -> float:
+        if not log_x:
+            return value
+        if value <= 0:
+            raise ValueError("log_x requires positive x values")
+        return math.log10(value)
+
+    points_flat = [(x_of(x), y) for points in series.values()
+                   for x, y in points]
+    xs = [p[0] for p in points_flat]
+    ys = [p[1] for p in points_flat]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in points:
+            column = round((x_of(x) - x_low) / x_span * (width - 1))
+            row = round((y - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    top_tick = _format_tick(y_high)
+    bottom_tick = _format_tick(y_low)
+    margin = max(len(top_tick), len(bottom_tick))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            tick = top_tick.rjust(margin)
+        elif row_index == height - 1:
+            tick = bottom_tick.rjust(margin)
+        else:
+            tick = " " * margin
+        lines.append(f"{tick} |{''.join(row)}")
+    axis = " " * margin + " +" + "-" * width
+    lines.append(axis)
+    left = _format_tick(x_low if not log_x else 10 ** x_low)
+    right = _format_tick(x_high if not log_x else 10 ** x_high)
+    label_line = " " * (margin + 2) + left + \
+        " " * max(1, width - len(left) - len(right)) + right
+    lines.append(label_line)
+    if x_label:
+        lines.append(" " * (margin + 2) + x_label)
+    legend = "   ".join(f"{MARKERS[i % len(MARKERS)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

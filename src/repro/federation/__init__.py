@@ -1,0 +1,50 @@
+"""Federated-learning substrate (paper Sec. III-A, Fig. 2).
+
+A FATE-like in-process federation: parties exchange serialized messages
+through a byte-counting channel, gradients travel encrypted through the
+secure aggregation pipeline, and every operation charges the shared cost
+ledger so the benchmark harness can read epoch times and component splits.
+
+- :mod:`repro.federation.channel` -- the client<->server network model.
+- :mod:`repro.federation.aggregator` -- encode -> pack -> encrypt ->
+  aggregate -> decrypt -> decode secure federated averaging.
+- :mod:`repro.federation.runtime` -- wires a system configuration
+  (FATE / HAFLO / FLBooster / ablations) into engines, channel and packer.
+- :mod:`repro.federation.metrics` -- ledger re-exports and epoch reports.
+"""
+
+from repro.federation.channel import Channel, Message
+from repro.federation.aggregator import SecureAggregator
+from repro.federation.runtime import FederationRuntime, SystemConfig
+from repro.federation.metrics import EpochReport, flop_seconds
+from repro.federation.parties import (
+    ClientParty,
+    AggregatorParty,
+    SecureAveragingJob,
+)
+from repro.federation.intersection import RsaIntersection
+from repro.federation.topology import ClusterTopology, PAPER_TOPOLOGY
+from repro.federation.privacy_audit import (
+    audit_channel,
+    assert_vertical_privacy,
+    AuditReport,
+)
+
+__all__ = [
+    "Channel",
+    "Message",
+    "SecureAggregator",
+    "FederationRuntime",
+    "SystemConfig",
+    "EpochReport",
+    "flop_seconds",
+    "ClientParty",
+    "AggregatorParty",
+    "SecureAveragingJob",
+    "RsaIntersection",
+    "ClusterTopology",
+    "PAPER_TOPOLOGY",
+    "audit_channel",
+    "assert_vertical_privacy",
+    "AuditReport",
+]

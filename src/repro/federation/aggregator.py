@@ -1,0 +1,205 @@
+"""Secure federated aggregation (paper Fig. 2 and Sec. V's pipeline).
+
+Implements the full FLBooster data path for one aggregation round:
+
+    gradients -> encode/quantize -> pack -> encrypt -> upload
+              -> homomorphic sum -> download -> decrypt -> unpack -> decode
+
+plus the two packing flavours the protocols need:
+
+- *plaintext-side* packing (Eq. 9) when the producer holds plaintexts;
+- *ciphertext-side* packing -- shift-and-add cipher compression in the
+  style of SecureBoost+ [16] -- when the values to transmit are already
+  encrypted (e.g. homomorphically computed gradients or histograms).
+  ``[[v0]], [[v1]] -> [[v0 * 2^slot + v1]]`` costs one short scalar
+  multiplication plus one addition per value and divides the ciphertexts
+  to transmit and decrypt by the packing capacity.
+
+Only the designated *representative* client charges the ledger for
+client-side work: the paper's clients run in parallel, so wall-clock
+client time is one client's time, while server work and every transfer are
+charged in full.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.crypto.engine import HeEngine
+from repro.federation.channel import Channel, Message
+from repro.federation.metrics import charge_model_compute, charge_pipeline_stage
+from repro.quantization.packing import BatchPacker
+
+
+class SecureAggregator:
+    """Encode-pack-encrypt-aggregate-decrypt rounds over a channel.
+
+    Args:
+        client_engine: Engine charged for (parallel) client-side HE work.
+        silent_engine: Engine with an uncharged ledger, used to run the
+            non-representative clients' mathematics.
+        server_engine: Engine charged for server-side aggregation.
+        packer: Plaintext packing plan (capacity 1 models "no BC").
+        channel: Byte-counting network.
+        packed_serialization: Wire format flag for the channel.
+    """
+
+    def __init__(self, client_engine: HeEngine, silent_engine: HeEngine,
+                 server_engine: HeEngine, packer: BatchPacker,
+                 channel: Channel, packed_serialization: bool = False):
+        self.client_engine = client_engine
+        self.silent_engine = silent_engine
+        self.server_engine = server_engine
+        self.packer = packer
+        self.channel = channel
+        self.packed_serialization = packed_serialization
+
+    @property
+    def scheme(self):
+        """The quantization scheme in force."""
+        return self.packer.scheme
+
+    # ------------------------------------------------------------------
+    # Client-side pipeline stages.
+    # ------------------------------------------------------------------
+
+    def encrypt_vector(self, values: np.ndarray,
+                       charged: bool = True) -> List[int]:
+        """Encode, pack and encrypt one gradient vector.
+
+        Args:
+            values: Real-valued gradient array.
+            charged: Route through the charged client engine (the
+                representative client) or the silent one.
+        """
+        engine = self.client_engine if charged else self.silent_engine
+        encoded = self.scheme.encode_array(values)
+        words = self.packer.pack(encoded)
+        if charged:
+            # The encode/quantize/pad/pack stages of the pipeline
+            # (Fig. 4): float -> multi-precision conversion per value.
+            charge_pipeline_stage(engine.ledger, len(values),
+                                  tag="pipeline.encode_pack")
+        return engine.encrypt_batch(words)
+
+    def decrypt_vector(self, ciphertexts: Sequence[int], count: int,
+                       summands: int = 1, charged: bool = True) -> np.ndarray:
+        """Decrypt, unpack and decode an aggregated vector.
+
+        Args:
+            ciphertexts: Packed ciphertext words.
+            count: Number of real values packed inside.
+            summands: How many vectors were slot-wise summed (for the
+                translation-offset correction of Eq. 6).
+            charged: Charge the client engine or run silent.
+        """
+        engine = self.client_engine if charged else self.silent_engine
+        words = engine.decrypt_batch(list(ciphertexts))
+        encoded = self.packer.unpack(words, count)
+        if charged:
+            charge_pipeline_stage(engine.ledger, count,
+                                  tag="pipeline.unpack_decode")
+        return self.scheme.decode_array(encoded, count=summands)
+
+    # ------------------------------------------------------------------
+    # The full round.
+    # ------------------------------------------------------------------
+
+    def aggregate(self, client_vectors: Sequence[np.ndarray],
+                  tag: str = "gradients") -> np.ndarray:
+        """One secure-averaging round; returns the slot-wise *sum*.
+
+        Every client encrypts its vector; the representative client's work
+        is charged, the others run silently (parallel execution).  Uploads,
+        server-side homomorphic summation, downloads and the (parallel)
+        decryption are charged in full.
+        """
+        vectors = [np.asarray(v, dtype=np.float64) for v in client_vectors]
+        if not vectors:
+            raise ValueError("aggregate needs at least one client vector")
+        length = len(vectors[0])
+        for vector in vectors:
+            if len(vector) != length:
+                raise ValueError("client vectors must share a length")
+        if len(vectors) > self.packer.max_safe_summands():
+            raise OverflowError(
+                f"{len(vectors)} clients exceed the packer's "
+                f"{self.packer.max_safe_summands()} safe summands")
+
+        nominal_bytes = self.client_engine.nominal_ciphertext_bytes()
+        uploaded: List[List[int]] = []
+        for index, vector in enumerate(vectors):
+            ciphertexts = self.encrypt_vector(vector, charged=(index == 0))
+            payload = self.channel.send(Message(
+                sender=f"client-{index}", receiver="server",
+                tag=f"upload.{tag}", payload=ciphertexts,
+                ciphertext_count=len(ciphertexts),
+                ciphertext_bytes=nominal_bytes,
+                packed=self.packed_serialization))
+            uploaded.append(payload)
+
+        aggregated = uploaded[0]
+        for other in uploaded[1:]:
+            aggregated = self.server_engine.add_batch(aggregated, other)
+
+        for index in range(len(vectors)):
+            self.channel.send(Message(
+                sender="server", receiver=f"client-{index}",
+                tag=f"download.{tag}", payload=aggregated,
+                ciphertext_count=len(aggregated),
+                ciphertext_bytes=nominal_bytes,
+                packed=self.packed_serialization))
+
+        return self.decrypt_vector(aggregated, count=length,
+                                   summands=len(vectors), charged=True)
+
+    def average(self, client_vectors: Sequence[np.ndarray],
+                tag: str = "gradients") -> np.ndarray:
+        """Secure federated averaging: :meth:`aggregate` divided by K."""
+        return self.aggregate(client_vectors, tag=tag) / len(client_vectors)
+
+    # ------------------------------------------------------------------
+    # Ciphertext-side packing (cipher compression).
+    # ------------------------------------------------------------------
+
+    def cipher_pack(self, ciphertexts: Sequence[int],
+                    charged: bool = True) -> List[int]:
+        """Pack already-encrypted values by homomorphic shift-and-add.
+
+        ``[[word]] = sum_i [[v_i]] * 2^(slot * (capacity - 1 - i))`` -- the
+        SecureBoost+ cipher-compression trick.  Each input must hold a
+        value that fits one slot (value bits plus untouched overflow bits).
+        Returns one ciphertext per ``capacity`` inputs.
+        """
+        engine = self.client_engine if charged else self.silent_engine
+        capacity = self.packer.capacity
+        slot_bits = self.packer.slot_bits
+        if capacity == 1:
+            return list(ciphertexts)
+        packed: List[int] = []
+        for start in range(0, len(ciphertexts), capacity):
+            chunk = list(ciphertexts[start:start + capacity])
+            # Left-align a partial final chunk to keep slot indices fixed.
+            pad_slots = capacity - len(chunk)
+            word = chunk[0]
+            for value in chunk[1:]:
+                shifted = engine.scalar_mul_batch([word], [1 << slot_bits])
+                word = engine.add_batch(shifted, [value])[0]
+            if pad_slots:
+                word = engine.scalar_mul_batch(
+                    [word], [1 << (slot_bits * pad_slots)])[0]
+            packed.append(word)
+        return packed
+
+    def send_encrypted(self, ciphertexts: Sequence[int], sender: str,
+                       receiver: str, tag: str,
+                       already_packed: bool) -> List[int]:
+        """Transmit ciphertexts, charging the wire at nominal sizes."""
+        payload = list(ciphertexts)
+        return self.channel.send(Message(
+            sender=sender, receiver=receiver, tag=tag, payload=payload,
+            ciphertext_count=len(payload),
+            ciphertext_bytes=self.client_engine.nominal_ciphertext_bytes(),
+            packed=self.packed_serialization and already_packed))

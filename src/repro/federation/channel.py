@@ -1,0 +1,159 @@
+"""Client-server communication model (paper Sec. I, "Communication
+overhead").
+
+Parties run in-process, so a "send" is an accounting event: the channel
+computes the wire size of the payload (ciphertext bytes at the *nominal*
+key size, inflated by the serialization format), charges the cost ledger
+with the modelled transfer time, and hands the payload straight to the
+receiver.
+
+Two serialization formats are modelled, matching the systems compared in
+the paper: per-element serialized ciphertext objects (the FATE / HAFLO
+path, heavily bloated by object framing) and FLBooster's packed binary
+arrays (Sec. V's data-conversion stage).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.gpu.cost_model import DEFAULT_PROFILE, HardwareProfile
+from repro.ledger import CostLedger
+
+#: Monotonic ids for message tracing.
+_message_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """One transfer between parties.
+
+    Attributes:
+        sender / receiver: Party names, for the trace log.
+        tag: Protocol step name; becomes the ledger category suffix.
+        payload: The actual Python object handed to the receiver.
+        ciphertext_count: Ciphertexts inside the payload.
+        ciphertext_bytes: Wire size of one ciphertext (nominal key size).
+        plaintext_bytes: Additional non-encrypted payload bytes.
+        packed: True when the payload uses FLBooster's binary packed
+            serialization rather than per-element objects.
+    """
+
+    sender: str
+    receiver: str
+    tag: str
+    payload: Any
+    ciphertext_count: int = 0
+    ciphertext_bytes: int = 0
+    plaintext_bytes: int = 0
+    packed: bool = False
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate transfer statistics for one channel."""
+
+    messages: int = 0
+    ciphertexts: int = 0
+    wire_bytes: int = 0
+    modelled_seconds: float = 0.0
+    retransmissions: int = 0
+
+
+class ChannelError(RuntimeError):
+    """A transfer exhausted its retransmission budget."""
+
+
+class Channel:
+    """Byte-counting network between federation parties.
+
+    Args:
+        profile: Hardware constants (bandwidth, latency, serialization
+            bloat factors).
+        ledger: Cost ledger charged with every transfer.
+        trace: Keep full message objects for inspection (tests); disabled
+            by default to bound memory in long runs.
+        drop_probability: Per-attempt loss probability (failure
+            injection); dropped attempts are retransmitted and charged
+            again, up to ``max_retries``.
+        max_retries: Retransmissions before :class:`ChannelError`.
+        seed: Determinism seed for the loss process.
+    """
+
+    def __init__(self, profile: HardwareProfile = DEFAULT_PROFILE,
+                 ledger: Optional[CostLedger] = None, trace: bool = False,
+                 drop_probability: float = 0.0, max_retries: int = 5,
+                 seed: int = 0):
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        import random as _random
+        self.profile = profile
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.stats = ChannelStats()
+        self.trace = trace
+        self.log: List[Message] = []
+        self.drop_probability = drop_probability
+        self.max_retries = max_retries
+        self._loss_rng = _random.Random(seed)
+
+    def _attempts_for_one_delivery(self, tag: str) -> int:
+        """Sample the attempt count under the loss process."""
+        if self.drop_probability == 0.0:
+            return 1
+        attempts = 1
+        while self._loss_rng.random() < self.drop_probability:
+            if attempts > self.max_retries:
+                raise ChannelError(
+                    f"transfer {tag!r} dropped {attempts} times "
+                    f"(retry budget {self.max_retries})")
+            attempts += 1
+        return attempts
+
+    def send(self, message: Message) -> Any:
+        """Deliver a message, charging its modelled transfer time.
+
+        Returns the payload so call sites read naturally:
+        ``received = channel.send(Message(...))``.  With failure
+        injection enabled, dropped attempts are retransmitted (each
+        charged in full) until delivery or :class:`ChannelError`.
+        """
+        cipher_wire = 0
+        if message.ciphertext_count:
+            per_ciphertext = self.profile.wire_bytes(
+                message.ciphertext_bytes, packed=message.packed)
+            cipher_wire = message.ciphertext_count * per_ciphertext
+        wire_bytes = cipher_wire + message.plaintext_bytes
+        attempts = self._attempts_for_one_delivery(message.tag)
+        seconds = attempts * self.profile.network_seconds(wire_bytes,
+                                                          messages=1)
+        self.ledger.charge(f"comm.{message.tag}", seconds, count=1,
+                           payload_bytes=attempts * wire_bytes)
+        self.stats.messages += 1
+        self.stats.ciphertexts += message.ciphertext_count
+        self.stats.wire_bytes += attempts * wire_bytes
+        self.stats.modelled_seconds += seconds
+        self.stats.retransmissions += attempts - 1
+        if self.trace:
+            self.log.append(message)
+        return message.payload
+
+    def broadcast(self, message: Message, receivers: List[str]) -> Any:
+        """Send the same payload to several receivers (charged per copy)."""
+        for receiver in receivers:
+            copy = Message(
+                sender=message.sender,
+                receiver=receiver,
+                tag=message.tag,
+                payload=message.payload,
+                ciphertext_count=message.ciphertext_count,
+                ciphertext_bytes=message.ciphertext_bytes,
+                plaintext_bytes=message.plaintext_bytes,
+                packed=message.packed,
+            )
+            self.send(copy)
+        return message.payload

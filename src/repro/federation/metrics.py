@@ -1,0 +1,122 @@
+"""Federation metrics: epoch reports and compute-time charging.
+
+The ledger (:mod:`repro.ledger`) is the single source of truth; this
+module adds the FL-level views the paper reports -- per-epoch totals with
+the three-way component split of Table VI / Fig. 1 -- and the helper that
+charges plaintext model computation ("Others") from counted floating-point
+operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.ledger import (
+    COMPONENT_COMM,
+    COMPONENT_HE,
+    COMPONENT_OTHERS,
+    CostLedger,
+)
+
+#: Effective plaintext FLOP rate of the training servers (one core with
+#: vectorized numerics).  Only affects the "Others" slice, which the paper
+#: measures at 0.1-0.6% of a FATE epoch.
+CPU_FLOP_RATE = 5.0e9
+
+#: Per-value cost of the encode/quantize/pad/pack (and mirror) pipeline
+#: stages (Fig. 4): dominated by float <-> multi-precision-integer
+#: conversion, not arithmetic.  Drives FLBooster's enlarged "Others"
+#: share in Table VI.
+PIPELINE_SECONDS_PER_VALUE = 1.0e-5
+
+
+def flop_seconds(flops: float) -> float:
+    """Modelled seconds for ``flops`` floating-point operations."""
+    if flops < 0:
+        raise ValueError("flops must be non-negative")
+    return flops / CPU_FLOP_RATE
+
+
+def charge_model_compute(ledger: CostLedger, flops: float,
+                         tag: str = "model.compute") -> None:
+    """Charge plaintext model computation to the "Others" component."""
+    ledger.charge(tag, flop_seconds(flops), count=1)
+
+
+def charge_pipeline_stage(ledger: CostLedger, values: int,
+                          tag: str) -> None:
+    """Charge an encode/pack (or unpack/decode) pipeline stage."""
+    if values < 0:
+        raise ValueError("values must be non-negative")
+    ledger.charge(tag, values * PIPELINE_SECONDS_PER_VALUE, count=values)
+
+
+@dataclass
+class EpochReport:
+    """Summary of one training epoch under one system configuration.
+
+    Attributes:
+        system: System name (FATE / HAFLO / FLBooster / ablations).
+        model: FL model name.
+        dataset: Dataset name.
+        key_bits: Nominal key size.
+        epoch_seconds: Total modelled epoch time.
+        component_seconds: The Table VI three-way split.
+        he_operations: HE op count this epoch.
+        ciphertexts_sent: Ciphertext transfers this epoch.
+        wire_bytes: Total bytes on the wire this epoch.
+        loss: Training loss at epoch end (when the model reports one).
+    """
+
+    system: str
+    model: str
+    dataset: str
+    key_bits: int
+    epoch_seconds: float
+    component_seconds: Dict[str, float] = field(default_factory=dict)
+    he_operations: int = 0
+    ciphertexts_sent: int = 0
+    wire_bytes: int = 0
+    loss: float = float("nan")
+
+    @classmethod
+    def from_ledger(cls, ledger: CostLedger, system: str, model: str,
+                    dataset: str, key_bits: int,
+                    loss: float = float("nan")) -> "EpochReport":
+        """Snapshot a ledger into a report."""
+        return cls(
+            system=system,
+            model=model,
+            dataset=dataset,
+            key_bits=key_bits,
+            epoch_seconds=ledger.total_seconds,
+            component_seconds=ledger.by_component(),
+            he_operations=ledger.count("he"),
+            ciphertexts_sent=ledger.count("comm"),
+            wire_bytes=ledger.payload_bytes("comm"),
+            loss=loss,
+        )
+
+    def component_percentages(self) -> Dict[str, float]:
+        """The Table VI percentage cells."""
+        total = sum(self.component_seconds.values())
+        if total == 0:
+            return {name: 0.0 for name in self.component_seconds}
+        return {name: 100.0 * seconds / total
+                for name, seconds in self.component_seconds.items()}
+
+    @property
+    def he_seconds(self) -> float:
+        """Seconds in the HE component."""
+        return self.component_seconds.get(COMPONENT_HE, 0.0)
+
+    @property
+    def comm_seconds(self) -> float:
+        """Seconds in the communication component."""
+        return self.component_seconds.get(COMPONENT_COMM, 0.0)
+
+    @property
+    def other_seconds(self) -> float:
+        """Seconds in the others component."""
+        return self.component_seconds.get(COMPONENT_OTHERS, 0.0)

@@ -1,0 +1,167 @@
+"""Role-based orchestration: explicit parties and message passing.
+
+:mod:`repro.federation.aggregator` drives the secure pipeline as a
+library call; this module exposes the same protocol in FATE's idiom --
+named parties with mailboxes exchanging tagged messages through the
+channel -- for users who want to see (or extend) the protocol steps:
+
+- :class:`ClientParty` -- holds data and the keypair (the paper's Fig. 2
+  places decryption at the clients);
+- :class:`AggregatorParty` -- the server: aggregates ciphertexts it
+  cannot read;
+- :class:`SecureAveragingJob` -- the explicit state machine of one
+  federated-averaging round, equivalent to
+  :meth:`SecureAggregator.aggregate` (asserted by the tests).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.federation.channel import Message
+from repro.federation.runtime import FederationRuntime
+
+
+@dataclass
+class Mailbox:
+    """Tagged FIFO queues, one per message tag."""
+
+    _queues: Dict[str, Deque[Any]] = field(
+        default_factory=lambda: defaultdict(deque))
+
+    def deliver(self, tag: str, payload: Any) -> None:
+        """Enqueue a payload under a tag."""
+        self._queues[tag].append(payload)
+
+    def collect(self, tag: str) -> Any:
+        """Pop the oldest payload with this tag.
+
+        Raises ``LookupError`` when nothing matching has arrived -- a
+        protocol-ordering bug, not an empty-queue condition to poll.
+        """
+        queue = self._queues.get(tag)
+        if not queue:
+            raise LookupError(f"no message tagged {tag!r} has arrived")
+        return queue.popleft()
+
+    def pending(self, tag: str) -> int:
+        """Messages waiting under a tag."""
+        return len(self._queues.get(tag, ()))
+
+
+class Party:
+    """A named federation participant bound to a runtime."""
+
+    def __init__(self, name: str, runtime: FederationRuntime):
+        self.name = name
+        self.runtime = runtime
+        self.mailbox = Mailbox()
+
+    def send(self, receiver: "Party", tag: str, payload: Any,
+             ciphertext_count: int = 0, plaintext_bytes: int = 0,
+             packed: bool = False) -> None:
+        """Route a tagged message through the (charged) channel."""
+        delivered = self.runtime.channel.send(Message(
+            sender=self.name, receiver=receiver.name, tag=tag,
+            payload=payload, ciphertext_count=ciphertext_count,
+            ciphertext_bytes=(
+                self.runtime.client_engine.nominal_ciphertext_bytes()
+                if ciphertext_count else 0),
+            plaintext_bytes=plaintext_bytes, packed=packed))
+        receiver.mailbox.deliver(tag, delivered)
+
+
+class ClientParty(Party):
+    """A data-holding client: encrypts its updates, decrypts aggregates.
+
+    The representative client (``charged=True``) accounts for the
+    parallel client-side work; the others run through the silent engine.
+    """
+
+    def __init__(self, name: str, runtime: FederationRuntime,
+                 vector: np.ndarray, charged: bool):
+        super().__init__(name, runtime)
+        self.vector = np.asarray(vector, dtype=np.float64)
+        self.charged = charged
+
+    def upload_update(self, server: "AggregatorParty") -> None:
+        """Encrypt the local vector and ship it to the server."""
+        ciphertexts = self.runtime.aggregator.encrypt_vector(
+            self.vector, charged=self.charged)
+        self.send(server, tag="update", payload=ciphertexts,
+                  ciphertext_count=len(ciphertexts),
+                  packed=self.runtime.config.packed_serialization)
+
+    def decrypt_aggregate(self, count: int,
+                          summands: int) -> np.ndarray:
+        """Decrypt the aggregate the server broadcast."""
+        ciphertexts = self.mailbox.collect("aggregate")
+        return self.runtime.aggregator.decrypt_vector(
+            ciphertexts, count=count, summands=summands,
+            charged=self.charged)
+
+
+class AggregatorParty(Party):
+    """The server: sums ciphertexts it cannot decrypt."""
+
+    def aggregate_updates(self, num_clients: int) -> List[int]:
+        """Combine all pending client updates homomorphically."""
+        if self.mailbox.pending("update") != num_clients:
+            raise LookupError(
+                f"expected {num_clients} updates, "
+                f"{self.mailbox.pending('update')} arrived")
+        total: Optional[List[int]] = None
+        for _ in range(num_clients):
+            update = self.mailbox.collect("update")
+            if total is None:
+                total = list(update)
+            else:
+                total = self.runtime.server_engine.add_batch(total, update)
+        assert total is not None
+        return total
+
+    def broadcast_aggregate(self, clients: Sequence[ClientParty],
+                            aggregate: List[int]) -> None:
+        """Send the encrypted aggregate back to every client."""
+        for client in clients:
+            self.send(client, tag="aggregate", payload=aggregate,
+                      ciphertext_count=len(aggregate),
+                      packed=self.runtime.config.packed_serialization)
+
+
+class SecureAveragingJob:
+    """One explicit federated-averaging round (the Fig. 2 loop).
+
+    Args:
+        runtime: The system configuration in force.
+        client_vectors: One local update per client.
+    """
+
+    def __init__(self, runtime: FederationRuntime,
+                 client_vectors: Sequence[np.ndarray]):
+        if not client_vectors:
+            raise ValueError("need at least one client vector")
+        self.runtime = runtime
+        self.server = AggregatorParty("arbiter", runtime)
+        self.clients = [
+            ClientParty(f"client-{index}", runtime, vector,
+                        charged=(index == 0))
+            for index, vector in enumerate(client_vectors)
+        ]
+        self._length = len(client_vectors[0])
+
+    def run(self) -> np.ndarray:
+        """Execute upload -> aggregate -> broadcast -> decrypt; returns
+        the averaged vector as client 0 decodes it."""
+        for client in self.clients:
+            client.upload_update(self.server)
+        aggregate = self.server.aggregate_updates(len(self.clients))
+        self.server.broadcast_aggregate(self.clients, aggregate)
+        decoded = [client.decrypt_aggregate(count=self._length,
+                                            summands=len(self.clients))
+                   for client in self.clients]
+        return decoded[0] / len(self.clients)

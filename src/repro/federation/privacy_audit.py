@@ -1,0 +1,104 @@
+"""Privacy audit: what does each party actually see on the wire?
+
+Runs over a traced channel log (``Channel(trace=True)``) and classifies
+every delivery by receiver and visibility:
+
+- **ciphertext** -- Paillier/RSA payloads, opaque without the key;
+- **plaintext**  -- anything shipped outside the encrypted pipeline
+  (split decisions, masked residual metadata, PSI fingerprints, ...).
+
+The audit is a *verification tool*, not a proof: it mechanically checks
+that the implementation's information flow matches the protocol notes in
+docs/protocols.md -- e.g. that a vertical host never receives raw labels
+and that FATE-vs-FLBooster differ only in volume, never in visibility.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.federation.channel import Channel, Message
+
+
+@dataclass
+class PartyExposure:
+    """Everything one receiver observed."""
+
+    ciphertexts_received: int = 0
+    plaintext_bytes_received: int = 0
+    plaintext_tags: Set[str] = field(default_factory=set)
+    senders: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit pass over a channel trace."""
+
+    exposures: Dict[str, PartyExposure]
+    total_messages: int
+
+    def plaintext_received_by(self, receiver: str) -> Set[str]:
+        """Tags of plaintext-bearing messages a receiver saw."""
+        exposure = self.exposures.get(receiver)
+        return set(exposure.plaintext_tags) if exposure else set()
+
+    def received_only_ciphertexts(self, receiver: str,
+                                  allowed_plaintext_tags: Set[str]
+                                  = frozenset()) -> bool:
+        """True when a receiver saw no plaintext beyond an allowlist."""
+        extra = self.plaintext_received_by(receiver) - \
+            set(allowed_plaintext_tags)
+        return not extra
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable exposure summary."""
+        lines = [f"audited {self.total_messages} deliveries"]
+        for receiver in sorted(self.exposures):
+            exposure = self.exposures[receiver]
+            tags = ", ".join(sorted(exposure.plaintext_tags)) or "-"
+            lines.append(
+                f"  {receiver}: {exposure.ciphertexts_received} "
+                f"ciphertexts, {exposure.plaintext_bytes_received} "
+                f"plaintext bytes (tags: {tags}) from "
+                f"{len(exposure.senders)} sender(s)")
+        return lines
+
+
+def audit_channel(channel: Channel) -> AuditReport:
+    """Classify a traced channel's deliveries by receiver.
+
+    Raises ``ValueError`` when the channel was not tracing (there is
+    nothing to audit -- enable ``trace=True`` before the run).
+    """
+    if not channel.trace:
+        raise ValueError("channel was not tracing; construct it with "
+                         "trace=True before the protocol run")
+    exposures: Dict[str, PartyExposure] = defaultdict(PartyExposure)
+    for message in channel.log:
+        exposure = exposures[message.receiver]
+        exposure.senders.add(message.sender)
+        exposure.ciphertexts_received += message.ciphertext_count
+        if message.plaintext_bytes:
+            exposure.plaintext_bytes_received += message.plaintext_bytes
+            exposure.plaintext_tags.add(message.tag)
+    return AuditReport(exposures=dict(exposures),
+                       total_messages=len(channel.log))
+
+
+def assert_vertical_privacy(report: AuditReport,
+                            host_names: List[str]) -> None:
+    """Raise ``AssertionError`` when a host saw unexpected plaintext.
+
+    The vertical protocols allow hosts exactly one plaintext-bearing tag
+    (the SBT split-info message); anything else means an implementation
+    change leaked data outside the encrypted pipeline.
+    """
+    allowed = {"sbt.split_info"}
+    for host in host_names:
+        extra = report.plaintext_received_by(host) - allowed
+        if extra:
+            raise AssertionError(
+                f"host {host!r} received plaintext outside the allowed "
+                f"set: {sorted(extra)}")

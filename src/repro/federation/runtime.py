@@ -1,0 +1,235 @@
+"""System configurations and runtime wiring (paper Sec. VI competitors).
+
+:class:`SystemConfig` captures what distinguishes the compared systems --
+where HE runs (CPU vs GPU), whether the GPU resource manager is active,
+whether batch compression is applied, and the wire format -- and
+:class:`FederationRuntime` turns a configuration into live engines, a
+channel, a packing plan and a fresh-ledger-per-epoch lifecycle.
+
+The five standard configurations (module constants) are the paper's:
+
+- ``FATE_SYSTEM``      -- CPU HE, per-element objects, no compression.
+- ``HAFLO_SYSTEM``     -- GPU HE without the resource manager, no
+  compression (the strongest prior baseline).
+- ``FLBOOSTER_SYSTEM`` -- GPU HE with the resource manager + batch
+  compression (the paper's system).
+- ``WITHOUT_GHE``      -- FLBooster minus the GPU (Table V ablation).
+- ``WITHOUT_BC``       -- FLBooster minus compression (Table V ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.cpu_engine import CpuPaillierEngine
+from repro.crypto.engine import HeEngine
+from repro.crypto.gpu_engine import GpuPaillierEngine
+from repro.crypto.keys import PaillierKeypair, generate_paillier_keypair
+from repro.federation.aggregator import SecureAggregator
+from repro.federation.channel import Channel
+from repro.gpu.cost_model import DEFAULT_PROFILE, HardwareProfile
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.kernels import GpuKernels
+from repro.gpu.resource_manager import ResourceManager
+from repro.ledger import CostLedger
+from repro.mpint.primes import LimbRandom
+from repro.quantization.encoding import QuantizationScheme
+from repro.quantization.packing import BatchPacker, PackingPlan
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One point in the paper's system-comparison space.
+
+    Attributes:
+        name: Display name.
+        gpu_he: Run HE on the (simulated) GPU instead of the CPU.
+        managed_gpu: Enable the resource manager (FLBooster) or not
+            (HAFLO-style naive launches).
+        batch_compression: Pack gradients per Eq. 9.
+        packed_serialization: Ship binary packed arrays instead of
+            per-element serialized objects.
+        r_bits: Quantization value bits.  Compression configs use the
+            paper's 30+2 layout; uncompressed configs encode at 52 bits
+            (effectively lossless, matching FATE's float encoding
+            fidelity).
+    """
+
+    name: str
+    gpu_he: bool
+    managed_gpu: bool
+    batch_compression: bool
+    packed_serialization: bool
+    r_bits: int
+
+    def with_name(self, name: str) -> "SystemConfig":
+        """Copy under a different display name."""
+        return replace(self, name=name)
+
+
+FATE_SYSTEM = SystemConfig(
+    name="FATE", gpu_he=False, managed_gpu=False,
+    batch_compression=False, packed_serialization=False, r_bits=52)
+
+HAFLO_SYSTEM = SystemConfig(
+    name="HAFLO", gpu_he=True, managed_gpu=False,
+    batch_compression=False, packed_serialization=False, r_bits=52)
+
+FLBOOSTER_SYSTEM = SystemConfig(
+    name="FLBooster", gpu_he=True, managed_gpu=True,
+    batch_compression=True, packed_serialization=True, r_bits=30)
+
+WITHOUT_GHE = SystemConfig(
+    name="w/o GHE", gpu_he=False, managed_gpu=False,
+    batch_compression=True, packed_serialization=True, r_bits=30)
+
+WITHOUT_BC = SystemConfig(
+    name="w/o BC", gpu_he=True, managed_gpu=True,
+    batch_compression=False, packed_serialization=False, r_bits=52)
+
+STANDARD_SYSTEMS = (FATE_SYSTEM, HAFLO_SYSTEM, FLBOOSTER_SYSTEM)
+ABLATION_SYSTEMS = (FLBOOSTER_SYSTEM, WITHOUT_GHE, WITHOUT_BC)
+
+#: Keypair cache: generation dominates small-run setup time and the keys
+#: carry no state, so benchmark sweeps share them.
+_KEYPAIR_CACHE: Dict[Tuple[int, int], PaillierKeypair] = {}
+
+
+def cached_keypair(key_bits: int, seed: int = 7) -> PaillierKeypair:
+    """Deterministic, cached Paillier keypair for experiments."""
+    cache_key = (key_bits, seed)
+    if cache_key not in _KEYPAIR_CACHE:
+        _KEYPAIR_CACHE[cache_key] = generate_paillier_keypair(
+            key_bits, rng=LimbRandom(seed=seed))
+    return _KEYPAIR_CACHE[cache_key]
+
+
+class FederationRuntime:
+    """Live wiring of one system configuration.
+
+    Args:
+        config: The system being modelled.
+        num_clients: Participant count ``p`` (fixes overflow bits).
+        key_bits: Nominal key size charged by the cost model.
+        physical_key_bits: Key size the mathematics actually runs at;
+            defaults to ``key_bits`` (full fidelity).  Benchmarks pass a
+            reduced size to keep wall-clock runs fast (DESIGN.md).
+        profile: Hardware constants.
+        seed: Determinism seed for keys and randomizers.
+        alpha: Gradient bound for the quantization scheme.
+        randomizer_pool_size: Engine speed knob (0 = fully fresh
+            randomizers; charged costs are unaffected either way).
+        bc_capacity: ``"nominal"`` (default) sizes packing by the nominal
+            key so ciphertext counts and compression ratios are exact at
+            paper key sizes, shrinking quantization bits when the
+            physical key is smaller.  ``"physical"`` keeps the paper's
+            full quantization precision and packs only what the physical
+            plaintext holds -- the mode the convergence experiments use,
+            where precision matters and time accounting is secondary.
+    """
+
+    def __init__(self, config: SystemConfig, num_clients: int,
+                 key_bits: int, physical_key_bits: Optional[int] = None,
+                 profile: HardwareProfile = DEFAULT_PROFILE,
+                 seed: int = 7, alpha: float = 1.0,
+                 randomizer_pool_size: int = 32,
+                 bc_capacity: str = "nominal"):
+        if bc_capacity not in ("nominal", "physical"):
+            raise ValueError("bc_capacity must be 'nominal' or 'physical'")
+        self.bc_capacity = bc_capacity
+        if num_clients < 1:
+            raise ValueError("need at least one client")
+        self.config = config
+        self.num_clients = num_clients
+        self.key_bits = key_bits
+        self.physical_key_bits = (physical_key_bits
+                                  if physical_key_bits is not None
+                                  else key_bits)
+        self.profile = profile
+        self.alpha = alpha
+        self.randomizer_pool_size = randomizer_pool_size
+        self.keypair = cached_keypair(self.physical_key_bits, seed=seed)
+        self.ledger = CostLedger()
+        self._silent_ledger = CostLedger()
+        self._rng = LimbRandom(seed=seed + 1)
+
+        self.client_engine = self._build_engine(self.ledger)
+        self.server_engine = self._build_engine(self.ledger)
+        self.silent_engine = self._build_engine(self._silent_ledger)
+        self.channel = Channel(profile=profile, ledger=self.ledger)
+        self.plan = self._build_plan()
+        self.aggregator = SecureAggregator(
+            client_engine=self.client_engine,
+            silent_engine=self.silent_engine,
+            server_engine=self.server_engine,
+            packer=self.plan.packer,
+            channel=self.channel,
+            packed_serialization=config.packed_serialization,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    def _build_engine(self, ledger: CostLedger) -> HeEngine:
+        if self.config.gpu_he:
+            manager = ResourceManager(managed=self.config.managed_gpu)
+            kernels = GpuKernels(device=SimulatedGpu(),
+                                 resource_manager=manager,
+                                 profile=self.profile)
+            return GpuPaillierEngine(
+                self.keypair, kernels=kernels,
+                nominal_bits=self.key_bits, ledger=ledger, rng=self._rng,
+                randomizer_pool_size=self.randomizer_pool_size)
+        return CpuPaillierEngine(
+            self.keypair, profile=self.profile,
+            nominal_bits=self.key_bits, ledger=ledger, rng=self._rng,
+            randomizer_pool_size=self.randomizer_pool_size)
+
+    def _build_plan(self) -> PackingPlan:
+        if self.config.batch_compression:
+            if self.bc_capacity == "physical":
+                scheme = QuantizationScheme(alpha=self.alpha,
+                                            r_bits=self.config.r_bits,
+                                            num_parties=self.num_clients)
+                packer = BatchPacker(
+                    scheme,
+                    plaintext_bits=self.client_engine.physical_plaintext_bits)
+                return PackingPlan(scheme=scheme, packer=packer,
+                                   nominal_key_bits=self.key_bits)
+            return PackingPlan.for_engine(
+                self.client_engine, alpha=self.alpha,
+                r_bits=self.config.r_bits, num_parties=self.num_clients)
+        # No compression: one value per ciphertext at (near-)lossless
+        # precision, exactly the FATE / HAFLO data path.
+        scheme = QuantizationScheme(alpha=self.alpha,
+                                    r_bits=self.config.r_bits,
+                                    num_parties=self.num_clients)
+        physical = self.client_engine.physical_plaintext_bits
+        if scheme.slot_bits > physical:
+            scheme = QuantizationScheme(
+                alpha=self.alpha,
+                r_bits=physical - scheme.overflow_bits,
+                num_parties=self.num_clients)
+        packer = BatchPacker(scheme, plaintext_bits=physical, capacity=1)
+        return PackingPlan(scheme=scheme, packer=packer,
+                           nominal_key_bits=self.key_bits)
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle.
+    # ------------------------------------------------------------------
+
+    def begin_epoch(self) -> CostLedger:
+        """Swap in a fresh ledger for the next epoch; returns it."""
+        self.ledger = CostLedger()
+        self.client_engine.ledger = self.ledger
+        self.server_engine.ledger = self.ledger
+        self.channel.ledger = self.ledger
+        return self.ledger
+
+    def gpu_device(self) -> Optional[SimulatedGpu]:
+        """The client engine's device, when HE runs on the GPU."""
+        if isinstance(self.client_engine, GpuPaillierEngine):
+            return self.client_engine.kernels.device
+        return None

@@ -1,0 +1,81 @@
+"""Cluster topology: partitions on servers (paper Sec. VI-B).
+
+"We divide each dataset into 64 partitions and upload them to each
+server" -- the paper's four servers each process 16 partitions.  This
+module models that layout's timing consequences:
+
+- client-side compute and HE work parallelize across *servers*, not
+  partitions: co-resident partitions serialize on their server;
+- every partition's transfers cross the network individually (the
+  server link is shared);
+- one GPU per server is shared by its partitions.
+
+The epoch-time combinator here converts per-partition component times
+into cluster-level epoch times, used by the paper-scale extrapolation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A federation cluster: ``partitions`` spread over ``servers``.
+
+    The paper's testbed is ``ClusterTopology(servers=4, partitions=64)``.
+    """
+
+    servers: int
+    partitions: int
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ValueError("need at least one server")
+        if self.partitions < self.servers:
+            raise ValueError("need at least one partition per server")
+
+    @property
+    def partitions_per_server(self) -> int:
+        """Co-resident partitions (the serialization width)."""
+        return math.ceil(self.partitions / self.servers)
+
+    def compute_seconds(self, per_partition_seconds: float) -> float:
+        """Wall-clock of partition-local work (compute or HE).
+
+        Partitions on one server serialize; servers run in parallel, so
+        the epoch sees the busiest server's queue.
+        """
+        if per_partition_seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return per_partition_seconds * self.partitions_per_server
+
+    def transfer_seconds(self, per_partition_seconds: float) -> float:
+        """Wall-clock of network transfers.
+
+        The aggregation endpoint receives every partition's upload
+        through one shared link: transfers serialize across *all*
+        partitions (the communication bottleneck the paper attacks).
+        """
+        if per_partition_seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return per_partition_seconds * self.partitions
+
+    def epoch_seconds(self, partition_he_seconds: float,
+                      partition_comm_seconds: float,
+                      partition_other_seconds: float) -> float:
+        """Cluster epoch time from one partition's component times."""
+        return (self.compute_seconds(partition_he_seconds)
+                + self.transfer_seconds(partition_comm_seconds)
+                + self.compute_seconds(partition_other_seconds))
+
+    def speedup_over_single_server(self) -> float:
+        """How much the cluster helps compute-bound work."""
+        single = ClusterTopology(servers=1, partitions=self.partitions)
+        return (single.partitions_per_server
+                / self.partitions_per_server)
+
+
+#: The paper's deployment.
+PAPER_TOPOLOGY = ClusterTopology(servers=4, partitions=64)

@@ -1,0 +1,100 @@
+"""Device profiler: summarize a simulated GPU's launch log.
+
+Everything the engines do leaves a :class:`~repro.gpu.device.KernelLaunch`
+record; this module rolls those up into the per-kernel summaries a
+profiler (nsight-style) would show -- launch counts, time, work,
+transfer volume, utilization -- for debugging cost-model behaviour and
+for the utilization figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.gpu.device import SimulatedGpu
+
+
+@dataclass
+class KernelSummary:
+    """Aggregated statistics for one kernel name."""
+
+    launches: int = 0
+    tasks: int = 0
+    seconds: float = 0.0
+    word_multiplications: int = 0
+    bytes_transferred: int = 0
+    utilization_weighted: float = 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        """Time-weighted mean SM utilization of this kernel."""
+        if self.seconds == 0:
+            return 0.0
+        return self.utilization_weighted / self.seconds
+
+    @property
+    def seconds_per_task(self) -> float:
+        """Average modelled time per task."""
+        if self.tasks == 0:
+            return 0.0
+        return self.seconds / self.tasks
+
+
+@dataclass
+class DeviceProfile:
+    """Roll-up of a device's entire launch history."""
+
+    kernels: Dict[str, KernelSummary] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    total_launches: int = 0
+
+    def busiest_kernel(self) -> str:
+        """Kernel name with the most modelled time."""
+        if not self.kernels:
+            raise ValueError("no launches recorded")
+        return max(self.kernels, key=lambda k: self.kernels[k].seconds)
+
+    def time_share(self, name: str) -> float:
+        """Fraction of device time spent in one kernel."""
+        if self.total_seconds == 0:
+            return 0.0
+        return self.kernels.get(name, KernelSummary()).seconds / \
+            self.total_seconds
+
+    def table_rows(self) -> List[List[str]]:
+        """Rows for :func:`repro.experiments.harness.format_table`."""
+        rows = []
+        for name in sorted(self.kernels,
+                           key=lambda k: -self.kernels[k].seconds):
+            summary = self.kernels[name]
+            rows.append([
+                name,
+                str(summary.launches),
+                str(summary.tasks),
+                f"{summary.seconds * 1e3:.3f}",
+                f"{100 * self.time_share(name):.1f}%",
+                f"{summary.mean_utilization:.0%}",
+                f"{summary.bytes_transferred:,}",
+            ])
+        return rows
+
+
+def profile_device(device: SimulatedGpu) -> DeviceProfile:
+    """Aggregate a device's launch log into a :class:`DeviceProfile`."""
+    kernels: Dict[str, KernelSummary] = defaultdict(KernelSummary)
+    total_seconds = 0.0
+    for launch in device.launches:
+        summary = kernels[launch.name]
+        summary.launches += 1
+        summary.tasks += launch.tasks
+        summary.seconds += launch.seconds
+        summary.word_multiplications += launch.word_multiplications
+        summary.bytes_transferred += launch.bytes_in + launch.bytes_out
+        summary.utilization_weighted += \
+            launch.sm_utilization * launch.seconds
+        total_seconds += launch.seconds
+    return DeviceProfile(kernels=dict(kernels),
+                         total_seconds=total_seconds,
+                         total_launches=len(device.launches))

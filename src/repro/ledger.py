@@ -1,0 +1,132 @@
+"""Cost ledger: the work-counting backbone of the reproduction.
+
+Every HE operation, GPU kernel launch, channel transfer, and model-compute
+step records ``(category, modelled seconds, count, bytes)`` here.  The
+benchmark harness then reads epoch times (Table III), component splits
+(Fig. 1, Table VI), throughput (Table IV), and communication volumes
+(Fig. 7) out of one ledger instead of instrumenting each experiment
+separately.
+
+Categories are dotted paths; the first segment selects the paper's
+component grouping:
+
+- ``he.*``    -> "HE operations" (encrypt / decrypt / homomorphic compute)
+- ``comm.*``  -> "Communication"
+- everything else -> "Others" (model computing, encoding, packing, ...)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+#: Paper component names (Table VI rows).
+COMPONENT_HE = "HE operations"
+COMPONENT_COMM = "Communication"
+COMPONENT_OTHERS = "Others"
+
+
+@dataclass
+class LedgerEntry:
+    """Accumulated totals for one category."""
+
+    seconds: float = 0.0
+    count: int = 0
+    payload_bytes: int = 0
+
+
+@dataclass
+class CostLedger:
+    """Accumulates modelled cost by category.
+
+    The ledger is deliberately passive: it never measures wall-clock time
+    itself; callers charge the seconds their cost model derived, keeping
+    scaled execution and paper-scale accounting cleanly separated.
+    """
+
+    _entries: Dict[str, LedgerEntry] = field(
+        default_factory=lambda: defaultdict(LedgerEntry))
+
+    def charge(self, category: str, seconds: float, count: int = 1,
+               payload_bytes: int = 0) -> None:
+        """Add ``seconds`` of modelled time to ``category``.
+
+        Args:
+            category: Dotted category path, e.g. ``"he.encrypt"``.
+            seconds: Modelled duration; must be non-negative.
+            count: Number of logical operations covered.
+            payload_bytes: Bytes moved, for communication categories.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        entry = self._entries[category]
+        entry.seconds += seconds
+        entry.count += count
+        entry.payload_bytes += payload_bytes
+
+    def seconds(self, prefix: str = "") -> float:
+        """Total modelled seconds for categories under ``prefix``."""
+        return sum(entry.seconds for category, entry in self._entries.items()
+                   if category.startswith(prefix))
+
+    def count(self, prefix: str = "") -> int:
+        """Total operation count for categories under ``prefix``."""
+        return sum(entry.count for category, entry in self._entries.items()
+                   if category.startswith(prefix))
+
+    def payload_bytes(self, prefix: str = "") -> int:
+        """Total bytes for categories under ``prefix``."""
+        return sum(entry.payload_bytes
+                   for category, entry in self._entries.items()
+                   if category.startswith(prefix))
+
+    def by_component(self) -> Dict[str, float]:
+        """Seconds grouped into the paper's three components (Table VI)."""
+        groups = {COMPONENT_HE: 0.0, COMPONENT_COMM: 0.0, COMPONENT_OTHERS: 0.0}
+        for category, entry in self._entries.items():
+            root = category.split(".", 1)[0]
+            if root == "he":
+                groups[COMPONENT_HE] += entry.seconds
+            elif root == "comm":
+                groups[COMPONENT_COMM] += entry.seconds
+            else:
+                groups[COMPONENT_OTHERS] += entry.seconds
+        return groups
+
+    def component_percentages(self) -> Dict[str, float]:
+        """Component split as percentages of the total (Table VI cells)."""
+        groups = self.by_component()
+        total = sum(groups.values())
+        if total == 0:
+            return {name: 0.0 for name in groups}
+        return {name: 100.0 * seconds / total
+                for name, seconds in groups.items()}
+
+    @property
+    def total_seconds(self) -> float:
+        """All modelled time in the ledger."""
+        return self.seconds("")
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger's totals into this one."""
+        for category, entry in other._entries.items():
+            target = self._entries[category]
+            target.seconds += entry.seconds
+            target.count += entry.count
+            target.payload_bytes += entry.payload_bytes
+
+    def snapshot(self) -> Dict[str, Tuple[float, int, int]]:
+        """Immutable view: category -> (seconds, count, bytes)."""
+        return {category: (entry.seconds, entry.count, entry.payload_bytes)
+                for category, entry in self._entries.items()}
+
+    def reset(self) -> None:
+        """Clear all accumulated totals."""
+        self._entries.clear()
+
+    def __iter__(self) -> Iterator[Tuple[str, LedgerEntry]]:
+        return iter(sorted(self._entries.items()))
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,148 @@
+"""Common machinery for the four benchmark FL models.
+
+Every model implements :meth:`FederatedModel.run_epoch` against a
+:class:`~repro.federation.runtime.FederationRuntime`; the shared pieces
+here are the secure point-to-point transfer (the vertical protocols'
+workhorse), the convergence-driven training loop of Sec. VI-B ("if the
+loss difference between two successive epochs is less than 1e-6, the model
+reaches convergence"), and the loss/time trace the convergence figures
+read.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.generators import Dataset
+from repro.federation.metrics import EpochReport
+from repro.federation.runtime import FederationRuntime
+
+#: The paper's convergence tolerance.
+CONVERGENCE_TOLERANCE = 1e-6
+
+
+@dataclass
+class TrainingTrace:
+    """Loss-versus-modelled-time trace of one training run (Fig. 8)."""
+
+    system: str
+    model: str
+    dataset: str
+    losses: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    reports: List[EpochReport] = field(default_factory=list)
+
+    @property
+    def cumulative_seconds(self) -> List[float]:
+        """Modelled wall-clock at the end of each epoch."""
+        out: List[float] = []
+        total = 0.0
+        for seconds in self.epoch_seconds:
+            total += seconds
+            out.append(total)
+        return out
+
+    @property
+    def final_loss(self) -> float:
+        """Loss after the last epoch."""
+        return self.losses[-1] if self.losses else float("nan")
+
+    def converged_at(self, tolerance: float = CONVERGENCE_TOLERANCE) -> Optional[int]:
+        """First epoch index where successive losses differ < tolerance."""
+        for index in range(1, len(self.losses)):
+            if abs(self.losses[index] - self.losses[index - 1]) < tolerance:
+                return index
+        return None
+
+
+class FederatedModel(ABC):
+    """A federated model bound to a dataset, trained through a runtime.
+
+    Subclasses hold all party state (weights, partitions) and implement
+    one epoch of the federated protocol, charging every HE operation and
+    transfer to the runtime's ledger.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, dataset: Dataset, seed: int = 0):
+        self.dataset = dataset
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    @abstractmethod
+    def run_epoch(self, runtime: FederationRuntime) -> float:
+        """Run one training epoch; returns the training loss after it."""
+
+    @abstractmethod
+    def loss(self) -> float:
+        """Current global training loss."""
+
+    # ------------------------------------------------------------------
+    # Shared secure primitives.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def secure_transfer(runtime: FederationRuntime, values: np.ndarray,
+                        sender: str, receiver: str, tag: str,
+                        scale: float = 1.0) -> np.ndarray:
+        """Send a real-valued vector through the encrypted pipeline.
+
+        Encode -> pack -> encrypt at the sender, transfer, decrypt ->
+        unpack -> decode at the receiver.  Returns the (quantized) values
+        as the receiver sees them, so quantization error propagates into
+        training exactly as it would in the real system.
+
+        Args:
+            scale: Values are divided by ``scale`` before encoding and
+                multiplied back after decoding, so tensors whose range
+                exceeds the scheme's ``[-alpha, alpha]`` bound (e.g.
+                histogram sums, pre-activations) transfer without
+                clipping, at proportionally coarser resolution.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        aggregator = runtime.aggregator
+        flat = np.asarray(values, dtype=np.float64).ravel() / scale
+        ciphertexts = aggregator.encrypt_vector(flat, charged=True)
+        payload = aggregator.send_encrypted(
+            ciphertexts, sender=sender, receiver=receiver, tag=tag,
+            already_packed=runtime.config.batch_compression)
+        received = aggregator.decrypt_vector(payload, count=len(flat),
+                                             summands=1, charged=True)
+        return received.reshape(np.asarray(values).shape) * scale
+
+    # ------------------------------------------------------------------
+    # Training loop.
+    # ------------------------------------------------------------------
+
+    def train(self, runtime: FederationRuntime, max_epochs: int,
+              tolerance: float = CONVERGENCE_TOLERANCE,
+              key_bits: Optional[int] = None) -> TrainingTrace:
+        """Train until convergence or ``max_epochs`` (paper Sec. VI-B).
+
+        Each epoch gets a fresh ledger; the trace records per-epoch loss,
+        modelled seconds, and full reports.
+        """
+        trace = TrainingTrace(system=runtime.config.name, model=self.name,
+                              dataset=self.dataset.name)
+        previous_loss: Optional[float] = None
+        for _ in range(max_epochs):
+            ledger = runtime.begin_epoch()
+            loss = self.run_epoch(runtime)
+            trace.losses.append(loss)
+            trace.epoch_seconds.append(ledger.total_seconds)
+            trace.reports.append(EpochReport.from_ledger(
+                ledger, system=runtime.config.name, model=self.name,
+                dataset=self.dataset.name,
+                key_bits=key_bits if key_bits is not None else runtime.key_bits,
+                loss=loss))
+            if previous_loss is not None and \
+                    abs(previous_loss - loss) < tolerance:
+                break
+            previous_loss = loss
+        return trace

@@ -1,0 +1,117 @@
+"""Evaluation metrics and model persistence.
+
+Metrics beyond the paper's training loss (AUC, accuracy, log-loss at a
+threshold sweep) plus JSON-round-trippable state for the four models, so
+trained federated models can be shipped to serving.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+
+def binary_accuracy(scores: np.ndarray, labels: np.ndarray,
+                    threshold: float = 0.0) -> float:
+    """Fraction of correct sign predictions at a score threshold."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must share a shape")
+    return float(np.mean((scores > threshold) == labels))
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    AUC = (mean rank of positives - (P + 1) / 2) / N, the Mann-Whitney
+    identity; ties get average ranks.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must share a shape")
+    positives = int(labels.sum())
+    negatives = len(labels) - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("AUC needs both classes present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores))
+    sorted_scores = scores[order]
+    # Average ranks over ties.
+    index = 0
+    position = 1.0
+    while index < len(sorted_scores):
+        tie_end = index
+        while tie_end + 1 < len(sorted_scores) and \
+                sorted_scores[tie_end + 1] == sorted_scores[index]:
+            tie_end += 1
+        average_rank = (position + position + (tie_end - index)) / 2.0
+        ranks[order[index:tie_end + 1]] = average_rank
+        position += tie_end - index + 1
+        index = tie_end + 1
+    positive_rank_sum = float(ranks[labels == 1.0].sum())
+    u_statistic = positive_rank_sum - positives * (positives + 1) / 2.0
+    return u_statistic / (positives * negatives)
+
+
+# ----------------------------------------------------------------------
+# Persistence.
+# ----------------------------------------------------------------------
+
+def _encode(value):
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    return value
+
+
+def _decode(value):
+    if isinstance(value, dict) and "__ndarray__" in value:
+        return np.asarray(value["__ndarray__"], dtype=value["dtype"])
+    return value
+
+
+def save_model_state(model, path: Union[str, Path]) -> None:
+    """Persist a trained model's learnable state as JSON.
+
+    Supports the four benchmark models; tree ensembles (SBT) persist
+    their score vector and metadata (trees route through bin indices that
+    depend on the training data, so serving uses the score snapshot).
+    """
+    state: Dict[str, object] = {"model": model.name}
+    if model.name == "Homo LR":
+        state["weights"] = _encode(model.weights)
+    elif model.name == "Hetero LR":
+        state["guest_weights"] = _encode(model.guest_weights)
+        state["host_weights"] = [_encode(w) for w in model.host_weights]
+    elif model.name == "Hetero NN":
+        state["params"] = {name: _encode(value)
+                           for name, value in model.params.items()}
+    elif model.name == "Hetero SBT":
+        state["scores"] = _encode(model.scores)
+        state["num_trees"] = len(model.trees)
+        state["learning_rate"] = model.learning_rate
+    else:
+        raise ValueError(f"unknown model {model.name!r}")
+    Path(path).write_text(json.dumps(state))
+
+
+def load_model_state(model, path: Union[str, Path]) -> None:
+    """Restore state saved by :func:`save_model_state` (in place)."""
+    state = json.loads(Path(path).read_text())
+    if state.get("model") != model.name:
+        raise ValueError(
+            f"state is for {state.get('model')!r}, not {model.name!r}")
+    if model.name == "Homo LR":
+        model.weights = _decode(state["weights"])
+    elif model.name == "Hetero LR":
+        model.guest_weights = _decode(state["guest_weights"])
+        model.host_weights = [_decode(w) for w in state["host_weights"]]
+    elif model.name == "Hetero NN":
+        model.params = {name: _decode(value)
+                        for name, value in state["params"].items()}
+    elif model.name == "Hetero SBT":
+        model.scores = _decode(state["scores"])

@@ -1,0 +1,207 @@
+"""Heterogeneous neural network (paper's Hetero NN [71]).
+
+A split network over a vertical partition, in the style of FATE's
+Hetero NN / GELU-Net:
+
+- the *host* runs a bottom MLP over its features and contributes an
+  interactive-layer fragment ``u_h = bottom_h(X_h) @ W_h``;
+- the *guest* runs its own bottom MLP, adds the host fragment inside the
+  interactive layer ``z = bottom_g(X_g) @ W_g + u_h``, and runs the top
+  model (a logistic head) on ``tanh(z)``;
+- on the backward pass the guest returns the interactive-layer gradient
+  ``dL/du_h`` to the host, which backpropagates through its weights.
+
+The two per-batch cross-party tensors -- the forward fragment and the
+backward gradient, each ``batch x interactive_dim`` -- travel through the
+encode -> pack -> encrypt -> transfer -> decrypt pipeline, making Hetero
+NN the most HE-op-intensive model per instance after SBT, as in the
+paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.datasets.generators import Dataset
+from repro.datasets.partition import vertical_split
+from repro.federation.metrics import charge_model_compute
+from repro.federation.runtime import FederationRuntime
+from repro.models.base import FederatedModel
+from repro.models.losses import logistic_loss, sigmoid
+from repro.models.optim import AdamOptimizer
+
+
+class HeteroNeuralNetwork(FederatedModel):
+    """Split neural network between a guest and a host.
+
+    Args:
+        dataset: The full dataset (vertically split internally).
+        hidden_dim: Bottom-MLP hidden width on each side.
+        interactive_dim: Width of the encrypted interactive layer.
+        batch_size: Mini-batch size.
+        learning_rate: Adam step size.
+        l2: Weight decay.
+        seed: Determinism seed.
+    """
+
+    name = "Hetero NN"
+
+    def __init__(self, dataset: Dataset, hidden_dim: int = 16,
+                 interactive_dim: int = 4, batch_size: int = 256,
+                 learning_rate: float = 0.02, l2: float = 1e-4,
+                 seed: int = 0):
+        super().__init__(dataset, seed=seed)
+        self.batch_size = batch_size
+        self.l2 = l2
+        self._density = max(dataset.density, 1e-6)
+        self.interactive_dim = interactive_dim
+        guest, host = vertical_split(dataset, num_parties=2, seed=seed)
+        self.guest = guest
+        self.host = host
+
+        def xavier(rows: int, cols: int) -> np.ndarray:
+            bound = np.sqrt(6.0 / (rows + cols))
+            return self.rng.uniform(-bound, bound, size=(rows, cols))
+
+        self.params: Dict[str, np.ndarray] = {
+            # Bottom MLPs (tanh keeps interactive inputs bounded).
+            "guest_w1": xavier(guest.num_features, hidden_dim),
+            "guest_b1": np.zeros(hidden_dim),
+            "host_w1": xavier(host.num_features, hidden_dim),
+            "host_b1": np.zeros(hidden_dim),
+            # Interactive layer.
+            "guest_wi": xavier(hidden_dim, interactive_dim),
+            "host_wi": xavier(hidden_dim, interactive_dim),
+            "bias_i": np.zeros(interactive_dim),
+            # Top (logistic head).
+            "top_w": xavier(interactive_dim, 1),
+            "top_b": np.zeros(1),
+        }
+        self._optimizers = {
+            name: AdamOptimizer(learning_rate=learning_rate)
+            for name in self.params
+        }
+
+    # ------------------------------------------------------------------
+    # Epoch.
+    # ------------------------------------------------------------------
+
+    def run_epoch(self, runtime: FederationRuntime) -> float:
+        """One epoch of mini-batch split training."""
+        order = self.rng.permutation(self.dataset.num_instances)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start:start + self.batch_size]
+            self._run_batch(runtime, batch)
+        return self.loss()
+
+    def _run_batch(self, runtime: FederationRuntime,
+                   batch: np.ndarray) -> None:
+        p = self.params
+        X_g = self.guest.features[batch]
+        X_h = self.host.features[batch]
+        y = self.guest.labels[batch]
+        m = len(batch)
+
+        # Host bottom forward and interactive fragment.
+        a_h = np.tanh(X_h @ p["host_w1"] + p["host_b1"])
+        u_h = a_h @ p["host_wi"]
+        charge_model_compute(
+            runtime.ledger,
+            2.0 * (X_h.size * self._density * p["host_w1"].shape[1]
+                   / max(m, 1)
+                   + a_h.size * self.interactive_dim / max(m, 1)) * m,
+            tag="model.nn.host_forward")
+        u_h_received = self.secure_transfer(
+            runtime, u_h, sender="host", receiver="guest",
+            tag="hetero_nn.forward", scale=4.0)
+
+        # Guest forward through interactive + top layers.
+        a_g = np.tanh(X_g @ p["guest_w1"] + p["guest_b1"])
+        z_i = a_g @ p["guest_wi"] + u_h_received + p["bias_i"]
+        act_i = np.tanh(z_i)
+        logits = (act_i @ p["top_w"]).ravel() + p["top_b"][0]
+        probabilities = sigmoid(logits)
+        charge_model_compute(runtime.ledger,
+                             6.0 * X_g.size * self._density,
+                             tag="model.nn.guest_forward")
+
+        # Backward (manual autodiff of the split graph).
+        d_logits = (probabilities - y)[:, None] / m
+        grad_top_w = act_i.T @ d_logits + self.l2 * p["top_w"]
+        grad_top_b = d_logits.sum(axis=0)
+        d_act_i = d_logits @ p["top_w"].T
+        d_z_i = d_act_i * (1.0 - act_i ** 2)
+        grad_bias_i = d_z_i.sum(axis=0)
+        grad_guest_wi = a_g.T @ d_z_i + self.l2 * p["guest_wi"]
+        d_a_g = d_z_i @ p["guest_wi"].T
+        d_z_g = d_a_g * (1.0 - a_g ** 2)
+        grad_guest_w1 = X_g.T @ d_z_g + self.l2 * p["guest_w1"]
+        grad_guest_b1 = d_z_g.sum(axis=0)
+        charge_model_compute(runtime.ledger,
+                             8.0 * X_g.size * self._density,
+                             tag="model.nn.guest_backward")
+
+        # Interactive-layer gradient returns to the host encrypted.
+        d_u_h = self.secure_transfer(
+            runtime, d_z_i, sender="guest", receiver="host",
+            tag="hetero_nn.backward", scale=1.0)
+
+        grad_host_wi = a_h.T @ d_u_h + self.l2 * p["host_wi"]
+        d_a_h = d_u_h @ p["host_wi"].T
+        d_z_h = d_a_h * (1.0 - a_h ** 2)
+        grad_host_w1 = X_h.T @ d_z_h + self.l2 * p["host_w1"]
+        grad_host_b1 = d_z_h.sum(axis=0)
+        charge_model_compute(runtime.ledger,
+                             8.0 * X_h.size * self._density,
+                             tag="model.nn.host_backward")
+
+        gradients = {
+            "guest_w1": grad_guest_w1, "guest_b1": grad_guest_b1,
+            "host_w1": grad_host_w1, "host_b1": grad_host_b1,
+            "guest_wi": grad_guest_wi, "host_wi": grad_host_wi,
+            "bias_i": grad_bias_i,
+            "top_w": grad_top_w, "top_b": grad_top_b,
+        }
+        for name, gradient in gradients.items():
+            p[name] = self._optimizers[name].step(p[name], gradient)
+
+    # ------------------------------------------------------------------
+    # Evaluation.
+    # ------------------------------------------------------------------
+
+    def forward(self) -> np.ndarray:
+        """Plaintext joint forward pass over the full dataset."""
+        return self.predict_scores(self.guest.features, self.host.features)
+
+    def predict_scores(self, guest_features: np.ndarray,
+                       host_features: np.ndarray) -> np.ndarray:
+        """Joint logits for unseen rows (one block per party)."""
+        guest_features = np.asarray(guest_features, dtype=np.float64)
+        host_features = np.asarray(host_features, dtype=np.float64)
+        if guest_features.shape[0] != host_features.shape[0]:
+            raise ValueError("party blocks must align on rows")
+        if guest_features.shape[1] != self.guest.num_features or \
+                host_features.shape[1] != self.host.num_features:
+            raise ValueError("feature blocks do not match the partitions")
+        p = self.params
+        a_g = np.tanh(guest_features @ p["guest_w1"] + p["guest_b1"])
+        a_h = np.tanh(host_features @ p["host_w1"] + p["host_b1"])
+        z_i = a_g @ p["guest_wi"] + a_h @ p["host_wi"] + p["bias_i"]
+        return (np.tanh(z_i) @ p["top_w"]).ravel() + p["top_b"][0]
+
+    def predict(self, guest_features: np.ndarray,
+                host_features: np.ndarray) -> np.ndarray:
+        """Binary predictions for unseen rows."""
+        return (self.predict_scores(guest_features, host_features) > 0) \
+            .astype(np.float64)
+
+    def loss(self) -> float:
+        """Training loss of the joint split network."""
+        return logistic_loss(self.forward(), self.guest.labels)
+
+    def accuracy(self) -> float:
+        """Training accuracy of the joint split network."""
+        predictions = (self.forward() > 0).astype(np.float64)
+        return float(np.mean(predictions == self.guest.labels))

@@ -1,0 +1,172 @@
+"""Limb-level arithmetic (paper Sec. IV-A1).
+
+These functions implement the word-by-word algorithms FLBooster runs on GPU
+threads: carry-propagating addition and subtraction, schoolbook
+multiplication that accumulates partial products across threads, and the
+paper's subtract-and-recover division scheme.  Each function operates on raw
+little-endian limb lists so the simulated GPU kernels can account for
+per-word work faithfully.
+
+Every routine returns canonical limbs (all words < 2**word_bits) and, where
+meaningful, an explicit carry/borrow flag -- the "overflow result stored in
+the thread locally and then propagated" of Sec. IV-A1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.mpint.limbs import WORD_BITS, from_int, to_int
+
+
+def _pad(a: Sequence[int], b: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Zero-extend the shorter operand so both have equal limb counts."""
+    size = max(len(a), len(b))
+    return (
+        list(a) + [0] * (size - len(a)),
+        list(b) + [0] * (size - len(b)),
+    )
+
+
+def limb_add(a: Sequence[int], b: Sequence[int],
+             word_bits: int = WORD_BITS) -> Tuple[List[int], int]:
+    """Add two limb arrays with carry propagation.
+
+    Returns ``(sum_limbs, carry_out)`` where ``sum_limbs`` has the length of
+    the longer operand and ``carry_out`` is 0 or 1.
+
+    >>> limb_add([WORD_MASK], [1])  # doctest: +SKIP
+    ([0], 1)
+    """
+    mask = (1 << word_bits) - 1
+    xs, ys = _pad(a, b)
+    out: List[int] = []
+    carry = 0
+    for x, y in zip(xs, ys):
+        total = x + y + carry
+        out.append(total & mask)
+        carry = total >> word_bits
+    return out, carry
+
+
+def limb_sub(a: Sequence[int], b: Sequence[int],
+             word_bits: int = WORD_BITS) -> Tuple[List[int], int]:
+    """Subtract ``b`` from ``a`` with borrow propagation.
+
+    Returns ``(diff_limbs, borrow_out)``.  When ``borrow_out`` is 1 the
+    result wrapped modulo ``2**(word_bits * size)`` -- the caller recovers by
+    addition, exactly the overflow-recovery step of Sec. IV-A1.
+    """
+    mask = (1 << word_bits) - 1
+    xs, ys = _pad(a, b)
+    out: List[int] = []
+    borrow = 0
+    for x, y in zip(xs, ys):
+        total = x - y - borrow
+        if total < 0:
+            total += 1 << word_bits
+            borrow = 1
+        else:
+            borrow = 0
+        out.append(total & mask)
+    return out, borrow
+
+
+def limb_mul(a: Sequence[int], b: Sequence[int],
+             word_bits: int = WORD_BITS) -> List[int]:
+    """Schoolbook multiplication of two limb arrays.
+
+    The result has ``len(a) + len(b)`` limbs: the paper's "two
+    multi-precision integers of the same size ... to represent the more
+    significant words and less significant words of the final result".
+    """
+    mask = (1 << word_bits) - 1
+    out = [0] * (len(a) + len(b))
+    for i, x in enumerate(a):
+        if not x:
+            continue
+        carry = 0
+        for j, y in enumerate(b):
+            total = out[i + j] + x * y + carry
+            out[i + j] = total & mask
+            carry = total >> word_bits
+        k = i + len(b)
+        while carry:
+            total = out[k] + carry
+            out[k] = total & mask
+            carry = total >> word_bits
+            k += 1
+    return out
+
+
+def limb_compare(a: Sequence[int], b: Sequence[int]) -> int:
+    """Three-way comparison of two limb arrays.
+
+    Returns -1, 0, or 1 as ``a`` is less than, equal to, or greater than
+    ``b``.  Scans from the most significant limb down, as a GPU reduction
+    over per-thread comparisons would.
+    """
+    xs, ys = _pad(a, b)
+    for x, y in zip(reversed(xs), reversed(ys)):
+        if x != y:
+            return -1 if x < y else 1
+    return 0
+
+
+def _bit_length(limbs: Sequence[int], word_bits: int = WORD_BITS) -> int:
+    """Number of significant bits in a limb array."""
+    for index in range(len(limbs) - 1, -1, -1):
+        if limbs[index]:
+            return index * word_bits + limbs[index].bit_length()
+    return 0
+
+
+def limb_divmod(a: Sequence[int], b: Sequence[int],
+                word_bits: int = WORD_BITS) -> Tuple[List[int], List[int]]:
+    """Divide ``a`` by ``b`` returning ``(quotient, remainder)`` limbs.
+
+    Implements the paper's division scheme: estimate a quotient from the
+    more-significant words, subtract ``quotient * divisor`` from the
+    numerator, recover by addition if the subtraction overflowed, and repeat
+    until the numerator is smaller than the denominator (Sec. IV-A1).
+
+    Raises ``ZeroDivisionError`` when ``b`` is zero.
+    """
+    divisor = to_int(b, word_bits)
+    if divisor == 0:
+        raise ZeroDivisionError("limb division by zero")
+    remainder = list(a)
+    quotient_value = 0
+    while limb_compare(remainder, b) >= 0:
+        # Estimate the quotient from the most significant words by aligning
+        # bit lengths; shifting by the length gap gives a power-of-two
+        # estimate that is within a factor of two of the true partial
+        # quotient, so the loop converges in O(bits) rounds.
+        shift = _bit_length(remainder, word_bits) - _bit_length(b, word_bits)
+        estimate = 1 << max(shift, 0)
+        product = limb_mul(from_int(estimate, word_bits=word_bits), list(b),
+                           word_bits)
+        if limb_compare(product, remainder) > 0:
+            # Overflowed: recover by halving the estimate (the additive
+            # recovery of Sec. IV-A1 folded into the estimate).
+            estimate >>= 1
+            product = limb_mul(from_int(estimate, word_bits=word_bits),
+                               list(b), word_bits)
+        padded = remainder + [0] * (len(product) - len(remainder))
+        diff, borrow = limb_sub(padded, product, word_bits)
+        if borrow:
+            raise AssertionError("quotient estimate exceeded remainder")
+        remainder = diff
+        quotient_value += estimate
+    rem_value = to_int(remainder, word_bits)
+    return (
+        from_int(quotient_value, word_bits=word_bits),
+        from_int(rem_value, word_bits=word_bits),
+    )
+
+
+def limb_mod(a: Sequence[int], b: Sequence[int],
+             word_bits: int = WORD_BITS) -> List[int]:
+    """Return ``a mod b`` as limbs (see :func:`limb_divmod`)."""
+    _quotient, remainder = limb_divmod(a, b, word_bits)
+    return remainder

@@ -1,0 +1,33 @@
+"""Encoding-quantization and batch compression (paper Sec. IV-B, IV-C).
+
+- :mod:`repro.quantization.encoding` -- the secure encoding-quantization of
+  Eqs. 6-8 (linear translation + fixed-point amplification + overflow
+  bits), plus the insecure legacy ``(encrypt(significand), exponent)``
+  scheme the paper contrasts against.
+- :mod:`repro.quantization.packing` -- batch compression (Eq. 9): packing
+  ``n = floor(k / (r + ceil(log2 p)))`` quantized gradients into one
+  plaintext, with the compression-ratio and plaintext-space-utilization
+  formulas of Eqs. 11-12.
+"""
+
+from repro.quantization.encoding import (
+    QuantizationScheme,
+    LegacyFloatEncoding,
+    DEFAULT_QUANTIZATION_BITS,
+)
+from repro.quantization.packing import (
+    BatchPacker,
+    PackingPlan,
+    compression_ratio,
+    plaintext_space_utilization,
+)
+
+__all__ = [
+    "QuantizationScheme",
+    "LegacyFloatEncoding",
+    "DEFAULT_QUANTIZATION_BITS",
+    "BatchPacker",
+    "PackingPlan",
+    "compression_ratio",
+    "plaintext_space_utilization",
+]

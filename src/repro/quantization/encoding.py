@@ -1,0 +1,181 @@
+"""Encoding-quantization (paper Sec. IV-B, Eqs. 6-8).
+
+Homomorphic encryption operates on unsigned integers, so signed gradients
+must be encoded first.  The paper's scheme:
+
+1. linear translation: ``e = m + alpha`` maps ``[-alpha, alpha]`` onto
+   ``[0, 2 alpha]`` (Eq. 6);
+2. amplification: the translated value is scaled onto ``r`` bits (Eq. 7);
+3. overflow headroom: ``b = ceil(log2 p)`` zero bits are reserved above the
+   value so ``p`` participants' encodings can be *summed* under encryption
+   without carrying into a neighbouring slot (Eq. 8).
+
+Aggregated sums decode by subtracting ``count * alpha``: summing ``p``
+encodings adds ``p`` copies of the translation offset.
+
+Note on Eq. 7: the paper writes ``q = e * (2^r - 1)``, which only fills the
+``r``-bit range when ``alpha = 1/2``.  We normalize by the interval width,
+``q = round(e / (2 alpha) * (2^r - 1))``, which reduces to the paper's
+formula at ``alpha = 1/2`` and keeps every ``alpha`` loss-minimal.
+
+The module also implements the *insecure* legacy encoding the paper
+criticizes -- ``(encrypt(significand), exponent)`` with the exponent left
+in plaintext -- so the security comparison is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: The paper's default: 32 bits quantize a 32-bit float gradient, "where
+#: the last two bits are used for computational overflow" (Sec. VI-B).
+DEFAULT_QUANTIZATION_BITS = 30
+
+
+@dataclass(frozen=True)
+class QuantizationScheme:
+    """The secure encoding-quantization of Eqs. 6-8.
+
+    Attributes:
+        alpha: Gradient bound; values are clipped into ``[-alpha, alpha]``.
+        r_bits: Value bits ``r`` (Eq. 7).
+        num_parties: Participant count ``p``; fixes the overflow bits
+            ``b = ceil(log2 p)`` (Eq. 8).
+    """
+
+    alpha: float = 1.0
+    r_bits: int = DEFAULT_QUANTIZATION_BITS
+    num_parties: int = 2
+    overflow_bits: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.r_bits < 2:
+            raise ValueError("need at least 2 quantization bits")
+        if self.num_parties < 1:
+            raise ValueError("need at least one participant")
+        object.__setattr__(
+            self, "overflow_bits",
+            max(1, math.ceil(math.log2(max(self.num_parties, 2)))))
+
+    @property
+    def slot_bits(self) -> int:
+        """Total bits per encoded value: ``b + r`` (Eq. 8)."""
+        return self.r_bits + self.overflow_bits
+
+    @property
+    def scale(self) -> float:
+        """Fixed-point scale: encoded units per real unit."""
+        return (2 ** self.r_bits - 1) / (2 * self.alpha)
+
+    @property
+    def max_encoded(self) -> int:
+        """Largest single encoding: ``2^r - 1``."""
+        return 2 ** self.r_bits - 1
+
+    @property
+    def quantization_step(self) -> float:
+        """Real-valued width of one quantization level."""
+        return 1.0 / self.scale
+
+    # ------------------------------------------------------------------
+    # Scalar interface.
+    # ------------------------------------------------------------------
+
+    def encode(self, value: float) -> int:
+        """Encode one gradient into an unsigned ``r``-bit integer."""
+        clipped = min(max(value, -self.alpha), self.alpha)
+        translated = clipped + self.alpha                     # Eq. 6
+        return int(round(translated * self.scale))            # Eq. 7
+
+    def decode(self, encoded: int) -> float:
+        """Invert :meth:`encode` for a single (non-aggregated) value."""
+        return self.decode_sum(encoded, count=1)
+
+    def decode_sum(self, encoded_sum: int, count: int) -> float:
+        """Decode the sum of ``count`` encodings into the sum of values.
+
+        Each encoding carries a ``+alpha`` translation, so the aggregate
+        carries ``count * alpha``.
+        """
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if count > 2 ** self.overflow_bits:
+            raise OverflowError(
+                f"{count} participants exceed the {self.overflow_bits} "
+                f"reserved overflow bits")
+        return encoded_sum / self.scale - count * self.alpha
+
+    # ------------------------------------------------------------------
+    # Vector interface (the hot path for gradient arrays).
+    # ------------------------------------------------------------------
+
+    def encode_array(self, values: np.ndarray) -> List[int]:
+        """Encode a float array into Python-int encodings."""
+        clipped = np.clip(np.asarray(values, dtype=np.float64),
+                          -self.alpha, self.alpha)
+        scaled = np.rint((clipped + self.alpha) * self.scale)
+        return [int(v) for v in scaled]
+
+    def decode_array(self, encoded: Sequence[int],
+                     count: int = 1) -> np.ndarray:
+        """Decode encodings (or slot-wise sums of ``count`` encodings)."""
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        values = np.asarray([float(e) for e in encoded], dtype=np.float64)
+        return values / self.scale - count * self.alpha
+
+
+@dataclass(frozen=True)
+class LegacyFloatEncoding:
+    """The insecure ``(encrypt(significand), exponent)`` scheme.
+
+    Existing FL stacks quantize by encrypting only the significand and
+    shipping the exponent in plaintext (Sec. IV-B).  The exponent reveals
+    the approximate magnitude of every gradient -- the leak the paper's
+    encoding-quantization closes.  Provided for the security comparison
+    and the migration examples.
+    """
+
+    significand_bits: int = 53
+
+    def encode(self, value: float) -> Tuple[int, int]:
+        """Split into ``(significand_int, plaintext_exponent)``.
+
+        The significand integer is what gets encrypted; the exponent is
+        transmitted in the clear (the leak).
+        """
+        if value == 0:
+            return 0, 0
+        mantissa, exponent = math.frexp(abs(value))
+        significand = int(mantissa * (1 << self.significand_bits))
+        if value < 0:
+            # Sign folded into the significand -- but the *exponent* still
+            # leaks magnitude regardless.
+            significand = (1 << (self.significand_bits + 1)) - significand
+        return significand, exponent
+
+    def decode(self, significand: int, exponent: int) -> float:
+        """Invert :meth:`encode`."""
+        if significand == 0 and exponent == 0:
+            return 0.0
+        sign_bound = 1 << self.significand_bits
+        if significand >= sign_bound:
+            mantissa = -((1 << (self.significand_bits + 1)) - significand)
+        else:
+            mantissa = significand
+        return math.ldexp(mantissa / sign_bound, exponent)
+
+    def leaked_bits(self, value: float) -> int:
+        """What an adversary learns: the plaintext exponent."""
+        return self.encode(value)[1]
+
+    def magnitude_interval(self, value: float) -> Tuple[float, float]:
+        """The open interval ``[2^(e-1), 2^e)`` the leak pins |value| into."""
+        exponent = self.leaked_bits(value)
+        return (math.ldexp(0.5, exponent), math.ldexp(1.0, exponent))

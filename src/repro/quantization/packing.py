@@ -1,0 +1,210 @@
+"""Batch compression (paper Sec. IV-C, Eqs. 9, 11-13).
+
+Packs ``n = floor(k / (r + b))`` quantized gradients into one plaintext so
+that one encryption covers ``n`` values:
+
+    Z = [0..0][q_0] [0..0][q_1] ... [0..0][q_{n-1}]        (Eq. 9)
+
+Because every slot reserves ``b = ceil(log2 p)`` zero bits above its value,
+slot-wise sums of up to ``p`` packed plaintexts never carry across slot
+boundaries -- which is exactly why multiplying the packed *ciphertexts*
+(Paillier addition) yields the slot-wise sums after decryption.
+
+The compression ratio (Eq. 11), plaintext-space utilization (Eq. 12) and
+the resulting HE-operation acceleration (Eq. 13) are provided as module
+functions so benchmarks can print the theoretical curves of Fig. 7 next to
+measured counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.quantization.encoding import QuantizationScheme
+
+
+def packing_capacity(key_bits: int, r_bits: int, num_parties: int) -> int:
+    """Values per plaintext: ``n = floor(k / (r + ceil(log2 p)))``."""
+    slot = r_bits + max(1, math.ceil(math.log2(max(num_parties, 2))))
+    return max(1, key_bits // slot)
+
+
+def compression_ratio(n_values: int, key_bits: int, r_bits: int,
+                      num_parties: int) -> float:
+    """Eq. 11: achieved ciphertext-count reduction for ``n_values``."""
+    capacity = packing_capacity(key_bits, r_bits, num_parties)
+    ciphertexts = math.ceil(n_values / capacity)
+    return n_values / ciphertexts
+
+
+def plaintext_space_utilization(n_values: int, key_bits: int, r_bits: int,
+                                num_parties: int) -> float:
+    """Eq. 12: fraction of plaintext bits carrying payload."""
+    slot = r_bits + max(1, math.ceil(math.log2(max(num_parties, 2))))
+    capacity = packing_capacity(key_bits, r_bits, num_parties)
+    ciphertexts = math.ceil(n_values / capacity)
+    return (n_values * slot) / (key_bits * ciphertexts)
+
+
+class BatchPacker:
+    """Packs quantized values into multi-precision plaintexts (Eq. 9).
+
+    Args:
+        scheme: The quantization scheme whose encodings are packed; its
+            ``slot_bits`` fixes the per-value width.
+        capacity: Values per plaintext.  Normally
+            ``floor(key_bits / slot_bits)``; pass an explicit value to model
+            a *nominal* key whose capacity differs from the physical
+            plaintext (scaled benchmark mode, see DESIGN.md).
+        plaintext_bits: Physical plaintext budget; packing more slots than
+            fit raises at construction.
+    """
+
+    def __init__(self, scheme: QuantizationScheme, plaintext_bits: int,
+                 capacity: int | None = None):
+        if plaintext_bits < scheme.slot_bits:
+            raise ValueError(
+                f"plaintext of {plaintext_bits} bits cannot hold one "
+                f"{scheme.slot_bits}-bit slot")
+        self.scheme = scheme
+        self.plaintext_bits = plaintext_bits
+        derived = plaintext_bits // scheme.slot_bits
+        self.capacity = capacity if capacity is not None else derived
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if self.capacity * scheme.slot_bits > plaintext_bits:
+            raise ValueError(
+                f"{self.capacity} slots of {scheme.slot_bits} bits exceed "
+                f"the {plaintext_bits}-bit plaintext")
+
+    @property
+    def slot_bits(self) -> int:
+        """Bits per packed value (``r + b``)."""
+        return self.scheme.slot_bits
+
+    def slot_mask(self) -> int:
+        """Bit mask of one slot."""
+        return (1 << self.slot_bits) - 1
+
+    # ------------------------------------------------------------------
+    # Packing / unpacking.
+    # ------------------------------------------------------------------
+
+    def pack(self, encoded: Sequence[int]) -> List[int]:
+        """Pack encodings into plaintext integers, ``capacity`` per word.
+
+        Values are laid out with the first encoding in the most significant
+        slot (the left-to-right order of Eq. 9).  The final word may be
+        partially filled; unpack with the original count.
+        """
+        self._check_encodings(encoded)
+        words: List[int] = []
+        for start in range(0, len(encoded), self.capacity):
+            chunk = encoded[start:start + self.capacity]
+            word = 0
+            for value in chunk:
+                word = (word << self.slot_bits) | value
+            # Left-align a partial final chunk so slot indices stay fixed.
+            word <<= self.slot_bits * (self.capacity - len(chunk))
+            words.append(word)
+        return words
+
+    def unpack(self, words: Sequence[int], count: int) -> List[int]:
+        """Extract ``count`` slot values from packed words.
+
+        Safe for *aggregated* words: each slot is read with its overflow
+        bits included, so slot-wise sums of up to ``2^b`` encodings come
+        back exactly.
+        """
+        expected_words = math.ceil(count / self.capacity) if count else 0
+        if len(words) < expected_words:
+            raise ValueError(
+                f"{count} values need {expected_words} words, got {len(words)}")
+        mask = self.slot_mask()
+        values: List[int] = []
+        for word_index, word in enumerate(words):
+            if len(values) >= count:
+                break
+            remaining = min(self.capacity, count - word_index * self.capacity)
+            for slot in range(remaining):
+                shift = self.slot_bits * (self.capacity - 1 - slot)
+                values.append((word >> shift) & mask)
+        return values
+
+    def words_needed(self, n_values: int) -> int:
+        """Plaintext words (and thus ciphertexts) for ``n_values``."""
+        if n_values <= 0:
+            return 0
+        return math.ceil(n_values / self.capacity)
+
+    # ------------------------------------------------------------------
+    # Theory hooks.
+    # ------------------------------------------------------------------
+
+    def achieved_compression_ratio(self, n_values: int) -> float:
+        """Eq. 11 evaluated with this packer's capacity."""
+        if n_values <= 0:
+            return 0.0
+        return n_values / self.words_needed(n_values)
+
+    def achieved_psu(self, n_values: int) -> float:
+        """Eq. 12 evaluated against this packer's plaintext size."""
+        if n_values <= 0:
+            return 0.0
+        return (n_values * self.slot_bits) / (
+            self.plaintext_bits * self.words_needed(n_values))
+
+    def max_safe_summands(self) -> int:
+        """How many packed words may be summed without cross-slot carries."""
+        return 2 ** self.scheme.overflow_bits
+
+    def _check_encodings(self, encoded: Sequence[int]) -> None:
+        bound = 1 << self.scheme.r_bits
+        for value in encoded:
+            if not 0 <= value < bound:
+                raise ValueError(
+                    f"encoding {value} outside the {self.scheme.r_bits}-bit "
+                    f"value range")
+
+
+@dataclass(frozen=True)
+class PackingPlan:
+    """A consistent (scheme, packer) pair for a given engine and key.
+
+    In full-fidelity mode the physical plaintext hosts the nominal
+    capacity at full ``r`` bits.  In scaled mode (physical key smaller than
+    nominal) the plan keeps the *nominal capacity* -- so ciphertext counts,
+    compression ratios, and communication volumes match the nominal key --
+    and shrinks the slot width to what the physical plaintext affords.
+    """
+
+    scheme: QuantizationScheme
+    packer: BatchPacker
+    nominal_key_bits: int
+
+    @classmethod
+    def for_engine(cls, engine, alpha: float = 1.0,
+                   r_bits: int = 30, num_parties: int = 2) -> "PackingPlan":
+        """Build the plan for an HE engine (physical vs nominal aware)."""
+        nominal_scheme = QuantizationScheme(
+            alpha=alpha, r_bits=r_bits, num_parties=num_parties)
+        capacity = packing_capacity(engine.nominal_bits, r_bits, num_parties)
+        physical_bits = engine.physical_plaintext_bits
+        slot_budget = physical_bits // capacity
+        if slot_budget >= nominal_scheme.slot_bits:
+            scheme = nominal_scheme
+        else:
+            # Scaled mode: shrink the value bits, keep the overflow bits.
+            reduced_r = slot_budget - nominal_scheme.overflow_bits
+            if reduced_r < 2:
+                raise ValueError(
+                    f"physical key too small: {physical_bits} plaintext bits "
+                    f"cannot host {capacity} slots")
+            scheme = QuantizationScheme(
+                alpha=alpha, r_bits=reduced_r, num_parties=num_parties)
+        packer = BatchPacker(scheme, plaintext_bits=physical_bits,
+                             capacity=capacity)
+        return cls(scheme=scheme, packer=packer,
+                   nominal_key_bits=engine.nominal_bits)

@@ -1,0 +1,108 @@
+"""Tests for the Table I Paillier / RSA array APIs and FlBooster facade."""
+
+import pytest
+
+from repro.api import FlBooster, PaillierApi, RsaApi
+from repro.mpint.primes import LimbRandom
+
+
+@pytest.fixture(scope="module")
+def fl():
+    return FlBooster(seed=99)
+
+
+@pytest.fixture(scope="module")
+def paillier_keys(fl):
+    return fl.paillier.key_gen(128)
+
+
+@pytest.fixture(scope="module")
+def rsa_keys(fl):
+    return fl.rsa.key_gen(128)
+
+
+class TestPaillierApi:
+    def test_key_gen_order_matches_table1(self, paillier_keys):
+        pri, pub = paillier_keys
+        assert hasattr(pri, "lam") and hasattr(pub, "n")
+
+    def test_encrypt_decrypt_array(self, fl, paillier_keys):
+        pri, pub = paillier_keys
+        values = [0, 1, 12345, 999999]
+        assert fl.paillier.decrypt(pri, fl.paillier.encrypt(pub, values)) \
+            == values
+
+    def test_homomorphic_add(self, fl, paillier_keys):
+        pri, pub = paillier_keys
+        c1 = fl.paillier.encrypt(pub, [1, 2, 3])
+        c2 = fl.paillier.encrypt(pub, [10, 20, 30])
+        assert fl.paillier.decrypt(pri, fl.paillier.add(pub, c1, c2)) == \
+            [11, 22, 33]
+
+    def test_scalar_plaintext_accepted(self, fl, paillier_keys):
+        pri, pub = paillier_keys
+        assert fl.paillier.decrypt(pri, fl.paillier.encrypt(pub, 7)) == [7]
+
+    def test_add_length_mismatch_raises(self, fl, paillier_keys):
+        _, pub = paillier_keys
+        with pytest.raises(ValueError):
+            fl.paillier.add(pub, [1], [1, 2])
+
+    def test_randomized_ciphertexts(self, fl, paillier_keys):
+        _, pub = paillier_keys
+        a = fl.paillier.encrypt(pub, [5])
+        b = fl.paillier.encrypt(pub, [5])
+        assert a != b
+
+
+class TestRsaApi:
+    def test_roundtrip(self, fl, rsa_keys):
+        pri, pub = rsa_keys
+        values = [0, 1, 999, 123456]
+        assert fl.rsa.decrypt(pri, fl.rsa.encrypt(pub, values)) == values
+
+    def test_homomorphic_mul(self, fl, rsa_keys):
+        pri, pub = rsa_keys
+        c1 = fl.rsa.encrypt(pub, [2, 3])
+        c2 = fl.rsa.encrypt(pub, [5, 7])
+        assert fl.rsa.decrypt(pri, fl.rsa.mul(pub, c1, c2)) == [10, 21]
+
+    def test_out_of_range_raises(self, fl, rsa_keys):
+        _, pub = rsa_keys
+        with pytest.raises(ValueError):
+            fl.rsa.encrypt(pub, [pub.n])
+
+    def test_mul_length_mismatch_raises(self, fl, rsa_keys):
+        _, pub = rsa_keys
+        with pytest.raises(ValueError):
+            fl.rsa.mul(pub, [1, 2], [1])
+
+
+class TestFacade:
+    def test_table1_passthroughs(self, fl):
+        assert fl.add([1], [2]) == [3]
+        assert fl.sub([5], [2]) == [3]
+        assert fl.mul([5], [2]) == [10]
+        assert fl.div([5], [2]) == [2]
+        assert fl.mod([5], 3) == [2]
+        assert fl.mod_inv([2], 5) == [3]
+        assert fl.mod_mul([2], [3], 5) == [1]
+        assert fl.mod_pow([2], [3], 5) == [3]
+
+    def test_shared_device(self, fl):
+        assert fl.ops.kernels is fl.kernels
+        assert fl.paillier.kernels is fl.kernels
+        assert fl.rsa.kernels is fl.kernels
+
+    def test_device_accumulates_session_launches(self):
+        session = FlBooster(seed=1)
+        session.mod_mul([1, 2], [3, 4], 101)
+        pri, pub = session.paillier.key_gen(64)
+        session.paillier.encrypt(pub, [1, 2])
+        assert len(session.kernels.device.launches) >= 3
+
+    def test_separate_instances_isolated(self):
+        a = FlBooster(seed=1)
+        b = FlBooster(seed=1)
+        a.mod_mul([1], [1], 3)
+        assert len(b.kernels.device.launches) == 0

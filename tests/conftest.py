@@ -1,0 +1,32 @@
+"""Shared fixtures: small deterministic keys so the suite stays fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import generate_paillier_keypair, generate_rsa_keypair
+from repro.mpint.primes import LimbRandom
+
+
+@pytest.fixture(scope="session")
+def paillier_128():
+    """A 128-bit Paillier keypair (fast, session-cached)."""
+    return generate_paillier_keypair(128, rng=LimbRandom(seed=1001))
+
+
+@pytest.fixture(scope="session")
+def paillier_256():
+    """A 256-bit Paillier keypair (session-cached)."""
+    return generate_paillier_keypair(256, rng=LimbRandom(seed=1002))
+
+
+@pytest.fixture(scope="session")
+def rsa_128():
+    """A 128-bit RSA keypair (session-cached)."""
+    return generate_rsa_keypair(128, rng=LimbRandom(seed=1003))
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic per-test large-integer random source."""
+    return LimbRandom(seed=42)

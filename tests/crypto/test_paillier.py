@@ -1,0 +1,137 @@
+"""Tests for the Paillier cryptosystem (paper Eqs. 3-5)."""
+
+import pytest
+
+from repro.crypto.paillier import Paillier, PaillierCiphertext
+from repro.crypto.keys import generate_paillier_keypair
+from repro.mpint.primes import LimbRandom
+
+
+class TestRoundtrip:
+    def test_encrypt_decrypt(self, paillier_128, rng):
+        pub, pri = paillier_128.public_key, paillier_128.private_key
+        for value in (0, 1, 42, pub.n - 1):
+            c = Paillier.raw_encrypt(pub, value, rng=rng)
+            assert Paillier.raw_decrypt(pri, c) == value
+
+    def test_crt_matches_textbook(self, paillier_128, rng):
+        pub, pri = paillier_128.public_key, paillier_128.private_key
+        for value in (0, 7, 123456, pub.n // 2):
+            c = Paillier.raw_encrypt(pub, value, rng=rng)
+            assert Paillier.raw_decrypt(pri, c) == \
+                Paillier.raw_decrypt_textbook(pri, c)
+
+    def test_ciphertexts_randomized(self, paillier_128, rng):
+        pub = paillier_128.public_key
+        c1 = Paillier.raw_encrypt(pub, 5, rng=rng)
+        c2 = Paillier.raw_encrypt(pub, 5, rng=rng)
+        assert c1 != c2     # semantic security needs fresh randomizers
+
+    def test_explicit_randomizer_deterministic(self, paillier_128):
+        pub = paillier_128.public_key
+        assert Paillier.raw_encrypt(pub, 9, r=12345) == \
+            Paillier.raw_encrypt(pub, 9, r=12345)
+
+    def test_plaintext_out_of_range_raises(self, paillier_128, rng):
+        pub = paillier_128.public_key
+        with pytest.raises(ValueError):
+            Paillier.raw_encrypt(pub, pub.n, rng=rng)
+        with pytest.raises(ValueError):
+            Paillier.raw_encrypt(pub, -1, rng=rng)
+
+    def test_non_unit_randomizer_raises(self, paillier_128):
+        pub = paillier_128.public_key
+        keypair = paillier_128
+        with pytest.raises(ValueError):
+            Paillier.raw_encrypt(pub, 1, r=keypair.private_key.p)
+
+    def test_ciphertext_out_of_range_raises(self, paillier_128):
+        with pytest.raises(ValueError):
+            Paillier.raw_decrypt(paillier_128.private_key,
+                                 paillier_128.public_key.n_squared)
+
+
+class TestHomomorphism:
+    def test_addition(self, paillier_128, rng):
+        pub, pri = paillier_128.public_key, paillier_128.private_key
+        c1 = Paillier.raw_encrypt(pub, 111, rng=rng)
+        c2 = Paillier.raw_encrypt(pub, 222, rng=rng)
+        assert Paillier.raw_decrypt(pri, Paillier.raw_add(pub, c1, c2)) == 333
+
+    def test_addition_wraps_modulo_n(self, paillier_128, rng):
+        pub, pri = paillier_128.public_key, paillier_128.private_key
+        c1 = Paillier.raw_encrypt(pub, pub.n - 1, rng=rng)
+        c2 = Paillier.raw_encrypt(pub, 2, rng=rng)
+        assert Paillier.raw_decrypt(pri, Paillier.raw_add(pub, c1, c2)) == 1
+
+    def test_add_plain(self, paillier_128, rng):
+        pub, pri = paillier_128.public_key, paillier_128.private_key
+        c = Paillier.raw_encrypt(pub, 100, rng=rng)
+        assert Paillier.raw_decrypt(
+            pri, Paillier.raw_add_plain(pub, c, 23)) == 123
+
+    def test_scalar_mul(self, paillier_128, rng):
+        pub, pri = paillier_128.public_key, paillier_128.private_key
+        c = Paillier.raw_encrypt(pub, 7, rng=rng)
+        assert Paillier.raw_decrypt(
+            pri, Paillier.raw_scalar_mul(pub, c, 6)) == 42
+
+    def test_scalar_mul_negative_raises(self, paillier_128, rng):
+        pub = paillier_128.public_key
+        c = Paillier.raw_encrypt(pub, 7, rng=rng)
+        with pytest.raises(ValueError):
+            Paillier.raw_scalar_mul(pub, c, -2)
+
+
+class TestCiphertextWrapper:
+    def test_operator_add(self, paillier_128, rng):
+        pub, pri = paillier_128.public_key, paillier_128.private_key
+        c1 = Paillier.encrypt(pub, 10, rng=rng)
+        c2 = Paillier.encrypt(pub, 20, rng=rng)
+        assert Paillier.decrypt(pri, c1 + c2) == 30
+
+    def test_operator_add_plain(self, paillier_128, rng):
+        pub, pri = paillier_128.public_key, paillier_128.private_key
+        c = Paillier.encrypt(pub, 10, rng=rng)
+        assert Paillier.decrypt(pri, c + 5) == 15
+        assert Paillier.decrypt(pri, 5 + c) == 15
+
+    def test_operator_scalar_mul(self, paillier_128, rng):
+        pub, pri = paillier_128.public_key, paillier_128.private_key
+        c = Paillier.encrypt(pub, 10, rng=rng)
+        assert Paillier.decrypt(pri, c * 3) == 30
+        assert Paillier.decrypt(pri, 3 * c) == 30
+
+    def test_sum_builtin(self, paillier_128, rng):
+        pub, pri = paillier_128.public_key, paillier_128.private_key
+        cs = [Paillier.encrypt(pub, v, rng=rng) for v in (1, 2, 3, 4)]
+        total = cs[0]
+        for c in cs[1:]:
+            total = total + c
+        assert Paillier.decrypt(pri, total) == 10
+
+    def test_mixed_keys_raise(self, paillier_128, rng):
+        other = generate_paillier_keypair(128, rng=LimbRandom(seed=77))
+        c1 = Paillier.encrypt(paillier_128.public_key, 1, rng=rng)
+        c2 = Paillier.encrypt(other.public_key, 1, rng=rng)
+        with pytest.raises(ValueError):
+            _ = c1 + c2
+
+    def test_serialized_bytes(self, paillier_128, rng):
+        c = Paillier.encrypt(paillier_128.public_key, 1, rng=rng)
+        assert c.serialized_bytes() == \
+            paillier_128.public_key.ciphertext_bytes()
+
+
+class TestArbitraryGenerator:
+    def test_random_g_still_works(self, rng):
+        keypair = generate_paillier_keypair(64, rng=rng, generator=None)
+        n = keypair.public_key.n
+        # Rebuild with an explicit non-standard generator g = n + 1 + n^2/…
+        from repro.crypto.keys import PaillierPublicKey, PaillierPrivateKey
+        g = (n + 1) * (n + 1) % (n * n)   # also a valid generator
+        pub = PaillierPublicKey(n=n, g=g, key_bits=64)
+        pri = PaillierPrivateKey(p=keypair.private_key.p,
+                                 q=keypair.private_key.q, public_key=pub)
+        c = Paillier.raw_encrypt(pub, 99, rng=rng)
+        assert Paillier.raw_decrypt(pri, c) == 99

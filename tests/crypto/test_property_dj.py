@@ -1,0 +1,55 @@
+"""Property-based tests for Damgard-Jurik."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.damgard_jurik import (
+    DamgardJurik,
+    generate_damgard_jurik_keypair,
+)
+from repro.mpint.primes import LimbRandom
+
+_KEYS = {s: generate_damgard_jurik_keypair(96, s=s,
+                                           rng=LimbRandom(seed=4001 + s))
+         for s in (1, 2, 3)}
+_RNG = LimbRandom(seed=4010)
+
+degrees = st.sampled_from([1, 2, 3])
+
+
+@settings(max_examples=40)
+@given(degrees, st.integers(min_value=0, max_value=1 << 200))
+def test_roundtrip(s, message):
+    keypair = _KEYS[s]
+    message %= keypair.public_key.plaintext_modulus
+    c = DamgardJurik.raw_encrypt(keypair.public_key, message, rng=_RNG)
+    assert DamgardJurik.raw_decrypt(keypair.private_key, c) == message
+
+
+@settings(max_examples=40)
+@given(degrees, st.integers(min_value=0, max_value=1 << 90),
+       st.integers(min_value=0, max_value=1 << 90))
+def test_additive_homomorphism(s, m1, m2):
+    keypair = _KEYS[s]
+    pub, pri = keypair.public_key, keypair.private_key
+    c = DamgardJurik.raw_add(
+        pub,
+        DamgardJurik.raw_encrypt(pub, m1 % pub.plaintext_modulus,
+                                 rng=_RNG),
+        DamgardJurik.raw_encrypt(pub, m2 % pub.plaintext_modulus,
+                                 rng=_RNG))
+    assert DamgardJurik.raw_decrypt(pri, c) == \
+        (m1 % pub.plaintext_modulus + m2 % pub.plaintext_modulus) \
+        % pub.plaintext_modulus
+
+
+@settings(max_examples=30)
+@given(degrees, st.integers(min_value=0, max_value=1 << 60),
+       st.integers(min_value=0, max_value=1 << 12))
+def test_scalar_homomorphism(s, message, scalar):
+    keypair = _KEYS[s]
+    pub, pri = keypair.public_key, keypair.private_key
+    c = DamgardJurik.raw_scalar_mul(
+        pub, DamgardJurik.raw_encrypt(pub, message, rng=_RNG), scalar)
+    assert DamgardJurik.raw_decrypt(pri, c) == \
+        (message * scalar) % pub.plaintext_modulus

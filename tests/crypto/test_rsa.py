@@ -1,0 +1,67 @@
+"""Tests for RSA with its multiplicative homomorphism (paper Table I)."""
+
+import pytest
+
+from repro.crypto.rsa import Rsa
+
+
+class TestRoundtrip:
+    def test_encrypt_decrypt(self, rsa_128):
+        pub, pri = rsa_128.public_key, rsa_128.private_key
+        for value in (0, 1, 42, pub.n - 1):
+            assert Rsa.raw_decrypt(pri, Rsa.raw_encrypt(pub, value)) == value
+
+    def test_deterministic(self, rsa_128):
+        # Textbook RSA is deterministic by construction.
+        pub = rsa_128.public_key
+        assert Rsa.raw_encrypt(pub, 7) == Rsa.raw_encrypt(pub, 7)
+
+    def test_out_of_range_raises(self, rsa_128):
+        with pytest.raises(ValueError):
+            Rsa.raw_encrypt(rsa_128.public_key, rsa_128.public_key.n)
+        with pytest.raises(ValueError):
+            Rsa.raw_decrypt(rsa_128.private_key, -1)
+
+
+class TestHomomorphism:
+    def test_multiplication(self, rsa_128):
+        pub, pri = rsa_128.public_key, rsa_128.private_key
+        c1 = Rsa.raw_encrypt(pub, 6)
+        c2 = Rsa.raw_encrypt(pub, 7)
+        assert Rsa.raw_decrypt(pri, Rsa.raw_mul(pub, c1, c2)) == 42
+
+    def test_multiplication_wraps_modulo_n(self, rsa_128):
+        pub, pri = rsa_128.public_key, rsa_128.private_key
+        big = pub.n - 1
+        c1 = Rsa.raw_encrypt(pub, big)
+        c2 = Rsa.raw_encrypt(pub, big)
+        assert Rsa.raw_decrypt(pri, Rsa.raw_mul(pub, c1, c2)) == \
+            (big * big) % pub.n
+
+    def test_chain_of_multiplications(self, rsa_128):
+        pub, pri = rsa_128.public_key, rsa_128.private_key
+        product_cipher = Rsa.raw_encrypt(pub, 1)
+        expected = 1
+        for value in (2, 3, 5, 7):
+            product_cipher = Rsa.raw_mul(pub, product_cipher,
+                                         Rsa.raw_encrypt(pub, value))
+            expected *= value
+        assert Rsa.raw_decrypt(pri, product_cipher) == expected
+
+
+class TestWrapper:
+    def test_operator_mul(self, rsa_128):
+        pub, pri = rsa_128.public_key, rsa_128.private_key
+        c = Rsa.encrypt(pub, 6) * Rsa.encrypt(pub, 9)
+        assert Rsa.decrypt(pri, c) == 54
+
+    def test_serialized_bytes(self, rsa_128):
+        c = Rsa.encrypt(rsa_128.public_key, 1)
+        assert c.serialized_bytes() == rsa_128.public_key.ciphertext_bytes()
+
+    def test_mixed_keys_raise(self, rsa_128, rng):
+        from repro.crypto.keys import generate_rsa_keypair
+        other = generate_rsa_keypair(128, rng=rng)
+        with pytest.raises(ValueError):
+            _ = Rsa.encrypt(rsa_128.public_key, 2) * \
+                Rsa.encrypt(other.public_key, 2)

@@ -1,0 +1,102 @@
+"""Tests for the symmetric-HE related-work module and its breaks."""
+
+import pytest
+
+from repro.crypto.symmetric_he import (
+    AffineScheme,
+    MaskingScheme,
+    affine_known_plaintext_attack,
+    known_plaintext_attack,
+)
+
+
+@pytest.fixture()
+def masking():
+    return MaskingScheme(key=b"shared-secret", num_parties=4, bits=32)
+
+
+class TestMaskingScheme:
+    def test_aggregation_cancels_masks(self, masking):
+        vectors = [[10, 20], [1, 2], [100, 200], [5, 5]]
+        ciphertexts = [masking.encrypt(vector, round_index=0, party=i)
+                       for i, vector in enumerate(vectors)]
+        totals = masking.aggregate_decrypt(ciphertexts, round_index=0)
+        assert totals == [116, 227]
+
+    def test_single_ciphertext_is_masked(self, masking):
+        # One party's ciphertext alone reveals nothing directly.
+        ciphertext = masking.encrypt([42], round_index=0, party=0)
+        assert ciphertext != [42]
+
+    def test_rounds_use_different_masks(self, masking):
+        c0 = masking.encrypt([42], round_index=0, party=0)
+        c1 = masking.encrypt([42], round_index=1, party=0)
+        assert c0 != c1
+
+    def test_out_of_ring_raises(self, masking):
+        with pytest.raises(ValueError):
+            masking.encrypt([1 << 32], round_index=0, party=0)
+
+    def test_missing_party_raises(self, masking):
+        ciphertexts = [masking.encrypt([1], 0, i) for i in range(3)]
+        with pytest.raises(ValueError):
+            masking.aggregate_decrypt(ciphertexts, round_index=0)
+
+    def test_length_mismatch_raises(self, masking):
+        ciphertexts = [masking.encrypt([1], 0, 0),
+                       masking.encrypt([1, 2], 0, 1),
+                       masking.encrypt([1], 0, 2),
+                       masking.encrypt([1], 0, 3)]
+        with pytest.raises(ValueError):
+            masking.aggregate_decrypt(ciphertexts, round_index=0)
+
+
+class TestKnownPlaintextBreak:
+    def test_mask_reuse_is_fatal(self, masking):
+        # Simulate the classic mistake: the same (round, party, index)
+        # mask encrypts gradients in two different "rounds".
+        secret_round = 7
+        known_m, secret_m = 1234, 987654
+        known_c = masking.encrypt([known_m], secret_round, party=2)[0]
+        secret_c = masking.encrypt([secret_m], secret_round, party=2)[0]
+        recovered = known_plaintext_attack(32, known_m, known_c, secret_c)
+        assert recovered == secret_m
+
+    def test_fresh_masks_resist_this_attack(self, masking):
+        known_m, secret_m = 1234, 987654
+        known_c = masking.encrypt([known_m], round_index=0, party=2)[0]
+        secret_c = masking.encrypt([secret_m], round_index=1, party=2)[0]
+        recovered = known_plaintext_attack(32, known_m, known_c, secret_c)
+        assert recovered != secret_m
+
+
+class TestAffineScheme:
+    def test_roundtrip(self):
+        scheme = AffineScheme(a=12345, b=999, n=(1 << 61) - 1)
+        for value in (0, 1, 777777):
+            assert scheme.decrypt(scheme.encrypt(value)) == value
+
+    def test_additive_homomorphism(self):
+        scheme = AffineScheme(a=12345, b=999, n=(1 << 61) - 1)
+        c = scheme.add(scheme.encrypt(100), scheme.encrypt(23))
+        assert scheme.decrypt(c) == 123
+
+    def test_noninvertible_a_raises(self):
+        with pytest.raises(ValueError):
+            AffineScheme(a=10, b=1, n=100)
+
+    def test_two_known_pairs_break_it_completely(self):
+        modulus = (1 << 61) - 1
+        scheme = AffineScheme(a=987654321, b=1122334455, n=modulus)
+        pairs = [(11, scheme.encrypt(11)), (22, scheme.encrypt(22))]
+        a, b = affine_known_plaintext_attack(pairs, modulus)
+        assert (a, b) == (scheme.a, scheme.b)
+        # With the key recovered, every ciphertext falls.
+        target = scheme.encrypt(31337)
+        assert ((target - b) * pow(a, -1, modulus)) % modulus == 31337
+
+    def test_degenerate_pairs_raise(self):
+        with pytest.raises(ValueError):
+            affine_known_plaintext_attack([(5, 1), (5, 2)], 101)
+        with pytest.raises(ValueError):
+            affine_known_plaintext_attack([(5, 1)], 101)

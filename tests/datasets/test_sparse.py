@@ -1,0 +1,111 @@
+"""Tests for the CSR sparse-matrix substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import rcv1_like
+from repro.datasets.sparse import CsrMatrix
+
+
+def random_sparse(rows, cols, density, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(rows, cols))
+    dense[rng.random((rows, cols)) > density] = 0.0
+    return dense
+
+
+class TestConstruction:
+    def test_roundtrip_dense(self):
+        dense = random_sparse(20, 15, 0.2)
+        assert np.array_equal(CsrMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_all_zero(self):
+        sparse = CsrMatrix.from_dense(np.zeros((3, 4)))
+        assert sparse.nnz == 0
+        assert sparse.density == 0.0
+
+    def test_nnz_and_density(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        sparse = CsrMatrix.from_dense(dense)
+        assert sparse.nnz == 2
+        assert sparse.density == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CsrMatrix(data=np.ones(1), indices=np.zeros(1),
+                      indptr=np.array([0, 1]), shape=(2, 2))
+        with pytest.raises(ValueError):
+            CsrMatrix(data=np.ones(1), indices=np.array([5]),
+                      indptr=np.array([0, 1]), shape=(1, 2))
+        with pytest.raises(ValueError):
+            CsrMatrix.from_dense(np.zeros(3))
+
+    def test_matvec_flops(self):
+        sparse = CsrMatrix.from_dense(np.eye(5))
+        assert sparse.matvec_flops() == 10
+
+
+class TestKernels:
+    def test_matvec_matches_dense(self):
+        dense = random_sparse(30, 20, 0.15, seed=1)
+        sparse = CsrMatrix.from_dense(dense)
+        w = np.random.default_rng(2).normal(size=20)
+        assert np.allclose(sparse.matvec(w), dense @ w)
+
+    def test_matvec_with_empty_rows(self):
+        dense = np.array([[0.0, 0.0], [1.0, 2.0], [0.0, 0.0]])
+        sparse = CsrMatrix.from_dense(dense)
+        assert np.allclose(sparse.matvec(np.array([1.0, 1.0])),
+                           [0.0, 3.0, 0.0])
+
+    def test_rmatvec_matches_dense(self):
+        dense = random_sparse(30, 20, 0.15, seed=3)
+        sparse = CsrMatrix.from_dense(dense)
+        r = np.random.default_rng(4).normal(size=30)
+        assert np.allclose(sparse.rmatvec(r), dense.T @ r)
+
+    def test_shape_validation(self):
+        sparse = CsrMatrix.from_dense(np.eye(3))
+        with pytest.raises(ValueError):
+            sparse.matvec(np.zeros(4))
+        with pytest.raises(ValueError):
+            sparse.rmatvec(np.zeros(4))
+
+    def test_take_rows(self):
+        dense = random_sparse(10, 6, 0.3, seed=5)
+        sparse = CsrMatrix.from_dense(dense)
+        subset = sparse.take_rows([7, 0, 3])
+        assert np.array_equal(subset.to_dense(), dense[[7, 0, 3]])
+
+    def test_take_rows_empty(self):
+        sparse = CsrMatrix.from_dense(np.eye(3))
+        subset = sparse.take_rows([])
+        assert subset.shape == (0, 3)
+
+
+class TestWithGenerators:
+    def test_rcv1_like_is_genuinely_sparse(self):
+        dataset = rcv1_like(instances=64, features=128, density=0.05)
+        sparse = CsrMatrix.from_dense(dataset.features)
+        assert sparse.density < 0.1
+        w = np.random.default_rng(6).normal(size=128)
+        assert np.allclose(sparse.matvec(w), dataset.features @ w)
+        # Sparse flops are a small fraction of the dense cost.
+        assert sparse.matvec_flops() < 0.2 * 2 * dataset.features.size
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=1, max_value=12),
+       st.integers(min_value=1, max_value=12),
+       st.integers(min_value=0, max_value=10_000))
+def test_property_matvec_equivalence(rows, cols, seed):
+    dense = random_sparse(rows, cols, 0.3, seed=seed)
+    sparse = CsrMatrix.from_dense(dense)
+    rng = np.random.default_rng(seed + 1)
+    w = rng.normal(size=cols)
+    r = rng.normal(size=rows)
+    assert np.allclose(sparse.matvec(w), dense @ w)
+    assert np.allclose(sparse.rmatvec(r), dense.T @ r)
+    assert np.array_equal(sparse.to_dense(), dense)

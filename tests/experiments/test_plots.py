@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.plots import MARKERS, ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "o" in chart and "x" in chart
+        assert "legend: o a   x b" in chart
+
+    def test_title_and_labels(self):
+        chart = ascii_chart({"s": [(0, 0), (1, 1)]}, title="T",
+                            x_label="epochs", y_label="loss")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "loss"
+        assert any("epochs" in line for line in lines)
+
+    def test_extremes_placed_at_corners(self):
+        chart = ascii_chart({"s": [(0, 0), (10, 5)]}, width=20, height=8)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        # Max y lands in the top plot row, min y in the bottom one.
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_axis_ticks_present(self):
+        chart = ascii_chart({"s": [(1, 2.5), (9, 7.5)]})
+        assert "7.5" in chart and "2.5" in chart
+
+    def test_log_x(self):
+        chart = ascii_chart({"s": [(10, 0), (100, 1), (1000, 2)]},
+                            log_x=True, width=21, height=5)
+        rows = [line.split("|", 1)[1] for line in chart.splitlines()
+                if "|" in line]
+        columns = sorted(row.index("o") for row in rows if "o" in row)
+        # Log spacing: the three points are evenly spread.
+        assert columns[1] - columns[0] == pytest.approx(
+            columns[2] - columns[1], abs=1)
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, 1)]}, log_x=True)
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"s": [(0, 3), (1, 3), (2, 3)]})
+        assert "o" in chart
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": []})
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, 0)]}, width=2, height=2)
+
+    def test_many_series_cycle_markers(self):
+        series = {f"s{i}": [(i, i)] for i in range(len(MARKERS) + 2)}
+        chart = ascii_chart(series)
+        assert "legend" in chart

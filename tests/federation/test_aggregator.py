@@ -1,0 +1,127 @@
+"""Tests for secure aggregation (the Fig. 2 / Fig. 4 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.federation.runtime import (
+    FATE_SYSTEM,
+    FLBOOSTER_SYSTEM,
+    FederationRuntime,
+)
+
+
+@pytest.fixture()
+def flbooster_runtime():
+    return FederationRuntime(FLBOOSTER_SYSTEM, num_clients=4,
+                             key_bits=256, physical_key_bits=256)
+
+
+@pytest.fixture()
+def fate_runtime():
+    return FederationRuntime(FATE_SYSTEM, num_clients=4,
+                             key_bits=256, physical_key_bits=256)
+
+
+class TestAggregate:
+    def test_sum_correct_lossless_path(self, fate_runtime):
+        rng = np.random.default_rng(1)
+        vectors = [rng.uniform(-0.9, 0.9, 50) for _ in range(4)]
+        total = fate_runtime.aggregator.aggregate(vectors)
+        assert np.allclose(total, np.sum(vectors, axis=0), atol=1e-9)
+
+    def test_sum_correct_quantized_path(self, flbooster_runtime):
+        rng = np.random.default_rng(2)
+        vectors = [rng.uniform(-0.9, 0.9, 50) for _ in range(4)]
+        total = flbooster_runtime.aggregator.aggregate(vectors)
+        step = flbooster_runtime.plan.scheme.quantization_step
+        assert np.allclose(total, np.sum(vectors, axis=0), atol=4 * step)
+
+    def test_average(self, fate_runtime):
+        vectors = [np.full(10, 0.1), np.full(10, 0.3),
+                   np.full(10, 0.5), np.full(10, 0.7)]
+        mean = fate_runtime.aggregator.average(vectors)
+        assert np.allclose(mean, 0.4, atol=1e-9)
+
+    def test_empty_raises(self, fate_runtime):
+        with pytest.raises(ValueError):
+            fate_runtime.aggregator.aggregate([])
+
+    def test_length_mismatch_raises(self, fate_runtime):
+        with pytest.raises(ValueError):
+            fate_runtime.aggregator.aggregate([np.zeros(3), np.zeros(4)])
+
+    def test_too_many_clients_raises(self, flbooster_runtime):
+        too_many = flbooster_runtime.plan.packer.max_safe_summands() + 1
+        vectors = [np.zeros(4)] * too_many
+        with pytest.raises(OverflowError):
+            flbooster_runtime.aggregator.aggregate(vectors)
+
+    def test_charges_all_components(self, flbooster_runtime):
+        ledger = flbooster_runtime.begin_epoch()
+        vectors = [np.full(64, 0.1)] * 4
+        flbooster_runtime.aggregator.aggregate(vectors)
+        assert ledger.seconds("he.encrypt") > 0
+        assert ledger.seconds("he.add") > 0
+        assert ledger.seconds("he.decrypt") > 0
+        assert ledger.seconds("comm.upload") > 0
+        assert ledger.seconds("comm.download") > 0
+        assert ledger.seconds("pipeline") > 0
+
+    def test_compression_reduces_ciphertexts(self, fate_runtime,
+                                             flbooster_runtime):
+        vectors = [np.full(64, 0.1)] * 4
+        fate_runtime.begin_epoch()
+        fate_runtime.aggregator.aggregate(vectors)
+        flbooster_runtime.begin_epoch()
+        flbooster_runtime.aggregator.aggregate(vectors)
+        assert flbooster_runtime.channel.stats.ciphertexts * 4 < \
+            fate_runtime.channel.stats.ciphertexts
+
+    def test_uploads_charged_per_client(self, fate_runtime):
+        ledger = fate_runtime.begin_epoch()
+        fate_runtime.aggregator.aggregate([np.zeros(8)] * 4)
+        assert ledger.count("comm.upload") == 4
+        assert ledger.count("comm.download") == 4
+
+
+class TestEncryptDecryptVector:
+    def test_roundtrip(self, flbooster_runtime):
+        aggregator = flbooster_runtime.aggregator
+        values = np.linspace(-0.8, 0.8, 33)
+        ciphertexts = aggregator.encrypt_vector(values)
+        decoded = aggregator.decrypt_vector(ciphertexts, count=33)
+        step = flbooster_runtime.plan.scheme.quantization_step
+        assert np.allclose(decoded, values, atol=step)
+
+    def test_silent_path_not_charged(self, flbooster_runtime):
+        ledger = flbooster_runtime.begin_epoch()
+        aggregator = flbooster_runtime.aggregator
+        aggregator.encrypt_vector(np.zeros(16), charged=False)
+        assert ledger.seconds("he.encrypt") == 0.0
+
+
+class TestCipherPack:
+    def test_roundtrip_through_decryption(self, flbooster_runtime):
+        aggregator = flbooster_runtime.aggregator
+        scheme = aggregator.scheme
+        engine = flbooster_runtime.client_engine
+        values = [scheme.encode(v) for v in (-0.5, 0.0, 0.25, 0.9)]
+        individual = engine.encrypt_batch(values)
+        packed = aggregator.cipher_pack(individual)
+        assert len(packed) < len(individual) or \
+            aggregator.packer.capacity == 1
+        words = engine.decrypt_batch(packed)
+        recovered = aggregator.packer.unpack(words, len(values))
+        assert recovered == values
+
+    def test_capacity_one_is_identity(self, fate_runtime):
+        aggregator = fate_runtime.aggregator
+        ciphertexts = [11, 22, 33]
+        assert aggregator.cipher_pack(ciphertexts) == ciphertexts
+
+    def test_charges_scalar_muls(self, flbooster_runtime):
+        ledger = flbooster_runtime.begin_epoch()
+        engine = flbooster_runtime.client_engine
+        individual = engine.encrypt_batch([1] * 8)
+        flbooster_runtime.aggregator.cipher_pack(individual)
+        assert ledger.count("he.scalar_mul") > 0

@@ -1,0 +1,160 @@
+"""Tests for the byte-counting communication channel."""
+
+import pytest
+
+from repro.federation.channel import Channel, Message
+from repro.gpu.cost_model import HardwareProfile
+from repro.ledger import CostLedger
+
+
+def make_channel(trace=False, **profile_kwargs):
+    profile = HardwareProfile(**profile_kwargs)
+    return Channel(profile=profile, ledger=CostLedger(), trace=trace)
+
+
+class TestSend:
+    def test_returns_payload(self):
+        channel = make_channel()
+        payload = [1, 2, 3]
+        assert channel.send(Message(sender="a", receiver="b", tag="t",
+                                    payload=payload)) is payload
+
+    def test_charges_ledger(self):
+        channel = make_channel()
+        channel.send(Message(sender="a", receiver="b", tag="upload",
+                             payload=None, ciphertext_count=10,
+                             ciphertext_bytes=256))
+        assert channel.ledger.seconds("comm.upload") > 0
+        assert channel.ledger.count("comm.upload") == 1
+
+    def test_wire_bytes_object_bloat(self):
+        channel = make_channel(serialization_bloat_objects=2.0,
+                               serialization_bloat_packed=1.0)
+        channel.send(Message(sender="a", receiver="b", tag="t",
+                             payload=None, ciphertext_count=4,
+                             ciphertext_bytes=100, packed=False))
+        assert channel.stats.wire_bytes == 800
+
+    def test_wire_bytes_packed(self):
+        channel = make_channel(serialization_bloat_objects=2.0,
+                               serialization_bloat_packed=1.0)
+        channel.send(Message(sender="a", receiver="b", tag="t",
+                             payload=None, ciphertext_count=4,
+                             ciphertext_bytes=100, packed=True))
+        assert channel.stats.wire_bytes == 400
+
+    def test_plaintext_bytes_counted(self):
+        channel = make_channel()
+        channel.send(Message(sender="a", receiver="b", tag="t",
+                             payload=None, plaintext_bytes=123))
+        assert channel.stats.wire_bytes == 123
+
+    def test_latency_charged_even_for_empty(self):
+        channel = make_channel(network_latency=0.5)
+        channel.send(Message(sender="a", receiver="b", tag="t",
+                             payload=None))
+        assert channel.ledger.seconds("comm") >= 0.5
+
+    def test_stats_accumulate(self):
+        channel = make_channel()
+        for _ in range(3):
+            channel.send(Message(sender="a", receiver="b", tag="t",
+                                 payload=None, ciphertext_count=2,
+                                 ciphertext_bytes=10))
+        assert channel.stats.messages == 3
+        assert channel.stats.ciphertexts == 6
+
+    def test_trace_keeps_messages(self):
+        channel = make_channel(trace=True)
+        channel.send(Message(sender="a", receiver="b", tag="t",
+                             payload="x"))
+        assert len(channel.log) == 1
+        assert channel.log[0].payload == "x"
+
+    def test_no_trace_by_default(self):
+        channel = make_channel()
+        channel.send(Message(sender="a", receiver="b", tag="t",
+                             payload="x"))
+        assert channel.log == []
+
+    def test_message_ids_monotonic(self):
+        m1 = Message(sender="a", receiver="b", tag="t", payload=None)
+        m2 = Message(sender="a", receiver="b", tag="t", payload=None)
+        assert m2.message_id > m1.message_id
+
+
+class TestBroadcast:
+    def test_charges_per_receiver(self):
+        channel = make_channel()
+        channel.broadcast(Message(sender="server", receiver="*", tag="down",
+                                  payload=None, ciphertext_count=1,
+                                  ciphertext_bytes=100),
+                          receivers=["c1", "c2", "c3"])
+        assert channel.stats.messages == 3
+        assert channel.ledger.count("comm.down") == 3
+
+
+class TestFailureInjection:
+    def test_no_drops_by_default(self):
+        channel = make_channel()
+        for _ in range(20):
+            channel.send(Message(sender="a", receiver="b", tag="t",
+                                 payload=None, plaintext_bytes=10))
+        assert channel.stats.retransmissions == 0
+
+    def test_drops_charge_retransmissions(self):
+        from repro.federation.channel import Channel
+        from repro.gpu.cost_model import HardwareProfile
+        from repro.ledger import CostLedger
+        channel = Channel(profile=HardwareProfile(), ledger=CostLedger(),
+                          drop_probability=0.5, max_retries=50, seed=3)
+        for _ in range(50):
+            channel.send(Message(sender="a", receiver="b", tag="t",
+                                 payload=None, plaintext_bytes=100))
+        assert channel.stats.retransmissions > 0
+        # Wire bytes include the retransmitted copies.
+        assert channel.stats.wire_bytes > 50 * 100
+
+    def test_exhausted_retries_raise(self):
+        from repro.federation.channel import Channel, ChannelError
+        from repro.gpu.cost_model import HardwareProfile
+        from repro.ledger import CostLedger
+        channel = Channel(profile=HardwareProfile(), ledger=CostLedger(),
+                          drop_probability=0.95, max_retries=1, seed=1)
+        with pytest.raises(ChannelError):
+            for _ in range(100):
+                channel.send(Message(sender="a", receiver="b", tag="t",
+                                     payload=None, plaintext_bytes=1))
+
+    def test_delivery_still_returns_payload(self):
+        from repro.federation.channel import Channel
+        from repro.gpu.cost_model import HardwareProfile
+        from repro.ledger import CostLedger
+        channel = Channel(profile=HardwareProfile(), ledger=CostLedger(),
+                          drop_probability=0.3, max_retries=100, seed=2)
+        payload = {"ok": True}
+        for _ in range(20):
+            assert channel.send(Message(sender="a", receiver="b", tag="t",
+                                        payload=payload)) is payload
+
+    def test_invalid_parameters_raise(self):
+        from repro.federation.channel import Channel
+        with pytest.raises(ValueError):
+            Channel(drop_probability=1.0)
+        with pytest.raises(ValueError):
+            Channel(max_retries=-1)
+
+    def test_training_survives_lossy_channel(self):
+        import numpy as np
+        from repro.federation.channel import Channel
+        from repro.federation.runtime import (FLBOOSTER_SYSTEM,
+                                              FederationRuntime)
+        runtime = FederationRuntime(FLBOOSTER_SYSTEM, num_clients=4,
+                                    key_bits=256, physical_key_bits=256)
+        lossy = Channel(profile=runtime.profile, ledger=runtime.ledger,
+                        drop_probability=0.2, max_retries=50, seed=4)
+        runtime.channel = lossy
+        runtime.aggregator.channel = lossy
+        result = runtime.aggregator.aggregate([np.full(8, 0.1)] * 4)
+        assert np.all(np.isfinite(result))
+        assert lossy.stats.retransmissions >= 0

@@ -1,0 +1,94 @@
+"""Tests for the cost ledger."""
+
+import pytest
+
+from repro.ledger import (
+    COMPONENT_COMM,
+    COMPONENT_HE,
+    COMPONENT_OTHERS,
+    CostLedger,
+)
+
+
+class TestCharging:
+    def test_accumulates(self):
+        ledger = CostLedger()
+        ledger.charge("he.encrypt", 1.0, count=10)
+        ledger.charge("he.encrypt", 2.0, count=5)
+        assert ledger.seconds("he.encrypt") == 3.0
+        assert ledger.count("he.encrypt") == 15
+
+    def test_prefix_matching(self):
+        ledger = CostLedger()
+        ledger.charge("he.encrypt", 1.0)
+        ledger.charge("he.decrypt", 2.0)
+        ledger.charge("comm.upload", 4.0)
+        assert ledger.seconds("he") == 3.0
+        assert ledger.seconds("") == 7.0
+        assert ledger.total_seconds == 7.0
+
+    def test_negative_seconds_raise(self):
+        with pytest.raises(ValueError):
+            CostLedger().charge("x", -1.0)
+
+    def test_payload_bytes(self):
+        ledger = CostLedger()
+        ledger.charge("comm.up", 0.1, payload_bytes=100)
+        ledger.charge("comm.down", 0.1, payload_bytes=50)
+        assert ledger.payload_bytes("comm") == 150
+
+
+class TestComponents:
+    def test_three_way_split(self):
+        ledger = CostLedger()
+        ledger.charge("he.encrypt", 5.0)
+        ledger.charge("comm.upload", 3.0)
+        ledger.charge("model.compute", 2.0)
+        groups = ledger.by_component()
+        assert groups[COMPONENT_HE] == 5.0
+        assert groups[COMPONENT_COMM] == 3.0
+        assert groups[COMPONENT_OTHERS] == 2.0
+
+    def test_percentages_sum_to_100(self):
+        ledger = CostLedger()
+        ledger.charge("he.x", 1.0)
+        ledger.charge("comm.y", 1.0)
+        ledger.charge("pipeline.z", 2.0)
+        assert sum(ledger.component_percentages().values()) == \
+            pytest.approx(100.0)
+
+    def test_empty_percentages_zero(self):
+        assert all(v == 0.0
+                   for v in CostLedger().component_percentages().values())
+
+
+class TestLifecycle:
+    def test_merge(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge("he.x", 1.0, count=1)
+        b.charge("he.x", 2.0, count=2)
+        b.charge("comm.y", 1.0)
+        a.merge(b)
+        assert a.seconds("he.x") == 3.0
+        assert a.count("he.x") == 3
+        assert a.seconds("comm.y") == 1.0
+
+    def test_reset(self):
+        ledger = CostLedger()
+        ledger.charge("he.x", 1.0)
+        ledger.reset()
+        assert ledger.total_seconds == 0.0
+        assert len(ledger) == 0
+
+    def test_snapshot_immutable_view(self):
+        ledger = CostLedger()
+        ledger.charge("he.x", 1.0, count=2, payload_bytes=3)
+        snap = ledger.snapshot()
+        assert snap["he.x"] == (1.0, 2, 3)
+
+    def test_iteration_sorted(self):
+        ledger = CostLedger()
+        ledger.charge("z.last", 1.0)
+        ledger.charge("a.first", 1.0)
+        names = [category for category, _entry in ledger]
+        assert names == sorted(names)

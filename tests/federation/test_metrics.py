@@ -1,0 +1,76 @@
+"""Tests for epoch reports and compute charging."""
+
+import pytest
+
+from repro.federation.metrics import (
+    EpochReport,
+    charge_model_compute,
+    charge_pipeline_stage,
+    flop_seconds,
+)
+from repro.ledger import CostLedger
+
+
+class TestFlopCharging:
+    def test_flop_seconds_linear(self):
+        assert flop_seconds(5e9) == pytest.approx(1.0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            flop_seconds(-1)
+
+    def test_charge_model_compute_goes_to_others(self):
+        ledger = CostLedger()
+        charge_model_compute(ledger, 1e9, tag="model.test")
+        assert ledger.by_component()["Others"] > 0
+        assert ledger.by_component()["HE operations"] == 0
+
+    def test_charge_pipeline_stage(self):
+        ledger = CostLedger()
+        charge_pipeline_stage(ledger, 100, tag="pipeline.encode_pack")
+        assert ledger.count("pipeline.encode_pack") == 100
+        assert ledger.seconds("pipeline") > 0
+
+    def test_pipeline_negative_raises(self):
+        with pytest.raises(ValueError):
+            charge_pipeline_stage(CostLedger(), -1, tag="pipeline.x")
+
+
+class TestEpochReport:
+    def make_ledger(self):
+        ledger = CostLedger()
+        ledger.charge("he.encrypt", 2.0, count=20)
+        ledger.charge("comm.upload", 1.0, count=2, payload_bytes=500)
+        ledger.charge("model.compute", 1.0)
+        return ledger
+
+    def test_from_ledger(self):
+        report = EpochReport.from_ledger(
+            self.make_ledger(), system="FATE", model="Homo LR",
+            dataset="RCV1", key_bits=1024, loss=0.5)
+        assert report.epoch_seconds == 4.0
+        assert report.he_operations == 20
+        assert report.ciphertexts_sent == 2
+        assert report.wire_bytes == 500
+        assert report.loss == 0.5
+
+    def test_component_properties(self):
+        report = EpochReport.from_ledger(
+            self.make_ledger(), system="s", model="m", dataset="d",
+            key_bits=1024)
+        assert report.he_seconds == 2.0
+        assert report.comm_seconds == 1.0
+        assert report.other_seconds == 1.0
+
+    def test_percentages(self):
+        report = EpochReport.from_ledger(
+            self.make_ledger(), system="s", model="m", dataset="d",
+            key_bits=1024)
+        percentages = report.component_percentages()
+        assert percentages["HE operations"] == pytest.approx(50.0)
+        assert sum(percentages.values()) == pytest.approx(100.0)
+
+    def test_empty_report(self):
+        report = EpochReport(system="s", model="m", dataset="d",
+                             key_bits=1024, epoch_seconds=0.0)
+        assert report.component_percentages() == {}

@@ -1,0 +1,89 @@
+"""Tests for the role-based orchestration layer."""
+
+import numpy as np
+import pytest
+
+from repro.federation.parties import (
+    AggregatorParty,
+    ClientParty,
+    Mailbox,
+    SecureAveragingJob,
+)
+from repro.federation.runtime import (
+    FATE_SYSTEM,
+    FLBOOSTER_SYSTEM,
+    FederationRuntime,
+)
+
+
+def make_runtime(config=FLBOOSTER_SYSTEM):
+    return FederationRuntime(config, num_clients=4, key_bits=256,
+                             physical_key_bits=256)
+
+
+class TestMailbox:
+    def test_fifo_per_tag(self):
+        mailbox = Mailbox()
+        mailbox.deliver("a", 1)
+        mailbox.deliver("a", 2)
+        mailbox.deliver("b", 3)
+        assert mailbox.collect("a") == 1
+        assert mailbox.collect("a") == 2
+        assert mailbox.collect("b") == 3
+
+    def test_missing_tag_raises(self):
+        with pytest.raises(LookupError):
+            Mailbox().collect("nothing")
+
+    def test_pending(self):
+        mailbox = Mailbox()
+        assert mailbox.pending("x") == 0
+        mailbox.deliver("x", None)
+        assert mailbox.pending("x") == 1
+
+
+class TestSecureAveragingJob:
+    def test_matches_library_aggregator(self):
+        rng = np.random.default_rng(0)
+        vectors = [rng.uniform(-0.8, 0.8, 40) for _ in range(4)]
+
+        job_runtime = make_runtime()
+        job_mean = SecureAveragingJob(job_runtime, vectors).run()
+
+        lib_runtime = make_runtime()
+        lib_mean = lib_runtime.aggregator.average(vectors)
+        assert np.allclose(job_mean, lib_mean, atol=1e-12)
+
+    def test_lossless_under_fate(self):
+        vectors = [np.full(8, 0.25)] * 4
+        mean = SecureAveragingJob(make_runtime(FATE_SYSTEM), vectors).run()
+        assert np.allclose(mean, 0.25, atol=1e-10)
+
+    def test_charges_uploads_and_broadcasts(self):
+        runtime = make_runtime()
+        ledger = runtime.begin_epoch()
+        SecureAveragingJob(runtime, [np.zeros(16)] * 4).run()
+        assert ledger.count("comm.update") == 4
+        assert ledger.count("comm.aggregate") == 4
+        assert ledger.seconds("he.add") > 0
+
+    def test_empty_clients_raise(self):
+        with pytest.raises(ValueError):
+            SecureAveragingJob(make_runtime(), [])
+
+    def test_server_requires_all_updates(self):
+        runtime = make_runtime()
+        server = AggregatorParty("arbiter", runtime)
+        client = ClientParty("c0", runtime, np.zeros(4), charged=True)
+        client.upload_update(server)
+        with pytest.raises(LookupError):
+            server.aggregate_updates(num_clients=2)
+
+    def test_plaintext_message_accounting(self):
+        runtime = make_runtime()
+        ledger = runtime.begin_epoch()
+        a = ClientParty("a", runtime, np.zeros(1), charged=True)
+        b = ClientParty("b", runtime, np.zeros(1), charged=False)
+        a.send(b, tag="hello", payload={"x": 1}, plaintext_bytes=100)
+        assert b.mailbox.collect("hello") == {"x": 1}
+        assert ledger.payload_bytes("comm.hello") == 100

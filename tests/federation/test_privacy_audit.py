@@ -1,0 +1,93 @@
+"""Tests for the channel privacy auditor."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_like
+from repro.federation.channel import Channel, Message
+from repro.federation.privacy_audit import (
+    assert_vertical_privacy,
+    audit_channel,
+)
+from repro.federation.runtime import FLBOOSTER_SYSTEM, FederationRuntime
+from repro.ledger import CostLedger
+from repro.models import (
+    HeteroLogisticRegression,
+    HeteroNeuralNetwork,
+    HeteroSecureBoost,
+)
+
+
+def traced_runtime():
+    runtime = FederationRuntime(FLBOOSTER_SYSTEM, num_clients=4,
+                                key_bits=256, physical_key_bits=256)
+    runtime.channel.trace = True
+    return runtime
+
+
+class TestAuditMechanics:
+    def test_untraced_channel_rejected(self):
+        with pytest.raises(ValueError):
+            audit_channel(Channel(ledger=CostLedger()))
+
+    def test_classifies_by_receiver(self):
+        channel = Channel(ledger=CostLedger(), trace=True)
+        channel.send(Message(sender="a", receiver="b", tag="enc",
+                             payload=None, ciphertext_count=3,
+                             ciphertext_bytes=64))
+        channel.send(Message(sender="a", receiver="c", tag="plain",
+                             payload=None, plaintext_bytes=10))
+        report = audit_channel(channel)
+        assert report.total_messages == 2
+        assert report.exposures["b"].ciphertexts_received == 3
+        assert report.exposures["c"].plaintext_tags == {"plain"}
+        assert report.received_only_ciphertexts("b", set())
+        assert not report.received_only_ciphertexts("c", set())
+
+    def test_summary_lines(self):
+        channel = Channel(ledger=CostLedger(), trace=True)
+        channel.send(Message(sender="a", receiver="b", tag="t",
+                             payload=None, ciphertext_count=1,
+                             ciphertext_bytes=8))
+        lines = audit_channel(channel).summary_lines()
+        assert any("b:" in line for line in lines)
+
+
+class TestProtocolPrivacy:
+    def test_hetero_lr_hosts_see_only_ciphertexts(self):
+        dataset = synthetic_like(instances=96, features=16, seed=7)
+        model = HeteroLogisticRegression(dataset, batch_size=48, seed=0)
+        runtime = traced_runtime()
+        model.run_epoch(runtime)
+        report = audit_channel(runtime.channel)
+        assert_vertical_privacy(report, host_names=["host-0"])
+        # The wire never carries raw labels anywhere.
+        for receiver in report.exposures:
+            assert report.received_only_ciphertexts(
+                receiver, allowed_plaintext_tags={"sbt.split_info"})
+
+    def test_hetero_nn_hosts_see_only_ciphertexts(self):
+        dataset = synthetic_like(instances=96, features=16, seed=7)
+        model = HeteroNeuralNetwork(dataset, batch_size=48, seed=0)
+        runtime = traced_runtime()
+        model.run_epoch(runtime)
+        assert_vertical_privacy(audit_channel(runtime.channel),
+                                host_names=["host"])
+
+    def test_sbt_host_plaintext_limited_to_split_info(self):
+        dataset = synthetic_like(instances=96, features=16, seed=7)
+        model = HeteroSecureBoost(dataset, max_depth=2, seed=0)
+        runtime = traced_runtime()
+        model.run_epoch(runtime)
+        report = audit_channel(runtime.channel)
+        assert_vertical_privacy(report, host_names=["host"])
+        assert report.plaintext_received_by("host") <= {"sbt.split_info"}
+
+    def test_assert_raises_on_injected_leak(self):
+        channel = Channel(ledger=CostLedger(), trace=True)
+        channel.send(Message(sender="guest", receiver="host",
+                             tag="labels.raw", payload=np.ones(4),
+                             plaintext_bytes=32))
+        report = audit_channel(channel)
+        with pytest.raises(AssertionError):
+            assert_vertical_privacy(report, host_names=["host"])

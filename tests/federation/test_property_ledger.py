@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the cost ledger."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger import CostLedger
+
+categories = st.sampled_from(
+    ["he.encrypt", "he.decrypt", "he.add", "comm.upload", "comm.download",
+     "model.compute", "pipeline.encode_pack"])
+charges = st.lists(
+    st.tuples(categories,
+              st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+              st.integers(min_value=0, max_value=10_000),
+              st.integers(min_value=0, max_value=1 << 30)),
+    max_size=40)
+
+
+def apply(ledger: CostLedger, items) -> None:
+    for category, seconds, count, payload in items:
+        ledger.charge(category, seconds, count=count, payload_bytes=payload)
+
+
+@given(charges)
+def test_total_equals_sum_of_components(items):
+    ledger = CostLedger()
+    apply(ledger, items)
+    assert abs(sum(ledger.by_component().values())
+               - ledger.total_seconds) < 1e-6
+
+
+@given(charges)
+def test_percentages_sum_to_100_or_0(items):
+    ledger = CostLedger()
+    apply(ledger, items)
+    total = sum(ledger.component_percentages().values())
+    assert abs(total - 100.0) < 1e-6 or total == 0.0
+
+
+@settings(max_examples=50)
+@given(charges, charges)
+def test_merge_is_additive(items_a, items_b):
+    separate_a, separate_b = CostLedger(), CostLedger()
+    apply(separate_a, items_a)
+    apply(separate_b, items_b)
+    merged = CostLedger()
+    apply(merged, items_a)
+    apply(merged, items_b)
+    separate_a.merge(separate_b)
+    assert abs(separate_a.total_seconds - merged.total_seconds) < 1e-6
+    assert separate_a.count("") == merged.count("")
+    assert separate_a.payload_bytes("") == merged.payload_bytes("")
+
+
+@settings(max_examples=50)
+@given(charges, charges)
+def test_merge_commutes_on_totals(items_a, items_b):
+    ab, ba = CostLedger(), CostLedger()
+    apply(ab, items_a)
+    other = CostLedger()
+    apply(other, items_b)
+    ab.merge(other)
+
+    apply(ba, items_b)
+    other2 = CostLedger()
+    apply(other2, items_a)
+    ba.merge(other2)
+    assert abs(ab.total_seconds - ba.total_seconds) < 1e-6
+    assert ab.snapshot().keys() == ba.snapshot().keys()
+
+
+@given(charges)
+def test_prefix_totals_partition(items):
+    ledger = CostLedger()
+    apply(ledger, items)
+    he = ledger.seconds("he")
+    comm = ledger.seconds("comm")
+    rest = ledger.seconds("model") + ledger.seconds("pipeline")
+    assert abs((he + comm + rest) - ledger.total_seconds) < 1e-6
+
+
+@given(charges)
+def test_reset_clears_everything(items):
+    ledger = CostLedger()
+    apply(ledger, items)
+    ledger.reset()
+    assert ledger.total_seconds == 0.0
+    assert ledger.count("") == 0
+    assert len(ledger) == 0

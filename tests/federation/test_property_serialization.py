@@ -1,0 +1,58 @@
+"""Property-based tests for the wire formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation.serialization import (
+    deserialize_objects,
+    deserialize_packed,
+    serialize_objects,
+    serialize_packed,
+)
+
+widths = st.sampled_from([64, 128, 256, 512, 1024])
+
+
+@st.composite
+def batches(draw):
+    width = draw(widths)
+    values = draw(st.lists(
+        st.integers(min_value=0, max_value=(1 << (8 * width)) - 1),
+        max_size=20))
+    return width, values
+
+
+@settings(max_examples=50)
+@given(batches())
+def test_packed_roundtrip(batch):
+    width, values = batch
+    assert deserialize_packed(serialize_packed(values, width)) == values
+
+
+@settings(max_examples=50)
+@given(batches(), st.integers(min_value=-1000, max_value=1000))
+def test_objects_roundtrip(batch, exponent):
+    width, values = batch
+    blob = serialize_objects(values, width, exponent=exponent)
+    decoded = deserialize_objects(blob, width)
+    assert [value for value, _ in decoded] == values
+    assert all(e == exponent for _, e in decoded)
+
+
+@settings(max_examples=50)
+@given(batches())
+def test_packed_size_is_affine_in_count(batch):
+    width, values = batch
+    blob = serialize_packed(values, width)
+    assert len(blob) == 12 + len(values) * width
+
+
+@settings(max_examples=30)
+@given(batches())
+def test_object_format_strictly_larger(batch):
+    width, values = batch
+    if not values:
+        return
+    packed = serialize_packed(values, width)
+    objects = serialize_objects(values, width)
+    assert len(objects) > len(packed)

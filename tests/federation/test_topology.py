@@ -1,0 +1,71 @@
+"""Tests for the cluster topology model."""
+
+import pytest
+
+from repro.federation.topology import PAPER_TOPOLOGY, ClusterTopology
+
+
+class TestConstruction:
+    def test_paper_topology(self):
+        assert PAPER_TOPOLOGY.servers == 4
+        assert PAPER_TOPOLOGY.partitions == 64
+        assert PAPER_TOPOLOGY.partitions_per_server == 16
+
+    def test_uneven_partitions_round_up(self):
+        topology = ClusterTopology(servers=4, partitions=65)
+        assert topology.partitions_per_server == 17
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(servers=0, partitions=4)
+        with pytest.raises(ValueError):
+            ClusterTopology(servers=8, partitions=4)
+
+
+class TestTiming:
+    def test_compute_parallelizes_across_servers(self):
+        topology = ClusterTopology(servers=4, partitions=64)
+        assert topology.compute_seconds(1.0) == 16.0
+
+    def test_transfers_serialize_fully(self):
+        topology = ClusterTopology(servers=4, partitions=64)
+        assert topology.transfer_seconds(1.0) == 64.0
+
+    def test_epoch_combinator(self):
+        topology = ClusterTopology(servers=4, partitions=64)
+        assert topology.epoch_seconds(1.0, 2.0, 0.5) == \
+            16.0 + 128.0 + 8.0
+
+    def test_single_server_degenerate(self):
+        topology = ClusterTopology(servers=1, partitions=8)
+        assert topology.compute_seconds(1.0) == 8.0
+        assert topology.transfer_seconds(1.0) == 8.0
+
+    def test_more_servers_help_compute_not_comm(self):
+        small = ClusterTopology(servers=2, partitions=64)
+        large = ClusterTopology(servers=8, partitions=64)
+        assert large.compute_seconds(1.0) < small.compute_seconds(1.0)
+        assert large.transfer_seconds(1.0) == small.transfer_seconds(1.0)
+
+    def test_speedup_over_single_server(self):
+        assert ClusterTopology(servers=4, partitions=64) \
+            .speedup_over_single_server() == pytest.approx(4.0)
+
+    def test_negative_seconds_raise(self):
+        with pytest.raises(ValueError):
+            PAPER_TOPOLOGY.compute_seconds(-1.0)
+        with pytest.raises(ValueError):
+            PAPER_TOPOLOGY.transfer_seconds(-1.0)
+
+    def test_comm_dominance_grows_with_servers(self):
+        # The mechanism behind the paper's bottleneck: adding servers
+        # parallelizes compute but not the shared aggregation link, so
+        # the epoch shifts toward communication -- which is why the
+        # paper pairs GPU acceleration *with* compression.
+        def comm_share(servers):
+            topology = ClusterTopology(servers=servers, partitions=64)
+            he = topology.compute_seconds(1.0)
+            comm = topology.transfer_seconds(1.0)
+            return comm / (he + comm)
+
+        assert comm_share(16) > comm_share(2)

@@ -1,0 +1,70 @@
+"""Tests for the device profiler."""
+
+import pytest
+
+from repro.gpu.device import KernelLaunch, SimulatedGpu
+from repro.gpu.kernels import GpuKernels
+from repro.gpu.profiler import profile_device
+
+
+def launch(name, seconds, tasks=10, utilization=0.8):
+    return KernelLaunch(name=name, tasks=tasks, threads_per_task=32,
+                        word_multiplications=100, bytes_in=50,
+                        bytes_out=50, sm_utilization=utilization,
+                        seconds=seconds)
+
+
+class TestProfile:
+    def test_aggregates_by_kernel(self):
+        device = SimulatedGpu()
+        device.record_launch(launch("mod_pow", 2.0))
+        device.record_launch(launch("mod_pow", 3.0))
+        device.record_launch(launch("mod_mul", 1.0))
+        profile = profile_device(device)
+        assert profile.total_launches == 3
+        assert profile.total_seconds == 6.0
+        assert profile.kernels["mod_pow"].launches == 2
+        assert profile.kernels["mod_pow"].seconds == 5.0
+        assert profile.kernels["mod_pow"].tasks == 20
+
+    def test_busiest_and_share(self):
+        device = SimulatedGpu()
+        device.record_launch(launch("mod_pow", 9.0))
+        device.record_launch(launch("mod_mul", 1.0))
+        profile = profile_device(device)
+        assert profile.busiest_kernel() == "mod_pow"
+        assert profile.time_share("mod_pow") == pytest.approx(0.9)
+        assert profile.time_share("nonexistent") == 0.0
+
+    def test_weighted_utilization(self):
+        device = SimulatedGpu()
+        device.record_launch(launch("k", 1.0, utilization=0.2))
+        device.record_launch(launch("k", 3.0, utilization=0.6))
+        profile = profile_device(device)
+        assert profile.kernels["k"].mean_utilization == \
+            pytest.approx((0.2 + 1.8) / 4.0)
+
+    def test_empty_device(self):
+        profile = profile_device(SimulatedGpu())
+        assert profile.total_launches == 0
+        with pytest.raises(ValueError):
+            profile.busiest_kernel()
+
+    def test_table_rows_sorted_by_time(self):
+        device = SimulatedGpu()
+        device.record_launch(launch("small", 1.0))
+        device.record_launch(launch("big", 5.0))
+        rows = profile_device(device).table_rows()
+        assert rows[0][0] == "big"
+
+    def test_real_workload_profile(self):
+        kernels = GpuKernels()
+        n = (1 << 255) | 5
+        batch = 2048     # compute-dominated launches
+        kernels.mod_pow_scalar_exponent([3] * batch, 1 << 2000, n)
+        kernels.mod_mul([3] * batch, [5] * batch, n)
+        profile = profile_device(kernels.device)
+        # Exponentiation dominates a mixed workload.
+        assert profile.busiest_kernel() == "mod_pow"
+        assert profile.time_share("mod_pow") > 0.9
+        assert profile.kernels["mod_mul"].seconds_per_task > 0

@@ -1,0 +1,65 @@
+"""Cross-engine interoperability: CPU and GPU paths share one keyspace.
+
+A ciphertext produced on either execution path must decrypt on the
+other, and mixed-path homomorphic arithmetic must stay correct -- the
+property that lets a FATE client talk to a FLBooster server mid-rollout.
+"""
+
+import pytest
+
+from repro.crypto.cpu_engine import CpuPaillierEngine
+from repro.crypto.gpu_engine import GpuPaillierEngine
+from repro.gpu.kernels import GpuKernels
+from repro.gpu.resource_manager import ResourceManager
+from repro.mpint.primes import LimbRandom
+
+
+@pytest.fixture()
+def engine_pair(paillier_256):
+    cpu = CpuPaillierEngine(paillier_256, nominal_bits=1024,
+                            rng=LimbRandom(seed=61))
+    gpu = GpuPaillierEngine(
+        paillier_256,
+        kernels=GpuKernels(resource_manager=ResourceManager(managed=True)),
+        nominal_bits=1024, rng=LimbRandom(seed=62))
+    return cpu, gpu
+
+
+class TestInteroperability:
+    def test_gpu_encrypts_cpu_decrypts(self, engine_pair):
+        cpu, gpu = engine_pair
+        values = [0, 7, 123456, 2 ** 40]
+        assert cpu.decrypt_batch(gpu.encrypt_batch(values)) == values
+
+    def test_cpu_encrypts_gpu_decrypts(self, engine_pair):
+        cpu, gpu = engine_pair
+        values = [1, 99, 2 ** 50 + 3]
+        assert gpu.decrypt_batch(cpu.encrypt_batch(values)) == values
+
+    def test_mixed_homomorphic_addition(self, engine_pair):
+        cpu, gpu = engine_pair
+        c_cpu = cpu.encrypt_batch([100, 200])
+        c_gpu = gpu.encrypt_batch([11, 22])
+        # Server-side addition on either engine.
+        via_cpu = cpu.add_batch(c_cpu, c_gpu)
+        via_gpu = gpu.add_batch(c_cpu, c_gpu)
+        assert cpu.decrypt_batch(via_cpu) == [111, 222]
+        assert gpu.decrypt_batch(via_gpu) == [111, 222]
+
+    def test_mixed_scalar_mul(self, engine_pair):
+        cpu, gpu = engine_pair
+        c = cpu.encrypt_batch([9])
+        scaled = gpu.scalar_mul_batch(c, [5])
+        assert cpu.decrypt_batch(scaled) == [45]
+
+    def test_sum_across_engines(self, engine_pair):
+        cpu, gpu = engine_pair
+        ciphertexts = cpu.encrypt_batch([1, 2]) + gpu.encrypt_batch([3, 4])
+        total = gpu.sum_ciphertexts(ciphertexts)
+        assert cpu.decrypt_batch([total]) == [10]
+
+    def test_charging_stays_separate(self, engine_pair):
+        cpu, gpu = engine_pair
+        gpu.encrypt_batch([1, 2, 3])
+        assert cpu.ledger.total_seconds == 0.0
+        assert gpu.ledger.total_seconds > 0.0

@@ -1,0 +1,146 @@
+"""Tests for evaluation metrics and model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_like
+from repro.federation.runtime import FLBOOSTER_SYSTEM, FederationRuntime
+from repro.models import (
+    HeteroLogisticRegression,
+    HeteroNeuralNetwork,
+    HeteroSecureBoost,
+    HomoLogisticRegression,
+)
+from repro.models.evaluation import (
+    binary_accuracy,
+    load_model_state,
+    roc_auc,
+    save_model_state,
+)
+
+
+class TestBinaryAccuracy:
+    def test_perfect(self):
+        assert binary_accuracy(np.array([1.0, -1.0]),
+                               np.array([1.0, 0.0])) == 1.0
+
+    def test_inverted(self):
+        assert binary_accuracy(np.array([-1.0, 1.0]),
+                               np.array([1.0, 0.0])) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            binary_accuracy(np.zeros(2), np.zeros(3))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        assert roc_auc(scores, labels) == 1.0
+
+    def test_perfectly_wrong(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        assert roc_auc(scores, labels) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=2000)
+        labels = (rng.random(2000) > 0.5).astype(float)
+        assert 0.45 < roc_auc(scores, labels) < 0.55
+
+    def test_ties_average(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([0.0, 1.0, 0.0, 1.0])
+        assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=60)
+        labels = (rng.random(60) > 0.4).astype(float)
+        positives = scores[labels == 1.0]
+        negatives = scores[labels == 0.0]
+        pairwise = np.mean(
+            (positives[:, None] > negatives[None, :]).astype(float)
+            + 0.5 * (positives[:, None] == negatives[None, :]))
+        assert roc_auc(scores, labels) == pytest.approx(float(pairwise))
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.2]), np.array([1.0, 1.0]))
+
+    def test_invariant_under_monotone_transform(self):
+        rng = np.random.default_rng(2)
+        scores = rng.normal(size=100)
+        labels = (rng.random(100) > 0.5).astype(float)
+        assert roc_auc(scores, labels) == \
+            pytest.approx(roc_auc(np.exp(scores), labels))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_like(instances=128, features=16, seed=6)
+
+
+def trained(model_cls, dataset, **kwargs):
+    model = model_cls(dataset, seed=1, **kwargs)
+    runtime = FederationRuntime(FLBOOSTER_SYSTEM, num_clients=4,
+                                key_bits=256, physical_key_bits=256)
+    model.train(runtime, max_epochs=2)
+    return model
+
+
+class TestPersistence:
+    def test_homo_lr_roundtrip(self, dataset, tmp_path):
+        model = trained(HomoLogisticRegression, dataset, num_clients=4)
+        path = tmp_path / "homo.json"
+        save_model_state(model, path)
+        fresh = HomoLogisticRegression(dataset, num_clients=4, seed=1)
+        load_model_state(fresh, path)
+        assert np.array_equal(fresh.weights, model.weights)
+        assert fresh.loss() == pytest.approx(model.loss())
+
+    def test_hetero_lr_roundtrip(self, dataset, tmp_path):
+        model = trained(HeteroLogisticRegression, dataset)
+        path = tmp_path / "hetero.json"
+        save_model_state(model, path)
+        fresh = HeteroLogisticRegression(dataset, seed=1)
+        load_model_state(fresh, path)
+        assert np.allclose(fresh.forward(), model.forward())
+
+    def test_hetero_nn_roundtrip(self, dataset, tmp_path):
+        model = trained(HeteroNeuralNetwork, dataset, batch_size=64)
+        path = tmp_path / "nn.json"
+        save_model_state(model, path)
+        fresh = HeteroNeuralNetwork(dataset, batch_size=64, seed=1)
+        load_model_state(fresh, path)
+        assert np.allclose(fresh.forward(), model.forward())
+
+    def test_sbt_scores_roundtrip(self, dataset, tmp_path):
+        model = trained(HeteroSecureBoost, dataset, max_depth=2)
+        path = tmp_path / "sbt.json"
+        save_model_state(model, path)
+        fresh = HeteroSecureBoost(dataset, max_depth=2, seed=1)
+        load_model_state(fresh, path)
+        assert np.allclose(fresh.scores, model.scores)
+        assert fresh.loss() == pytest.approx(model.loss())
+
+    def test_wrong_model_rejected(self, dataset, tmp_path):
+        model = trained(HomoLogisticRegression, dataset, num_clients=4)
+        path = tmp_path / "state.json"
+        save_model_state(model, path)
+        other = HeteroLogisticRegression(dataset, seed=1)
+        with pytest.raises(ValueError):
+            load_model_state(other, path)
+
+    def test_auc_improves_with_training(self, dataset):
+        model = HomoLogisticRegression(dataset, num_clients=4, seed=1)
+        before = roc_auc(dataset.features @ model.weights + 1e-9
+                         * np.arange(dataset.num_instances),
+                         dataset.labels)
+        runtime = FederationRuntime(FLBOOSTER_SYSTEM, num_clients=4,
+                                    key_bits=256, physical_key_bits=256)
+        model.train(runtime, max_epochs=5)
+        after = roc_auc(dataset.features @ model.weights, dataset.labels)
+        assert after > max(before, 0.6)

@@ -1,0 +1,80 @@
+"""Tests for the SGD / Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.models.optim import AdamOptimizer, SgdOptimizer
+
+
+def quadratic_gradient(w):
+    return 2.0 * (w - 3.0)      # minimum at w == 3
+
+
+class TestSgd:
+    def test_step_direction(self):
+        optimizer = SgdOptimizer(learning_rate=0.1)
+        w = np.array([0.0])
+        w_next = optimizer.step(w, quadratic_gradient(w))
+        assert w_next[0] > w[0]
+
+    def test_converges_on_quadratic(self):
+        optimizer = SgdOptimizer(learning_rate=0.1)
+        w = np.array([0.0])
+        for _ in range(200):
+            w = optimizer.step(w, quadratic_gradient(w))
+        assert w[0] == pytest.approx(3.0, abs=1e-6)
+
+    def test_does_not_mutate_inputs(self):
+        optimizer = SgdOptimizer(learning_rate=0.1)
+        w = np.array([1.0])
+        gradient = np.array([2.0])
+        optimizer.step(w, gradient)
+        assert w[0] == 1.0 and gradient[0] == 2.0
+
+    def test_momentum_accelerates(self):
+        plain = SgdOptimizer(learning_rate=0.01)
+        momentum = SgdOptimizer(learning_rate=0.01, momentum=0.9)
+        w_plain = w_momentum = np.array([0.0])
+        for _ in range(20):
+            w_plain = plain.step(w_plain, quadratic_gradient(w_plain))
+            w_momentum = momentum.step(w_momentum,
+                                       quadratic_gradient(w_momentum))
+        assert abs(w_momentum[0] - 3.0) < abs(w_plain[0] - 3.0)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            SgdOptimizer(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SgdOptimizer(learning_rate=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        optimizer = AdamOptimizer(learning_rate=0.2)
+        w = np.array([0.0])
+        for _ in range(300):
+            w = optimizer.step(w, quadratic_gradient(w))
+        assert w[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_first_step_magnitude_is_learning_rate(self):
+        # With bias correction the first Adam step is ~lr * sign(grad).
+        optimizer = AdamOptimizer(learning_rate=0.5)
+        w = optimizer.step(np.array([0.0]), np.array([123.0]))
+        assert w[0] == pytest.approx(-0.5, rel=1e-6)
+
+    def test_per_coordinate_scaling(self):
+        optimizer = AdamOptimizer(learning_rate=0.1)
+        w = optimizer.step(np.zeros(2), np.array([100.0, 0.001]))
+        # Both coordinates move ~lr despite wildly different gradients.
+        assert abs(w[0]) == pytest.approx(abs(w[1]), rel=1e-3)
+
+    def test_state_independent_instances(self):
+        a = AdamOptimizer(learning_rate=0.1)
+        b = AdamOptimizer(learning_rate=0.1)
+        a.step(np.zeros(1), np.ones(1))
+        w_b = b.step(np.zeros(1), np.ones(1))
+        assert w_b[0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_invalid_learning_rate_raises(self):
+        with pytest.raises(ValueError):
+            AdamOptimizer(learning_rate=-0.1)

@@ -1,0 +1,145 @@
+"""Tests for Karatsuba, Knuth Algorithm D and Barrett reduction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpint.advanced import (
+    BarrettContext,
+    barrett_mod_mul,
+    barrett_reduce,
+    karatsuba_mul,
+    knuth_divmod,
+)
+from repro.mpint.limbs import from_int, to_int
+
+nonneg = st.integers(min_value=0, max_value=1 << 512)
+positive = st.integers(min_value=1, max_value=1 << 256)
+
+
+class TestKaratsuba:
+    def test_small_values(self):
+        assert to_int(karatsuba_mul([3], [4])) == 12
+
+    def test_crosses_cutoff(self):
+        rng = random.Random(1)
+        a = rng.getrandbits(32 * 40)       # 40 limbs: recursion kicks in
+        b = rng.getrandbits(32 * 40)
+        assert to_int(karatsuba_mul(from_int(a), from_int(b))) == a * b
+
+    def test_asymmetric_operands(self):
+        rng = random.Random(2)
+        a = rng.getrandbits(32 * 50)
+        b = rng.getrandbits(32 * 3)
+        assert to_int(karatsuba_mul(from_int(a), from_int(b))) == a * b
+
+    def test_zero(self):
+        assert to_int(karatsuba_mul(from_int(0), from_int(12345))) == 0
+
+    @settings(max_examples=40)
+    @given(nonneg, nonneg)
+    def test_property_matches_python(self, a, b):
+        assert to_int(karatsuba_mul(from_int(a), from_int(b))) == a * b
+
+
+class TestKnuthDivision:
+    def test_single_limb_divisor(self):
+        q, r = knuth_divmod(from_int(1000003), from_int(7))
+        assert to_int(q) == 1000003 // 7
+        assert to_int(r) == 1000003 % 7
+
+    def test_multi_limb(self):
+        rng = random.Random(3)
+        a = rng.getrandbits(512)
+        b = rng.getrandbits(200) | 1
+        q, r = knuth_divmod(from_int(a), from_int(b))
+        assert to_int(q) == a // b
+        assert to_int(r) == a % b
+
+    def test_dividend_smaller(self):
+        q, r = knuth_divmod(from_int(5), from_int(1 << 100))
+        assert to_int(q) == 0 and to_int(r) == 5
+
+    def test_exact_division(self):
+        b = (1 << 128) + 12345
+        q, r = knuth_divmod(from_int(b * 77), from_int(b))
+        assert to_int(q) == 77 and to_int(r) == 0
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            knuth_divmod(from_int(1), from_int(0))
+
+    def test_addback_branch(self):
+        # Crafted case known to exercise Knuth's rare D6 add-back:
+        # top limbs of u just below q_hat * v.
+        base = 1 << 32
+        u = [0, 0, base - 1, base - 1]
+        v = [base - 1, 0, 1]
+        a = to_int(u)
+        b = to_int(v)
+        q, r = knuth_divmod(u, v)
+        assert to_int(q) == a // b
+        assert to_int(r) == a % b
+
+    @settings(max_examples=60)
+    @given(nonneg, positive)
+    def test_property_invariant(self, a, b):
+        q, r = knuth_divmod(from_int(a), from_int(b))
+        q_value, r_value = to_int(q), to_int(r)
+        assert a == q_value * b + r_value
+        assert 0 <= r_value < b
+
+
+class TestBarrett:
+    def test_reduce_matches_mod(self):
+        rng = random.Random(4)
+        n = rng.getrandbits(256) | (1 << 255)
+        ctx = BarrettContext(n)
+        for _ in range(50):
+            value = rng.randrange(n * n)
+            assert barrett_reduce(value, ctx) == value % n
+
+    def test_mod_mul(self):
+        ctx = BarrettContext(1000003)
+        assert barrett_mod_mul(999999, 999998, ctx) == \
+            (999999 * 999998) % 1000003
+
+    def test_works_for_even_modulus(self):
+        # Unlike Montgomery, Barrett has no odd-modulus restriction.
+        ctx = BarrettContext(1 << 64)
+        assert barrett_reduce(12345678901234567890123, ctx) == \
+            12345678901234567890123 % (1 << 64)
+
+    def test_precondition_violation_raises(self):
+        ctx = BarrettContext(101)
+        with pytest.raises(ValueError):
+            barrett_reduce(101 * 101, ctx)
+        with pytest.raises(ValueError):
+            barrett_reduce(-1, ctx)
+
+    def test_invalid_modulus_raises(self):
+        with pytest.raises(ValueError):
+            BarrettContext(0)
+
+    @settings(max_examples=50)
+    @given(positive, nonneg, nonneg)
+    def test_property_mod_mul(self, n, a, b):
+        ctx = BarrettContext(n)
+        assert barrett_mod_mul(a, b, ctx) == (a * b) % n
+
+    def test_agrees_with_montgomery(self):
+        from repro.mpint.montgomery import (MontgomeryContext,
+                                            montgomery_multiply)
+        rng = random.Random(5)
+        n = rng.getrandbits(192) | (1 << 191) | 1
+        barrett = BarrettContext(n)
+        montgomery = MontgomeryContext(n)
+        for _ in range(20):
+            a, b = rng.randrange(n), rng.randrange(n)
+            via_barrett = barrett_mod_mul(a, b, barrett)
+            mont = montgomery_multiply(montgomery.to_montgomery(a),
+                                       montgomery.to_montgomery(b),
+                                       montgomery)
+            assert via_barrett == montgomery.from_montgomery(mont)

@@ -1,0 +1,130 @@
+"""Tests for limb-level arithmetic against Python's big integers."""
+
+import random
+
+import pytest
+
+from repro.mpint.arith import (
+    limb_add,
+    limb_compare,
+    limb_divmod,
+    limb_mod,
+    limb_mul,
+    limb_sub,
+)
+from repro.mpint.limbs import WORD_MASK, from_int, to_int
+
+
+class TestLimbAdd:
+    def test_simple(self):
+        total, carry = limb_add([1], [2])
+        assert to_int(total) == 3 and carry == 0
+
+    def test_carry_propagation(self):
+        total, carry = limb_add([WORD_MASK], [1])
+        assert total == [0] and carry == 1
+
+    def test_carry_chain_through_all_limbs(self):
+        total, carry = limb_add([WORD_MASK, WORD_MASK], [1])
+        assert total == [0, 0] and carry == 1
+
+    def test_unequal_lengths(self):
+        total, carry = limb_add([1], [0, 1])
+        assert to_int(total) == 1 + (1 << 32) and carry == 0
+
+    def test_randomized_against_python(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            a, b = rng.getrandbits(200), rng.getrandbits(150)
+            total, carry = limb_add(from_int(a), from_int(b))
+            size = max(len(from_int(a)), len(from_int(b)))
+            assert to_int(total) + (carry << (32 * size)) == a + b
+
+
+class TestLimbSub:
+    def test_simple(self):
+        diff, borrow = limb_sub([5], [3])
+        assert to_int(diff) == 2 and borrow == 0
+
+    def test_borrow_wraps(self):
+        diff, borrow = limb_sub([0], [1])
+        assert diff == [WORD_MASK] and borrow == 1
+
+    def test_recover_by_addition(self):
+        # The Sec. IV-A1 overflow-recovery identity: (a - b wrapped) + b == a.
+        a, b = 3, 10
+        diff, borrow = limb_sub(from_int(a), from_int(b))
+        assert borrow == 1
+        recovered, _carry = limb_add(diff, from_int(b))
+        assert to_int(recovered) == a
+
+    def test_randomized_against_python(self):
+        rng = random.Random(2)
+        for _ in range(100):
+            a, b = sorted((rng.getrandbits(180), rng.getrandbits(180)))
+            diff, borrow = limb_sub(from_int(b, size=6), from_int(a, size=6))
+            assert borrow == 0
+            assert to_int(diff) == b - a
+
+
+class TestLimbMul:
+    def test_simple(self):
+        assert to_int(limb_mul([3], [4])) == 12
+
+    def test_result_length(self):
+        product = limb_mul([1, 1], [1, 1, 1])
+        assert len(product) == 5
+
+    def test_zero_operand(self):
+        assert to_int(limb_mul(from_int(0), from_int(12345))) == 0
+
+    def test_randomized_against_python(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            a, b = rng.getrandbits(300), rng.getrandbits(250)
+            assert to_int(limb_mul(from_int(a), from_int(b))) == a * b
+
+
+class TestLimbCompare:
+    def test_equal(self):
+        assert limb_compare([1, 2], [1, 2]) == 0
+
+    def test_less_and_greater(self):
+        assert limb_compare([1], [2]) == -1
+        assert limb_compare([2], [1]) == 1
+
+    def test_high_limb_dominates(self):
+        assert limb_compare([WORD_MASK, 1], [0, 2]) == -1
+
+    def test_padding_irrelevant(self):
+        assert limb_compare([5, 0, 0], [5]) == 0
+
+
+class TestLimbDivmod:
+    def test_simple(self):
+        quotient, remainder = limb_divmod(from_int(17), from_int(5))
+        assert to_int(quotient) == 3 and to_int(remainder) == 2
+
+    def test_divide_by_larger(self):
+        quotient, remainder = limb_divmod(from_int(3), from_int(10))
+        assert to_int(quotient) == 0 and to_int(remainder) == 3
+
+    def test_exact_division(self):
+        quotient, remainder = limb_divmod(from_int(100), from_int(10))
+        assert to_int(quotient) == 10 and to_int(remainder) == 0
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            limb_divmod(from_int(1), from_int(0))
+
+    def test_randomized_against_python(self):
+        rng = random.Random(4)
+        for _ in range(60):
+            a = rng.getrandbits(250)
+            b = rng.getrandbits(120) + 1
+            quotient, remainder = limb_divmod(from_int(a), from_int(b))
+            assert to_int(quotient) == a // b
+            assert to_int(remainder) == a % b
+
+    def test_mod_wrapper(self):
+        assert to_int(limb_mod(from_int(1000), from_int(7))) == 1000 % 7

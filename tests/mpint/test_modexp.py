@@ -1,0 +1,104 @@
+"""Tests for sliding-window modular exponentiation."""
+
+import random
+
+import pytest
+
+from repro.mpint.modexp import (
+    ModExpStats,
+    mod_pow,
+    modexp_multiplication_count,
+    sliding_window_pow,
+)
+from repro.mpint.montgomery import MontgomeryContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    rng = random.Random(21)
+    modulus = rng.getrandbits(192) | (1 << 191) | 1
+    return MontgomeryContext(modulus)
+
+
+class TestSlidingWindow:
+    def test_matches_builtin_pow(self, ctx):
+        rng = random.Random(22)
+        n = ctx.modulus
+        for _ in range(60):
+            base = rng.randrange(n)
+            exponent = rng.getrandbits(rng.randrange(1, 160))
+            assert sliding_window_pow(base, exponent, ctx) == \
+                pow(base, exponent, n)
+
+    def test_exponent_zero(self, ctx):
+        assert sliding_window_pow(12345, 0, ctx) == 1
+
+    def test_exponent_one(self, ctx):
+        assert sliding_window_pow(9, 1, ctx) == 9
+
+    def test_base_zero(self, ctx):
+        assert sliding_window_pow(0, 5, ctx) == 0
+
+    def test_negative_exponent_raises(self, ctx):
+        with pytest.raises(ValueError):
+            sliding_window_pow(2, -1, ctx)
+
+    def test_window_widths_agree(self, ctx):
+        rng = random.Random(23)
+        base = rng.randrange(ctx.modulus)
+        exponent = rng.getrandbits(120)
+        expected = pow(base, exponent, ctx.modulus)
+        for width in (1, 2, 3, 4, 5, 6):
+            assert sliding_window_pow(base, exponent, ctx,
+                                      window_bits=width) == expected
+
+    def test_stats_counted(self, ctx):
+        stats = ModExpStats()
+        sliding_window_pow(7, (1 << 100) - 1, ctx, stats=stats)
+        assert stats.squarings > 0
+        assert stats.multiplications > 0
+        assert stats.total == (stats.squarings + stats.multiplications
+                               + stats.precompute)
+
+    def test_window_reduces_multiplications(self, ctx):
+        exponent = int("1" * 200, 2)  # all-ones: worst case for square&mult
+        narrow = ModExpStats()
+        sliding_window_pow(3, exponent, ctx, window_bits=1, stats=narrow)
+        wide = ModExpStats()
+        sliding_window_pow(3, exponent, ctx, window_bits=5, stats=wide)
+        assert wide.multiplications < narrow.multiplications
+
+
+class TestModPow:
+    def test_odd_modulus(self):
+        assert mod_pow(7, 13, 1001) == pow(7, 13, 1001)
+
+    def test_even_modulus_fallback(self):
+        assert mod_pow(7, 13, 1000) == pow(7, 13, 1000)
+
+    def test_modulus_one(self):
+        assert mod_pow(5, 5, 1) == 0
+
+    def test_nonpositive_modulus_raises(self):
+        with pytest.raises(ValueError):
+            mod_pow(2, 2, 0)
+
+
+class TestMultiplicationCount:
+    def test_log_scaling(self):
+        # Complexity e -> log(e): count grows linearly in exponent bits.
+        assert modexp_multiplication_count(2048) < \
+            2.2 * modexp_multiplication_count(1024)
+
+    def test_zero_bits(self):
+        assert modexp_multiplication_count(0) == 0
+
+    def test_matches_actual_schedule_roughly(self):
+        rng = random.Random(24)
+        modulus = rng.getrandbits(160) | (1 << 159) | 1
+        ctx = MontgomeryContext(modulus)
+        exponent = rng.getrandbits(512) | (1 << 511)
+        stats = ModExpStats()
+        sliding_window_pow(2, exponent, ctx, stats=stats)
+        predicted = modexp_multiplication_count(512)
+        assert 0.7 * predicted < stats.total < 1.3 * predicted

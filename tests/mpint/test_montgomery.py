@@ -1,0 +1,123 @@
+"""Tests for Algorithm 1 / Algorithm 2 Montgomery multiplication."""
+
+import random
+
+import pytest
+
+from repro.mpint.limbs import from_int, to_int
+from repro.mpint.montgomery import (
+    MontgomeryContext,
+    cios_montgomery_multiply,
+    cios_work_estimate,
+    montgomery_multiply,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx_256():
+    rng = random.Random(11)
+    modulus = rng.getrandbits(256) | (1 << 255) | 1
+    return MontgomeryContext(modulus)
+
+
+class TestContext:
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ValueError):
+            MontgomeryContext(100)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MontgomeryContext(0)
+
+    def test_r_exceeds_modulus(self, ctx_256):
+        assert ctx_256.r > ctx_256.modulus
+
+    def test_r_inverse_identity(self, ctx_256):
+        assert (ctx_256.r * ctx_256.r_inverse) % ctx_256.modulus == 1
+
+    def test_n_prime_identity(self, ctx_256):
+        # N * N' == -1 (mod R), the Algorithm 1 precondition.
+        assert (ctx_256.modulus * ctx_256.n_prime) % ctx_256.r == ctx_256.r - 1
+
+    def test_n0_prime_identity(self, ctx_256):
+        word = 1 << ctx_256.word_bits
+        n0 = ctx_256.modulus % word
+        assert (n0 * ctx_256.n0_prime) % word == word - 1
+
+    def test_domain_roundtrip(self, ctx_256):
+        value = 123456789
+        assert ctx_256.from_montgomery(ctx_256.to_montgomery(value)) == value
+
+    def test_one_is_montgomery_identity(self, ctx_256):
+        x = ctx_256.to_montgomery(777)
+        assert montgomery_multiply(x, ctx_256.one(), ctx_256) == x
+
+
+class TestAlgorithm1:
+    def test_matches_definition(self, ctx_256):
+        rng = random.Random(12)
+        n = ctx_256.modulus
+        for _ in range(50):
+            a, b = rng.randrange(n), rng.randrange(n)
+            expected = (a * b * ctx_256.r_inverse) % n
+            assert montgomery_multiply(a, b, ctx_256) == expected
+
+    def test_product_in_domain_is_modmul(self, ctx_256):
+        rng = random.Random(13)
+        n = ctx_256.modulus
+        for _ in range(20):
+            a, b = rng.randrange(n), rng.randrange(n)
+            mont = montgomery_multiply(ctx_256.to_montgomery(a),
+                                       ctx_256.to_montgomery(b), ctx_256)
+            assert ctx_256.from_montgomery(mont) == (a * b) % n
+
+    def test_zero_operand(self, ctx_256):
+        assert montgomery_multiply(0, 12345, ctx_256) == 0
+
+
+class TestAlgorithm2Cios:
+    def test_matches_algorithm1(self, ctx_256):
+        rng = random.Random(14)
+        n = ctx_256.modulus
+        size = ctx_256.num_limbs
+        for _ in range(40):
+            a, b = rng.randrange(n), rng.randrange(n)
+            expected = montgomery_multiply(a, b, ctx_256)
+            got = cios_montgomery_multiply(from_int(a, size=size),
+                                           from_int(b, size=size), ctx_256)
+            assert to_int(got) == expected
+
+    def test_various_modulus_sizes(self):
+        rng = random.Random(15)
+        for bits in (32, 64, 96, 128, 512):
+            n = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+            ctx = MontgomeryContext(n)
+            a, b = rng.randrange(n), rng.randrange(n)
+            expected = (a * b * ctx.r_inverse) % n
+            got = cios_montgomery_multiply(
+                from_int(a, size=ctx.num_limbs),
+                from_int(b, size=ctx.num_limbs), ctx)
+            assert to_int(got) == expected
+
+    def test_result_fits_modulus_limbs(self, ctx_256):
+        got = cios_montgomery_multiply(
+            from_int(ctx_256.modulus - 1, size=ctx_256.num_limbs),
+            from_int(ctx_256.modulus - 1, size=ctx_256.num_limbs), ctx_256)
+        assert len(got) == ctx_256.num_limbs
+        assert to_int(got) < ctx_256.modulus
+
+    def test_short_operands_padded(self, ctx_256):
+        got = cios_montgomery_multiply([3], [5], ctx_256)
+        assert to_int(got) == (15 * ctx_256.r_inverse) % ctx_256.modulus
+
+
+class TestWorkEstimate:
+    def test_quadratic_growth(self):
+        # Doubling the limb count quadruples the dominant term.
+        small = cios_work_estimate(32)
+        large = cios_work_estimate(64)
+        assert 3.5 < large / small < 4.5
+
+    def test_known_value(self):
+        assert cios_work_estimate(1) == 3
+        assert cios_work_estimate(10) == 210

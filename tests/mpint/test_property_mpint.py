@@ -1,0 +1,96 @@
+"""Property-based tests (hypothesis) for the multi-precision substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpint.arith import limb_add, limb_divmod, limb_mul, limb_sub
+from repro.mpint.limbs import from_int, normalize, to_int
+from repro.mpint.modexp import sliding_window_pow
+from repro.mpint.montgomery import (
+    MontgomeryContext,
+    cios_montgomery_multiply,
+    montgomery_multiply,
+)
+
+nonneg = st.integers(min_value=0, max_value=1 << 256)
+positive = st.integers(min_value=1, max_value=1 << 128)
+odd_modulus = st.integers(min_value=3, max_value=1 << 128).map(lambda x: x | 1)
+
+
+@given(nonneg)
+def test_limb_roundtrip(value):
+    assert to_int(from_int(value)) == value
+
+
+@given(nonneg, st.integers(min_value=1, max_value=40))
+def test_padding_preserves_value(value, extra):
+    limbs = from_int(value)
+    assert to_int(limbs + [0] * extra) == value
+
+
+@given(nonneg)
+def test_normalize_canonical_is_identity_value(value):
+    assert to_int(normalize(from_int(value))) == value
+
+
+@given(nonneg, nonneg)
+def test_add_matches_python(a, b):
+    total, carry = limb_add(from_int(a), from_int(b))
+    size = max(len(from_int(a)), len(from_int(b)))
+    assert to_int(total) + (carry << (32 * size)) == a + b
+
+
+@given(nonneg, nonneg)
+def test_sub_then_add_roundtrips(a, b):
+    low, high = sorted((a, b))
+    size = max(len(from_int(high)), 1)
+    diff, borrow = limb_sub(from_int(high, size=size),
+                            from_int(low, size=size))
+    assert borrow == 0
+    total, _ = limb_add(diff, from_int(low, size=size))
+    assert to_int(total) == high
+
+
+@given(nonneg, nonneg)
+def test_mul_matches_python(a, b):
+    assert to_int(limb_mul(from_int(a), from_int(b))) == a * b
+
+
+@settings(max_examples=40)
+@given(nonneg, positive)
+def test_divmod_invariant(a, b):
+    quotient, remainder = limb_divmod(from_int(a), from_int(b))
+    q, r = to_int(quotient), to_int(remainder)
+    assert a == q * b + r
+    assert 0 <= r < b
+
+
+@settings(max_examples=40)
+@given(odd_modulus, nonneg, nonneg)
+def test_montgomery_matches_definition(modulus, a, b):
+    ctx = MontgomeryContext(modulus)
+    a %= modulus
+    b %= modulus
+    assert montgomery_multiply(a, b, ctx) == \
+        (a * b * ctx.r_inverse) % modulus
+
+
+@settings(max_examples=25)
+@given(odd_modulus, nonneg, nonneg)
+def test_cios_matches_algorithm1(modulus, a, b):
+    ctx = MontgomeryContext(modulus)
+    a %= modulus
+    b %= modulus
+    got = cios_montgomery_multiply(from_int(a, size=ctx.num_limbs),
+                                   from_int(b, size=ctx.num_limbs), ctx)
+    assert to_int(got) == montgomery_multiply(a, b, ctx)
+
+
+@settings(max_examples=30)
+@given(odd_modulus, nonneg,
+       st.integers(min_value=0, max_value=1 << 64))
+def test_sliding_window_matches_pow(modulus, base, exponent)\
+        :
+    ctx = MontgomeryContext(modulus)
+    assert sliding_window_pow(base, exponent, ctx) == \
+        pow(base, exponent, modulus)

@@ -1,0 +1,99 @@
+"""Tests for the stream-pipeline scheduler (paper Sec. V)."""
+
+import pytest
+
+from repro.gpu.cost_model import DEFAULT_PROFILE
+from repro.pipeline.scheduler import (
+    StreamBatch,
+    StreamScheduler,
+    he_shaped_batches,
+)
+
+
+class TestStreamBatch:
+    def test_serial_seconds(self):
+        batch = StreamBatch(1.0, 2.0, 3.0)
+        assert batch.serial_seconds == 6.0
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            StreamBatch(-1.0, 0.0, 0.0)
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert StreamScheduler().makespan([]) == 0.0
+
+    def test_single_batch_is_serial(self):
+        batch = StreamBatch(0.1, 1.0, 0.1)
+        assert StreamScheduler(depth=8).makespan([batch]) == \
+            pytest.approx(batch.serial_seconds)
+
+    def test_depth_one_is_fully_serial(self):
+        batches = he_shaped_batches(10)
+        scheduler = StreamScheduler(depth=1)
+        assert scheduler.makespan(batches) == \
+            pytest.approx(scheduler.serial_makespan(batches))
+
+    def test_pipelining_beats_serial(self):
+        batches = he_shaped_batches(20)
+        deep = StreamScheduler(depth=8)
+        assert deep.makespan(batches) < 0.95 * deep.serial_makespan(batches)
+
+    def test_compute_bound_limit(self):
+        # With tiny transfers, the pipelined makespan approaches the sum
+        # of compute times plus one pipeline fill.
+        batches = he_shaped_batches(50, transfer_fraction=0.05)
+        scheduler = StreamScheduler(depth=8)
+        compute_total = sum(b.compute_seconds for b in batches)
+        makespan = scheduler.makespan(batches)
+        assert compute_total < makespan < 1.1 * compute_total
+
+    def test_deeper_is_never_slower(self):
+        batches = he_shaped_batches(30, transfer_fraction=0.5)
+        spans = [StreamScheduler(depth=d).makespan(batches)
+                 for d in (1, 2, 4, 8, 16)]
+        assert all(later <= earlier + 1e-12
+                   for earlier, later in zip(spans, spans[1:]))
+
+    def test_invalid_depth_raises(self):
+        with pytest.raises(ValueError):
+            StreamScheduler(depth=0)
+
+
+class TestOverlapEfficiency:
+    def test_depth_one_hides_nothing(self):
+        batches = he_shaped_batches(10)
+        assert StreamScheduler(depth=1).overlap_efficiency(batches) == \
+            pytest.approx(0.0, abs=1e-9)
+
+    def test_no_transfer_is_trivially_hidden(self):
+        batches = [StreamBatch(0.0, 1.0, 0.0)] * 3
+        assert StreamScheduler(depth=4).overlap_efficiency(batches) == 1.0
+
+    def test_justifies_cost_model_constants(self):
+        # The managed profile's overlap constant (0.9) and depth (8) must
+        # be reproduced by the simulation for HE-shaped workloads.
+        depth = DEFAULT_PROFILE.pipeline_depth_managed
+        batches = he_shaped_batches(64)
+        efficiency = StreamScheduler(depth=depth).overlap_efficiency(batches)
+        assert efficiency >= DEFAULT_PROFILE.transfer_overlap_managed
+
+    def test_unmanaged_constant_matches_depth_one(self):
+        batches = he_shaped_batches(64)
+        efficiency = StreamScheduler(depth=1).overlap_efficiency(batches)
+        assert efficiency == \
+            pytest.approx(DEFAULT_PROFILE.transfer_overlap_unmanaged)
+
+
+class TestHeShapedBatches:
+    def test_count_and_shape(self):
+        batches = he_shaped_batches(5, transfer_fraction=0.1,
+                                    compute_seconds=2.0)
+        assert len(batches) == 5
+        assert batches[0].h2d_seconds == pytest.approx(0.2)
+        assert batches[0].compute_seconds == 2.0
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            he_shaped_batches(-1)

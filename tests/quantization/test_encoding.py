@@ -1,0 +1,147 @@
+"""Tests for encoding-quantization (paper Eqs. 6-8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantization.encoding import (
+    LegacyFloatEncoding,
+    QuantizationScheme,
+)
+
+
+class TestSchemeConstruction:
+    def test_overflow_bits_from_parties(self):
+        assert QuantizationScheme(num_parties=2).overflow_bits == 1
+        assert QuantizationScheme(num_parties=4).overflow_bits == 2
+        assert QuantizationScheme(num_parties=5).overflow_bits == 3
+        assert QuantizationScheme(num_parties=64).overflow_bits == 6
+
+    def test_single_party_still_reserves_a_bit(self):
+        assert QuantizationScheme(num_parties=1).overflow_bits == 1
+
+    def test_slot_bits(self):
+        scheme = QuantizationScheme(r_bits=30, num_parties=4)
+        assert scheme.slot_bits == 32      # the paper's 30 + 2 layout
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            QuantizationScheme(alpha=0.0)
+        with pytest.raises(ValueError):
+            QuantizationScheme(r_bits=1)
+        with pytest.raises(ValueError):
+            QuantizationScheme(num_parties=0)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_within_step(self):
+        scheme = QuantizationScheme(alpha=1.0, r_bits=16)
+        for value in (-1.0, -0.5, 0.0, 0.123, 0.999, 1.0):
+            decoded = scheme.decode(scheme.encode(value))
+            assert abs(decoded - value) <= scheme.quantization_step
+
+    def test_bounds_map_to_extremes(self):
+        scheme = QuantizationScheme(alpha=1.0, r_bits=8)
+        assert scheme.encode(-1.0) == 0
+        assert scheme.encode(1.0) == scheme.max_encoded
+
+    def test_clipping_outside_alpha(self):
+        scheme = QuantizationScheme(alpha=0.5, r_bits=8)
+        assert scheme.encode(10.0) == scheme.max_encoded
+        assert scheme.encode(-10.0) == 0
+
+    def test_encoding_is_unsigned_r_bits(self):
+        scheme = QuantizationScheme(alpha=1.0, r_bits=10)
+        rng = np.random.default_rng(0)
+        for value in rng.uniform(-1, 1, 200):
+            encoded = scheme.encode(float(value))
+            assert 0 <= encoded < (1 << 10)
+
+    def test_more_bits_less_error(self):
+        coarse = QuantizationScheme(alpha=1.0, r_bits=8)
+        fine = QuantizationScheme(alpha=1.0, r_bits=24)
+        value = 0.123456789
+        assert abs(fine.decode(fine.encode(value)) - value) < \
+            abs(coarse.decode(coarse.encode(value)) - value)
+
+    def test_paper_default_quantization_negligible(self):
+        # Sec. IV-B: with >= 30 bits the error is "small enough to be
+        # negligible".
+        scheme = QuantizationScheme(alpha=1.0, r_bits=30)
+        assert scheme.quantization_step < 2e-9
+
+
+class TestAggregation:
+    def test_sum_decoding(self):
+        scheme = QuantizationScheme(alpha=1.0, r_bits=20, num_parties=4)
+        values = [0.5, -0.25, 0.1, -0.05]
+        total = sum(scheme.encode(v) for v in values)
+        decoded = scheme.decode_sum(total, count=len(values))
+        assert abs(decoded - sum(values)) <= \
+            len(values) * scheme.quantization_step
+
+    def test_sum_count_exceeding_overflow_bits_raises(self):
+        scheme = QuantizationScheme(num_parties=2)   # b = 1 -> max 2
+        with pytest.raises(OverflowError):
+            scheme.decode_sum(100, count=3)
+
+    def test_sum_count_zero_raises(self):
+        with pytest.raises(ValueError):
+            QuantizationScheme().decode_sum(0, count=0)
+
+
+class TestVectorInterface:
+    def test_array_roundtrip(self):
+        scheme = QuantizationScheme(alpha=1.0, r_bits=16, num_parties=2)
+        values = np.linspace(-1, 1, 64)
+        decoded = scheme.decode_array(scheme.encode_array(values))
+        assert np.allclose(decoded, values, atol=scheme.quantization_step)
+
+    def test_array_matches_scalar_path(self):
+        scheme = QuantizationScheme(alpha=1.0, r_bits=12)
+        values = np.array([-0.9, -0.1, 0.0, 0.4, 0.77])
+        assert scheme.encode_array(values) == \
+            [scheme.encode(float(v)) for v in values]
+
+    def test_encodings_are_python_ints(self):
+        # numpy int64 would overflow at r > 62; must be arbitrary precision.
+        scheme = QuantizationScheme(alpha=1.0, r_bits=50)
+        encoded = scheme.encode_array(np.array([1.0]))
+        assert type(encoded[0]) is int
+
+    def test_decode_array_count_validation(self):
+        with pytest.raises(ValueError):
+            QuantizationScheme().decode_array([1], count=0)
+
+
+class TestLegacyEncoding:
+    def test_roundtrip(self):
+        legacy = LegacyFloatEncoding()
+        for value in (0.0, 1.5, -2.75, 1e-9, -123456.789):
+            significand, exponent = legacy.encode(value)
+            assert legacy.decode(significand, exponent) == \
+                pytest.approx(value, rel=1e-12)
+
+    def test_exponent_leaks_magnitude(self):
+        legacy = LegacyFloatEncoding()
+        # Same exponent class -> indistinguishable; different magnitude
+        # classes -> the adversary separates them from plaintext data.
+        assert legacy.leaked_bits(0.6) == legacy.leaked_bits(0.9)
+        assert legacy.leaked_bits(0.6) != legacy.leaked_bits(600.0)
+
+    def test_magnitude_interval_contains_value(self):
+        legacy = LegacyFloatEncoding()
+        for value in (0.3, 7.2, 1000.5):
+            low, high = legacy.magnitude_interval(value)
+            assert low <= abs(value) < high
+
+    def test_secure_scheme_leaks_nothing_comparable(self):
+        # The Eq. 6-8 encoding of any in-range value is a plain unsigned
+        # integer with no plaintext side-channel: every output lies in the
+        # same [0, 2^r) set regardless of magnitude.
+        scheme = QuantizationScheme(alpha=1.0, r_bits=16)
+        small = scheme.encode(1e-6)
+        large = scheme.encode(0.999)
+        assert 0 <= small < 2 ** 16
+        assert 0 <= large < 2 ** 16
