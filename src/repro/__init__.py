@@ -22,6 +22,11 @@ paper-versus-measured results.
 
 from repro.api import FlBooster, ArrayOps, PaillierApi, RsaApi
 from repro.crypto import Paillier, Rsa
+from repro.federation.faults import (
+    FaultPlan,
+    QuorumError,
+    RetryPolicy,
+)
 from repro.federation.runtime import (
     FederationRuntime,
     SystemConfig,
@@ -41,6 +46,9 @@ __all__ = [
     "RsaApi",
     "Paillier",
     "Rsa",
+    "FaultPlan",
+    "QuorumError",
+    "RetryPolicy",
     "FederationRuntime",
     "SystemConfig",
     "FATE_SYSTEM",

@@ -6,6 +6,9 @@ Commands:
 - ``demo``                       -- the Table I API quickstart.
 - ``train MODEL [DATASET]``      -- quick federated training comparison.
 - ``compress [KEY_BITS]``        -- batch-compression theory table.
+- ``faults MODEL [DATASET]``     -- training under an injected fault plan
+  (crashes, stragglers, message loss) with quorum aggregation and
+  checkpoint/resume, compared across systems.
 - ``report [--output PATH]``     -- aggregate benchmarks/results/ into
   one markdown report.
 """
@@ -98,6 +101,48 @@ def _cmd_compress(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.baselines import FATE, FLBOOSTER
+    from repro.experiments import format_table, run_training_with_recovery
+    from repro.federation.faults import FaultPlan
+
+    plan = FaultPlan(seed=args.seed).with_message_loss(args.loss)
+    for crash_index in range(args.crashes):
+        plan = plan.crash(f"client-{args.clients - 1 - crash_index}",
+                          round_index=1)
+    if args.straggler_delay > 0:
+        plan = plan.straggler(f"client-{args.crashes}", round_index=2,
+                              delay_seconds=args.straggler_delay)
+
+    rows = []
+    last_result = None
+    for config in (FATE, FLBOOSTER):
+        result = run_training_with_recovery(
+            config, args.model, args.dataset, key_bits=args.key_bits,
+            max_epochs=args.epochs, fault_plan=plan,
+            min_quorum=args.quorum, num_clients=args.clients,
+            physical_key_bits=256, bc_capacity="physical",
+            seed=args.seed, max_restarts=args.max_restarts)
+        report = result.fault_report
+        rows.append([config.name, f"{result.trace.final_loss:.4f}",
+                     len(result.trace.losses), result.restarts,
+                     report.retransmissions, report.lost_updates,
+                     f"{result.trace.cumulative_seconds[-1]:.2f}"])
+        last_result = result
+    crashes = args.crashes
+    print(format_table(
+        ["System", "Final loss", "Epochs", "Restarts", "Retransmits",
+         "Lost updates", "Modelled time (s)"],
+        rows,
+        title=f"{args.model} on {args.dataset}: {args.clients} clients, "
+              f"quorum {args.quorum}, {args.loss:.0%} loss, "
+              f"{crashes} crash{'es' if crashes != 1 else ''}"))
+    print("\nfault report (last system):")
+    for line in last_result.fault_report.summary_lines():
+        print(f"  {line}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from pathlib import Path
 
@@ -140,6 +185,26 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="compression theory table")
     compress.add_argument("key_bits", nargs="?", type=int, default=None)
     compress.set_defaults(handler=_cmd_compress)
+
+    faults = commands.add_parser(
+        "faults", help="training under an injected fault plan")
+    faults.add_argument("model", nargs="?", default="Homo LR",
+                        choices=["Homo LR", "Homo NN"])
+    faults.add_argument("dataset", nargs="?", default="Synthetic",
+                        choices=["RCV1", "Avazu", "Synthetic"])
+    faults.add_argument("--clients", type=int, default=8)
+    faults.add_argument("--quorum", type=int, default=6)
+    faults.add_argument("--loss", type=float, default=0.10,
+                        help="per-attempt message loss probability")
+    faults.add_argument("--crashes", type=int, default=1,
+                        help="clients permanently crashed from round 1")
+    faults.add_argument("--straggler-delay", type=float, default=30.0,
+                        help="modelled straggler delay in round 2 (s)")
+    faults.add_argument("--epochs", type=int, default=3)
+    faults.add_argument("--key-bits", type=int, default=1024)
+    faults.add_argument("--max-restarts", type=int, default=10)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.set_defaults(handler=_cmd_faults)
 
     report = commands.add_parser(
         "report", help="aggregate benchmark results into one document")

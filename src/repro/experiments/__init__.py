@@ -14,6 +14,9 @@ from repro.experiments.harness import (
     build_model,
     run_epoch_experiment,
     run_training,
+    run_training_with_recovery,
+    RecoveryResult,
+    TrainingCheckpoint,
     he_throughput,
     sm_utilization,
     format_table,
@@ -27,6 +30,9 @@ __all__ = [
     "build_model",
     "run_epoch_experiment",
     "run_training",
+    "run_training_with_recovery",
+    "RecoveryResult",
+    "TrainingCheckpoint",
     "he_throughput",
     "sm_utilization",
     "format_table",

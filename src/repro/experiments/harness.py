@@ -16,7 +16,12 @@ DESIGN.md, "Timing methodology").  Two fidelity knobs:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.datasets.generators import (
     Dataset,
@@ -24,7 +29,9 @@ from repro.datasets.generators import (
     rcv1_like,
     synthetic_like,
 )
-from repro.federation.metrics import EpochReport
+from repro.federation.channel import ChannelError
+from repro.federation.faults import FaultPlan, QuorumError, RetryPolicy
+from repro.federation.metrics import EpochReport, FaultReport
 from repro.federation.runtime import FederationRuntime, SystemConfig
 from repro.gpu.resource_manager import ResourceManager
 from repro.models import (
@@ -34,7 +41,11 @@ from repro.models import (
     HomoLogisticRegression,
     HomoNeuralNetwork,
 )
-from repro.models.base import FederatedModel, TrainingTrace
+from repro.models.base import (
+    CONVERGENCE_TOLERANCE,
+    FederatedModel,
+    TrainingTrace,
+)
 
 #: Largest physical key the scaled sweeps use (the nominal-4096 case);
 #: hosts 128 packing slots with usable precision.
@@ -167,6 +178,236 @@ def run_training(config: SystemConfig, model_name: str, dataset_name: str,
                                 physical_key_bits=physical_key_bits,
                                 seed=seed, bc_capacity=bc_capacity)
     return model.train(runtime, max_epochs=max_epochs, key_bits=key_bits)
+
+
+#: Checkpoint format version, bumped on layout changes.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class TrainingCheckpoint:
+    """Resumable snapshot of a federated training run.
+
+    Serialized as JSON (no pickle): model arrays go through
+    ``ndarray.tolist()``, which preserves shape and float64 values
+    exactly, so resume is bit-identical.
+
+    Attributes:
+        system / model / dataset / key_bits / seed: Run identity; a
+            checkpoint refuses to resume a different run.
+        epoch: Epochs fully completed (the next epoch to run).
+        rounds_completed: Global aggregation-round cursor, restored into
+            the aggregator so scheduled fault events stay aligned.
+        losses / epoch_seconds: Per-epoch trace so far.
+        model_state: ``state_dict()`` arrays as nested lists.
+        restarts: Resume cycles performed so far (the next runtime's
+            fault incarnation).
+    """
+
+    system: str
+    model: str
+    dataset: str
+    key_bits: int
+    seed: int
+    epoch: int
+    rounds_completed: int
+    losses: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    model_state: Dict[str, list] = field(default_factory=dict)
+    restarts: int = 0
+    version: int = CHECKPOINT_VERSION
+
+    @classmethod
+    def capture(cls, model: FederatedModel, runtime: FederationRuntime,
+                trace: TrainingTrace, key_bits: int, seed: int,
+                epoch: int, restarts: int) -> "TrainingCheckpoint":
+        """Snapshot a run at an epoch boundary."""
+        return cls(
+            system=runtime.config.name, model=model.name,
+            dataset=model.dataset.name, key_bits=key_bits, seed=seed,
+            epoch=epoch,
+            rounds_completed=runtime.aggregator.round_cursor,
+            losses=list(trace.losses),
+            epoch_seconds=list(trace.epoch_seconds),
+            model_state={name: np.asarray(value).tolist()
+                         for name, value in model.state_dict().items()},
+            restarts=restarts,
+        )
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """The model state as float64 arrays, ready for
+        ``load_state_dict``."""
+        return {name: np.asarray(value, dtype=np.float64)
+                for name, value in self.model_state.items()}
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the checkpoint atomically (write-then-rename)."""
+        target = Path(path)
+        payload = {
+            "version": self.version, "system": self.system,
+            "model": self.model, "dataset": self.dataset,
+            "key_bits": self.key_bits, "seed": self.seed,
+            "epoch": self.epoch,
+            "rounds_completed": self.rounds_completed,
+            "losses": self.losses, "epoch_seconds": self.epoch_seconds,
+            "model_state": self.model_state, "restarts": self.restarts,
+        }
+        temporary = target.with_suffix(target.suffix + ".tmp")
+        temporary.write_text(json.dumps(payload))
+        temporary.replace(target)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TrainingCheckpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        version = payload.pop("version", 0)
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {version} unsupported "
+                f"(expected {CHECKPOINT_VERSION})")
+        return cls(version=version, **payload)
+
+    def matches(self, system: str, model: str, dataset: str,
+                key_bits: int, seed: int) -> bool:
+        """Whether this checkpoint belongs to the given run."""
+        return (self.system == system and self.model == model
+                and self.dataset == dataset
+                and self.key_bits == key_bits and self.seed == seed)
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of a fault-tolerant training run.
+
+    Attributes:
+        trace: The completed training trace (losses restored from
+            checkpoints carry no per-epoch reports).
+        restarts: Checkpoint/resume cycles the run needed.
+        resumed_epochs: Epoch index each resume restarted from.
+        failures: Human-readable description of each abort.
+        checkpoint: The final checkpoint (state at the last epoch).
+        fault_report: Merged ``fault.*`` summary across every epoch,
+            including aborted ones.
+    """
+
+    trace: TrainingTrace
+    restarts: int
+    resumed_epochs: List[int]
+    failures: List[str]
+    checkpoint: Optional[TrainingCheckpoint]
+    fault_report: FaultReport
+
+
+def run_training_with_recovery(
+        config: SystemConfig, model_name: str, dataset_name: str,
+        key_bits: int, max_epochs: int,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        min_quorum: Optional[int] = None,
+        round_deadline_seconds: Optional[float] = None,
+        physical_key_bits: Optional[int] = None,
+        num_clients: int = DEFAULT_NUM_CLIENTS, seed: int = 0,
+        bc_capacity: str = "nominal",
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        max_restarts: int = 5,
+        tolerance: float = CONVERGENCE_TOLERANCE) -> RecoveryResult:
+    """Train under faults with checkpoint/resume instead of restarting.
+
+    The training loop snapshots model weights, the epoch index, the
+    aggregation-round cursor and the loss trace at every epoch boundary.
+    When a fault aborts an epoch (``ChannelError`` from an exhausted
+    transfer, or ``QuorumError`` from a round below quorum), the run
+    resumes from the last checkpoint with a fresh runtime whose fault
+    *incarnation* is bumped -- deterministic for a fixed seed, but not a
+    verbatim replay of the failure.  Transient dropout events do not
+    outlive a restart (see :mod:`repro.federation.faults`).
+
+    Args:
+        checkpoint_path: Persist checkpoints here (JSON); an existing,
+            matching checkpoint at this path is resumed.  ``None`` keeps
+            checkpoints in memory only.
+        max_restarts: Abandon the run (re-raising the last failure) after
+            this many resume cycles.
+
+    Returns:
+        A :class:`RecoveryResult`; its trace is directly comparable to
+        :func:`run_training` output.
+    """
+    if physical_key_bits is None:
+        physical_key_bits = key_bits
+    dataset = scaled_dataset(dataset_name, seed=seed)
+
+    checkpoint: Optional[TrainingCheckpoint] = None
+    if checkpoint_path is not None and Path(checkpoint_path).exists():
+        candidate = TrainingCheckpoint.load(checkpoint_path)
+        if candidate.matches(config.name, model_name, dataset_name,
+                             key_bits, seed):
+            checkpoint = candidate
+
+    restarts = checkpoint.restarts if checkpoint is not None else 0
+    resumed_epochs: List[int] = []
+    failures: List[str] = []
+    fault_total = FaultReport()
+
+    while True:
+        model = build_model(model_name, dataset, num_clients=num_clients,
+                            seed=seed)
+        runtime = FederationRuntime(
+            config, num_clients=num_clients, key_bits=key_bits,
+            physical_key_bits=physical_key_bits, seed=seed,
+            bc_capacity=bc_capacity, fault_plan=fault_plan,
+            retry_policy=retry_policy, min_quorum=min_quorum,
+            round_deadline_seconds=round_deadline_seconds,
+            incarnation=restarts)
+        trace = TrainingTrace(system=config.name, model=model.name,
+                              dataset=dataset.name)
+        start_epoch = 0
+        if checkpoint is not None:
+            model.load_state_dict(checkpoint.state_arrays())
+            runtime.aggregator.round_cursor = checkpoint.rounds_completed
+            trace.losses = list(checkpoint.losses)
+            trace.epoch_seconds = list(checkpoint.epoch_seconds)
+            start_epoch = checkpoint.epoch
+        previous_loss = trace.losses[-1] if trace.losses else None
+
+        epoch = start_epoch
+        try:
+            for epoch in range(start_epoch, max_epochs):
+                ledger = runtime.begin_epoch()
+                loss = model.run_epoch(runtime)
+                fault_total = fault_total.merge(
+                    FaultReport.from_ledger(ledger))
+                trace.losses.append(loss)
+                trace.epoch_seconds.append(ledger.total_seconds)
+                trace.reports.append(EpochReport.from_ledger(
+                    ledger, system=config.name, model=model.name,
+                    dataset=dataset.name, key_bits=key_bits, loss=loss))
+                checkpoint = TrainingCheckpoint.capture(
+                    model, runtime, trace, key_bits=key_bits, seed=seed,
+                    epoch=epoch + 1, restarts=restarts)
+                if checkpoint_path is not None:
+                    checkpoint.save(checkpoint_path)
+                if previous_loss is not None and \
+                        abs(previous_loss - loss) < tolerance:
+                    break
+                previous_loss = loss
+            return RecoveryResult(
+                trace=trace, restarts=restarts,
+                resumed_epochs=resumed_epochs, failures=failures,
+                checkpoint=checkpoint, fault_report=fault_total)
+        except (ChannelError, QuorumError) as failure:
+            # Count the aborted epoch's partial work before discarding it.
+            fault_total = fault_total.merge(
+                FaultReport.from_ledger(runtime.ledger))
+            failures.append(f"epoch {epoch}: {failure}")
+            restarts += 1
+            if restarts > max_restarts:
+                raise
+            resumed_epochs.append(epoch)
+            if checkpoint is not None:
+                checkpoint.restarts = restarts
+                if checkpoint_path is not None:
+                    checkpoint.save(checkpoint_path)
 
 
 def he_throughput(config: SystemConfig, key_bits: int,

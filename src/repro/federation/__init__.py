@@ -11,12 +11,27 @@ ledger so the benchmark harness can read epoch times and component splits.
 - :mod:`repro.federation.runtime` -- wires a system configuration
   (FATE / HAFLO / FLBooster / ablations) into engines, channel and packer.
 - :mod:`repro.federation.metrics` -- ledger re-exports and epoch reports.
+- :mod:`repro.federation.faults` -- seeded fault injection (crashes,
+  dropouts, stragglers, loss, corruption), retry/backoff policy and
+  quorum semantics for fault-tolerant aggregation.
 """
 
-from repro.federation.channel import Channel, Message
-from repro.federation.aggregator import SecureAggregator
+from repro.federation.channel import (
+    Channel,
+    ChannelError,
+    Message,
+    payload_checksum,
+)
+from repro.federation.aggregator import AggregationRound, SecureAggregator
+from repro.federation.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    QuorumError,
+    RetryPolicy,
+)
 from repro.federation.runtime import FederationRuntime, SystemConfig
-from repro.federation.metrics import EpochReport, flop_seconds
+from repro.federation.metrics import EpochReport, FaultReport, flop_seconds
 from repro.federation.parties import (
     ClientParty,
     AggregatorParty,
@@ -32,8 +47,17 @@ from repro.federation.privacy_audit import (
 
 __all__ = [
     "Channel",
+    "ChannelError",
     "Message",
+    "payload_checksum",
+    "AggregationRound",
     "SecureAggregator",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "QuorumError",
+    "RetryPolicy",
     "FederationRuntime",
     "SystemConfig",
     "EpochReport",

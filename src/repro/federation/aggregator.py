@@ -23,14 +23,40 @@ charged in full.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.crypto.engine import HeEngine
-from repro.federation.channel import Channel, Message
+from repro.federation.channel import Channel, ChannelError, Message
+from repro.federation.faults import FaultInjector, QuorumError
 from repro.federation.metrics import charge_model_compute, charge_pipeline_stage
 from repro.quantization.packing import BatchPacker
+
+
+@dataclass
+class AggregationRound:
+    """Outcome of one (possibly partial) aggregation round.
+
+    Attributes:
+        round_index: Global round counter of the aggregator.
+        survivors: Client names whose updates reached the server.
+        dropped: Client names lost this round (crash, dropout, deadline
+            miss, or exhausted retries), with the reason.
+        summands: Actual number of vectors summed -- the count used for
+            the Eq. 6 translation-offset correction.
+    """
+
+    round_index: int
+    survivors: List[str] = field(default_factory=list)
+    dropped: List[tuple] = field(default_factory=list)
+    summands: int = 0
+
+    @property
+    def partial(self) -> bool:
+        """Whether any scheduled client missed the round."""
+        return bool(self.dropped)
 
 
 class SecureAggregator:
@@ -44,17 +70,35 @@ class SecureAggregator:
         packer: Plaintext packing plan (capacity 1 models "no BC").
         channel: Byte-counting network.
         packed_serialization: Wire format flag for the channel.
+        injector: Default fault injector consulted per round (crash /
+            dropout / straggler state); per-call arguments override it.
+        min_quorum: Default minimum surviving clients per round; ``None``
+            requires every scheduled client (the fault-free semantics).
+        round_deadline_seconds: Default round deadline; stragglers whose
+            delay exceeds it are excluded from the round instead of
+            charged.
     """
 
     def __init__(self, client_engine: HeEngine, silent_engine: HeEngine,
                  server_engine: HeEngine, packer: BatchPacker,
-                 channel: Channel, packed_serialization: bool = False):
+                 channel: Channel, packed_serialization: bool = False,
+                 injector: Optional[FaultInjector] = None,
+                 min_quorum: Optional[int] = None,
+                 round_deadline_seconds: Optional[float] = None):
         self.client_engine = client_engine
         self.silent_engine = silent_engine
         self.server_engine = server_engine
         self.packer = packer
         self.channel = channel
         self.packed_serialization = packed_serialization
+        self.injector = injector
+        self.min_quorum = min_quorum
+        self.round_deadline_seconds = round_deadline_seconds
+        #: Global aggregation-round counter; checkpoints restore it so a
+        #: resumed run lines scheduled fault events up correctly.
+        self.round_cursor = 0
+        #: Outcome of the most recent :meth:`aggregate` call.
+        self.last_round: Optional[AggregationRound] = None
 
     @property
     def scheme(self):
@@ -107,14 +151,45 @@ class SecureAggregator:
     # The full round.
     # ------------------------------------------------------------------
 
+    def validate_ciphertexts(self, ciphertexts: Sequence[int]) -> None:
+        """Server-side sanity check: every ciphertext in ``[0, n^2)``.
+
+        Paillier ciphertexts live in ``Z_{n^2}``; anything outside that
+        range is a framing or corruption bug that would otherwise decrypt
+        to silent garbage (Paillier is malleable, so corruption never
+        errors on its own).
+        """
+        bound = self.server_engine.public_key.n_squared
+        for value in ciphertexts:
+            if not isinstance(value, int) or not 0 <= value < bound:
+                raise ValueError(
+                    f"ciphertext outside [0, n^2): corrupted or "
+                    f"misframed payload ({str(value)[:40]}...)")
+
     def aggregate(self, client_vectors: Sequence[np.ndarray],
-                  tag: str = "gradients") -> np.ndarray:
+                  tag: str = "gradients",
+                  min_quorum: Optional[int] = None,
+                  injector: Optional[FaultInjector] = None,
+                  round_index: Optional[int] = None,
+                  deadline_seconds: Optional[float] = None) -> np.ndarray:
         """One secure-averaging round; returns the slot-wise *sum*.
 
         Every client encrypts its vector; the representative client's work
         is charged, the others run silently (parallel execution).  Uploads,
         server-side homomorphic summation, downloads and the (parallel)
         decryption are charged in full.
+
+        Under a fault injector, clients may be crashed, dropped out,
+        excluded by the round deadline (stragglers), or lose their upload
+        after exhausting retries.  The round proceeds with the survivors
+        as long as their number meets ``min_quorum`` (default: the
+        aggregator's configured quorum, or *all* clients when none is
+        set), and the decode corrects the Eq. 6 translation offset with
+        the *actual* summand count so partial sums decode exactly.
+        Details of the round land in :attr:`last_round`.
+
+        Raises:
+            QuorumError: Fewer survivors than the quorum.
         """
         vectors = [np.asarray(v, dtype=np.float64) for v in client_vectors]
         if not vectors:
@@ -128,37 +203,91 @@ class SecureAggregator:
                 f"{len(vectors)} clients exceed the packer's "
                 f"{self.packer.max_safe_summands()} safe summands")
 
+        injector = injector if injector is not None else self.injector
+        if round_index is None:
+            round_index = self.round_cursor
+        if deadline_seconds is None:
+            deadline_seconds = self.round_deadline_seconds
+        required = min_quorum if min_quorum is not None else self.min_quorum
+        if required is None:
+            required = len(vectors)
+        if not 1 <= required <= len(vectors):
+            raise ValueError(
+                f"quorum {required} impossible with {len(vectors)} clients")
+        round_report = AggregationRound(round_index=round_index)
+
         nominal_bytes = self.client_engine.nominal_ciphertext_bytes()
         uploaded: List[List[int]] = []
+        representative_charged = False
         for index, vector in enumerate(vectors):
-            ciphertexts = self.encrypt_vector(vector, charged=(index == 0))
-            payload = self.channel.send(Message(
-                sender=f"client-{index}", receiver="server",
-                tag=f"upload.{tag}", payload=ciphertexts,
-                ciphertext_count=len(ciphertexts),
-                ciphertext_bytes=nominal_bytes,
-                packed=self.packed_serialization))
+            name = f"client-{index}"
+            if injector is not None:
+                if not injector.is_alive(name, round_index):
+                    round_report.dropped.append((name, "offline"))
+                    continue
+                delay = injector.straggler_delay(name, round_index)
+                if delay > 0:
+                    if deadline_seconds is not None and \
+                            delay > deadline_seconds:
+                        injector.charge_deadline_miss(name, round_index,
+                                                      deadline_seconds)
+                        round_report.dropped.append((name, "deadline"))
+                        continue
+                    injector.charge_straggler(name, round_index, delay)
+            charged = not representative_charged
+            representative_charged = True
+            ciphertexts = self.encrypt_vector(vector, charged=charged)
+            try:
+                payload = self.channel.send(Message(
+                    sender=name, receiver="server",
+                    tag=f"upload.{tag}", payload=ciphertexts,
+                    ciphertext_count=len(ciphertexts),
+                    ciphertext_bytes=nominal_bytes,
+                    packed=self.packed_serialization))
+            except ChannelError as error:
+                if injector is None:
+                    raise
+                injector.charge_lost_update(name, round_index,
+                                            wasted_bytes=error.wasted_bytes)
+                round_report.dropped.append((name, "lost"))
+                continue
+            self.validate_ciphertexts(payload)
             uploaded.append(payload)
+            round_report.survivors.append(name)
+
+        self.round_cursor = round_index + 1
+        round_report.summands = len(uploaded)
+        self.last_round = round_report
+        if len(uploaded) < required:
+            raise QuorumError(round_index, round_report.survivors,
+                              required, len(vectors))
 
         aggregated = uploaded[0]
         for other in uploaded[1:]:
             aggregated = self.server_engine.add_batch(aggregated, other)
 
-        for index in range(len(vectors)):
+        for name in round_report.survivors:
             self.channel.send(Message(
-                sender="server", receiver=f"client-{index}",
+                sender="server", receiver=name,
                 tag=f"download.{tag}", payload=aggregated,
                 ciphertext_count=len(aggregated),
                 ciphertext_bytes=nominal_bytes,
                 packed=self.packed_serialization))
 
+        # Eq. 6 offset correction with the *actual* summand count: each
+        # surviving encoding carries one +alpha translation, so a partial
+        # sum of k vectors must subtract k * alpha, not K * alpha.
         return self.decrypt_vector(aggregated, count=length,
-                                   summands=len(vectors), charged=True)
+                                   summands=len(uploaded), charged=True)
 
     def average(self, client_vectors: Sequence[np.ndarray],
-                tag: str = "gradients") -> np.ndarray:
-        """Secure federated averaging: :meth:`aggregate` divided by K."""
-        return self.aggregate(client_vectors, tag=tag) / len(client_vectors)
+                tag: str = "gradients", **kwargs) -> np.ndarray:
+        """Secure federated averaging: :meth:`aggregate` divided by the
+        number of vectors actually summed (the round's survivors)."""
+        total = self.aggregate(client_vectors, tag=tag, **kwargs)
+        summands = (self.last_round.summands if self.last_round is not None
+                    else len(client_vectors))
+        return total / max(summands, 1)
 
     # ------------------------------------------------------------------
     # Ciphertext-side packing (cipher compression).

@@ -11,19 +11,80 @@ Two serialization formats are modelled, matching the systems compared in
 the paper: per-element serialized ciphertext objects (the FATE / HAFLO
 path, heavily bloated by object framing) and FLBooster's packed binary
 arrays (Sec. V's data-conversion stage).
+
+Fault tolerance: every :class:`Message` carries a checksum over its
+payload; transfers are retried under a
+:class:`~repro.federation.faults.RetryPolicy` (exponential backoff +
+jitter, charged as modelled time), and an attached
+:class:`~repro.federation.faults.FaultInjector` can drop or corrupt
+attempts.  Failed attempts are charged to the ledger *before*
+:class:`ChannelError` is raised, so lost work is never invisible.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
+import numpy as np
+
+from repro.federation.faults import FaultInjector, NO_BACKOFF_POLICY, RetryPolicy
 from repro.gpu.cost_model import DEFAULT_PROFILE, HardwareProfile
 from repro.ledger import CostLedger
 
 #: Monotonic ids for message tracing.
 _message_counter = itertools.count()
+
+_CHECKSUM_MASK = (1 << 64) - 1
+_CHECKSUM_SEED = 0x9E3779B97F4A7C15
+_CHECKSUM_MULT = 1000003
+
+
+def payload_checksum(payload: Any) -> int:
+    """Deterministic 64-bit checksum of a message payload.
+
+    Covers the payload shapes the federation ships -- (nested) lists of
+    multi-precision integers, numpy arrays, dicts, strings -- without
+    relying on Python's randomized ``hash``.  The receiver recomputes it
+    to detect in-flight corruption (Paillier is malleable: a flipped bit
+    decrypts to garbage instead of erroring, see
+    ``tests/integration/test_failure_injection.py``).
+    """
+    return _mix(payload) & _CHECKSUM_MASK
+
+
+def _mix(payload: Any) -> int:
+    if payload is None:
+        return _CHECKSUM_SEED
+    if isinstance(payload, bool):
+        return _CHECKSUM_SEED ^ int(payload)
+    if isinstance(payload, int):
+        # Fold huge ciphertext integers without hashing their full repr.
+        return (payload ^ (payload >> 64) ^ (payload >> 128)) & _CHECKSUM_MASK
+    if isinstance(payload, float):
+        return zlib.adler32(repr(payload).encode())
+    if isinstance(payload, (bytes, bytearray)):
+        return zlib.adler32(bytes(payload))
+    if isinstance(payload, str):
+        return zlib.adler32(payload.encode())
+    if isinstance(payload, np.ndarray):
+        return zlib.adler32(payload.tobytes()) ^ _mix(payload.shape)
+    if isinstance(payload, (list, tuple)):
+        digest = _CHECKSUM_SEED ^ len(payload)
+        for item in payload:
+            digest = (digest * _CHECKSUM_MULT) & _CHECKSUM_MASK
+            digest ^= _mix(item)
+        return digest
+    if isinstance(payload, dict):
+        digest = _CHECKSUM_SEED ^ len(payload)
+        for key in sorted(payload, key=repr):
+            digest = (digest * _CHECKSUM_MULT) & _CHECKSUM_MASK
+            digest ^= _mix(key) ^ (_mix(payload[key]) << 1)
+        return digest & _CHECKSUM_MASK
+    return zlib.adler32(repr(payload).encode())
 
 
 @dataclass
@@ -39,6 +100,9 @@ class Message:
         plaintext_bytes: Additional non-encrypted payload bytes.
         packed: True when the payload uses FLBooster's binary packed
             serialization rather than per-element objects.
+        checksum: 64-bit payload checksum, computed at construction;
+            the channel verifies it on delivery and retransmits on
+            mismatch (corruption detection).
     """
 
     sender: str
@@ -49,7 +113,12 @@ class Message:
     ciphertext_bytes: int = 0
     plaintext_bytes: int = 0
     packed: bool = False
+    checksum: Optional[int] = None
     message_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if self.checksum is None:
+            self.checksum = payload_checksum(self.payload)
 
 
 @dataclass
@@ -61,10 +130,27 @@ class ChannelStats:
     wire_bytes: int = 0
     modelled_seconds: float = 0.0
     retransmissions: int = 0
+    corrupted: int = 0
+    failed_messages: int = 0
+    backoff_seconds: float = 0.0
 
 
 class ChannelError(RuntimeError):
-    """A transfer exhausted its retransmission budget."""
+    """A transfer exhausted its retransmission budget.
+
+    Attributes:
+        tag: The message tag of the abandoned transfer.
+        attempts: Attempts made (first transmission + retransmissions).
+        wasted_bytes: Wire bytes consumed by the failed attempts (already
+            charged to the ledger when this is raised).
+    """
+
+    def __init__(self, message: str, tag: Optional[str] = None,
+                 attempts: int = 0, wasted_bytes: int = 0):
+        super().__init__(message)
+        self.tag = tag
+        self.attempts = attempts
+        self.wasted_bytes = wasted_bytes
 
 
 class Channel:
@@ -78,49 +164,71 @@ class Channel:
             by default to bound memory in long runs.
         drop_probability: Per-attempt loss probability (failure
             injection); dropped attempts are retransmitted and charged
-            again, up to ``max_retries``.
-        max_retries: Retransmissions before :class:`ChannelError`.
-        seed: Determinism seed for the loss process.
+            again, up to the retry policy's budget.
+        max_retries: Back-compat shorthand for
+            ``RetryPolicy(max_retries=...)`` without backoff; ignored
+            when ``retry_policy`` is given.
+        seed: Determinism seed for the loss and jitter processes.
+        retry_policy: Full retry/backoff configuration; backoff seconds
+            are charged as modelled time under ``fault.retransmit``.
+        injector: Optional fault injector contributing message loss and
+            ciphertext corruption on top of ``drop_probability``.
     """
 
     def __init__(self, profile: HardwareProfile = DEFAULT_PROFILE,
                  ledger: Optional[CostLedger] = None, trace: bool = False,
                  drop_probability: float = 0.0, max_retries: int = 5,
-                 seed: int = 0):
+                 seed: int = 0,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 injector: Optional[FaultInjector] = None):
         if not 0.0 <= drop_probability < 1.0:
             raise ValueError("drop_probability must be in [0, 1)")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
-        import random as _random
         self.profile = profile
         self.ledger = ledger if ledger is not None else CostLedger()
         self.stats = ChannelStats()
         self.trace = trace
         self.log: List[Message] = []
         self.drop_probability = drop_probability
-        self.max_retries = max_retries
-        self._loss_rng = _random.Random(seed)
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy(max_retries=max_retries))
+        self.max_retries = self.retry_policy.max_retries
+        self.injector = injector
+        self._loss_rng = random.Random(seed)
 
-    def _attempts_for_one_delivery(self, tag: str) -> int:
-        """Sample the attempt count under the loss process."""
-        if self.drop_probability == 0.0:
-            return 1
-        attempts = 1
-        while self._loss_rng.random() < self.drop_probability:
-            if attempts > self.max_retries:
-                raise ChannelError(
-                    f"transfer {tag!r} dropped {attempts} times "
-                    f"(retry budget {self.max_retries})")
-            attempts += 1
-        return attempts
+    # ------------------------------------------------------------------
+    # Fault processes.
+    # ------------------------------------------------------------------
+
+    def _attempt_dropped(self) -> bool:
+        """Draw the loss processes for one transmission attempt."""
+        if self.injector is not None and self.injector.should_drop_message():
+            return True
+        return (self.drop_probability > 0.0
+                and self._loss_rng.random() < self.drop_probability)
+
+    def _attempt_corrupted(self, message: Message) -> bool:
+        """Draw corruption; detected via the checksum mismatch."""
+        if self.injector is None or not self.injector.should_corrupt():
+            return False
+        tampered = self.injector.corrupt_payload(message.payload)
+        return payload_checksum(tampered) != message.checksum
+
+    # ------------------------------------------------------------------
+    # Transfers.
+    # ------------------------------------------------------------------
 
     def send(self, message: Message) -> Any:
         """Deliver a message, charging its modelled transfer time.
 
         Returns the payload so call sites read naturally:
-        ``received = channel.send(Message(...))``.  With failure
-        injection enabled, dropped attempts are retransmitted (each
-        charged in full) until delivery or :class:`ChannelError`.
+        ``received = channel.send(Message(...))``.  Dropped or corrupted
+        attempts back off (charged as modelled time) and retransmit
+        (each attempt charged in full) until delivery, the retry
+        budget, or the policy's time budget; exhaustion charges every
+        failed attempt to the ledger and raises :class:`ChannelError`
+        carrying the tag, attempt count and wasted bytes.
         """
         cipher_wire = 0
         if message.ciphertext_count:
@@ -128,16 +236,54 @@ class Channel:
                 message.ciphertext_bytes, packed=message.packed)
             cipher_wire = message.ciphertext_count * per_ciphertext
         wire_bytes = cipher_wire + message.plaintext_bytes
-        attempts = self._attempts_for_one_delivery(message.tag)
-        seconds = attempts * self.profile.network_seconds(wire_bytes,
-                                                          messages=1)
+        transfer_seconds = self.profile.network_seconds(wire_bytes,
+                                                        messages=1)
+        policy = self.retry_policy
+
+        attempts = 0
+        backoff_total = 0.0
+        delivered = False
+        while True:
+            attempts += 1
+            dropped = self._attempt_dropped()
+            corrupted = (not dropped) and self._attempt_corrupted(message)
+            if not dropped and not corrupted:
+                delivered = True
+                break
+            if corrupted:
+                self.stats.corrupted += 1
+                self.ledger.charge("fault.corrupt", 0.0, count=1,
+                                   payload_bytes=wire_bytes)
+            retry_index = attempts - 1  # 0-based index of the retry to come
+            elapsed = attempts * transfer_seconds + backoff_total
+            if policy.exhausted(retry_index + 1, elapsed):
+                break
+            backoff = policy.backoff_seconds(retry_index, rng=self._loss_rng)
+            backoff_total += backoff
+            self.stats.backoff_seconds += backoff
+            self.ledger.charge("fault.retransmit", backoff, count=1,
+                               payload_bytes=wire_bytes)
+
+        seconds = attempts * transfer_seconds
         self.ledger.charge(f"comm.{message.tag}", seconds, count=1,
                            payload_bytes=attempts * wire_bytes)
-        self.stats.messages += 1
         self.stats.ciphertexts += message.ciphertext_count
         self.stats.wire_bytes += attempts * wire_bytes
-        self.stats.modelled_seconds += seconds
+        self.stats.modelled_seconds += seconds + backoff_total
         self.stats.retransmissions += attempts - 1
+
+        if not delivered:
+            self.stats.failed_messages += 1
+            wasted = attempts * wire_bytes
+            self.ledger.charge("fault.giveup", 0.0, count=1,
+                               payload_bytes=wasted)
+            raise ChannelError(
+                f"transfer {message.tag!r} abandoned after {attempts} "
+                f"attempts ({wasted} wire bytes wasted, retry budget "
+                f"{policy.max_retries})",
+                tag=message.tag, attempts=attempts, wasted_bytes=wasted)
+
+        self.stats.messages += 1
         if self.trace:
             self.log.append(message)
         return message.payload
@@ -154,6 +300,7 @@ class Channel:
                 ciphertext_bytes=message.ciphertext_bytes,
                 plaintext_bytes=message.plaintext_bytes,
                 packed=message.packed,
+                checksum=message.checksum,
             )
             self.send(copy)
         return message.payload

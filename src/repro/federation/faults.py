@@ -1,0 +1,379 @@
+"""Fault model for the federation layer: who fails, when, and how.
+
+The paper's evaluation (Sec. VI) assumes every participant survives every
+round; production cross-silo deployments do not.  This module provides a
+*seeded, deterministic* fault model so every experiment in the repo can be
+re-run under adverse conditions and still reproduce bit-for-bit:
+
+- :class:`FaultPlan` -- an immutable schedule of per-party, per-round
+  events (permanent crash, transient dropout with rejoin, straggler
+  delay) plus stochastic per-message processes (loss, ciphertext
+  corruption);
+- :class:`FaultInjector` -- the live interpreter of a plan: queried by the
+  aggregation layer per round and by the channel per message, charging
+  every triggered event to the cost ledger under ``fault.*`` categories;
+- :class:`RetryPolicy` -- exponential backoff with jitter and a
+  modelled-time budget, replacing the channel's old inline geometric
+  retry loop;
+- :class:`QuorumError` -- raised when a round cannot gather the minimum
+  number of surviving clients.
+
+Ledger categories written here (all grouped into the paper's "Others"
+component, and summarized by
+:class:`repro.federation.metrics.FaultReport`):
+
+- ``fault.crash``      -- a permanent crash observed in a round;
+- ``fault.dropout``    -- a transient outage observed in a round;
+- ``fault.straggler``  -- straggler delays, charged as modelled seconds;
+- ``fault.deadline``   -- stragglers excluded by the round deadline;
+- ``fault.lost_update``-- client uploads lost after exhausting retries;
+- ``fault.retransmit`` -- retransmitted channel attempts (time + bytes);
+- ``fault.corrupt``    -- corrupted payloads caught by the checksum;
+- ``fault.giveup``     -- transfers abandoned after the retry budget.
+
+Determinism: every stochastic decision draws from one ``random.Random``
+seeded by ``plan.seed + incarnation``.  The *incarnation* increments on
+every checkpoint/resume cycle, so a resumed run sees fresh (but still
+reproducible) draws instead of deterministically replaying the exact
+failure that aborted it.  Transient ``dropout`` events model an outage
+lasting wall-clock time, so they only fire in incarnation 0 -- after a
+restart the dropped-out party has rejoined; permanent crashes persist
+across incarnations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional, Tuple
+
+from repro.ledger import CostLedger
+
+#: Event kinds a :class:`FaultPlan` may schedule.
+CRASH = "crash"
+DROPOUT = "dropout"
+STRAGGLER = "straggler"
+
+_EVENT_KINDS = (CRASH, DROPOUT, STRAGGLER)
+
+
+class QuorumError(RuntimeError):
+    """A round gathered fewer surviving clients than the quorum.
+
+    Attributes:
+        round_index: The aggregation round that failed.
+        survivors: Names of the clients that did report.
+        required: The quorum that was not met.
+    """
+
+    def __init__(self, round_index: int, survivors: List[str],
+                 required: int, total: int):
+        self.round_index = round_index
+        self.survivors = list(survivors)
+        self.required = required
+        self.total = total
+        super().__init__(
+            f"round {round_index}: only {len(survivors)}/{total} clients "
+            f"reported (quorum {required}); survivors: "
+            f"{', '.join(survivors) if survivors else 'none'}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled event in a fault plan.
+
+    Attributes:
+        kind: ``crash`` (permanent from ``round_index`` on), ``dropout``
+            (absent for ``[round_index, rejoin_round)``), or
+            ``straggler`` (delayed by ``delay_seconds`` in
+            ``round_index`` only).
+        party: Party name, matching the aggregation layer's
+            ``client-<i>`` convention.
+        round_index: First aggregation round the event affects.
+        rejoin_round: For ``dropout``: first round the party is back.
+        delay_seconds: For ``straggler``: modelled delay charged to the
+            round.
+    """
+
+    kind: str
+    party: str
+    round_index: int
+    rejoin_round: Optional[int] = None
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EVENT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {_EVENT_KINDS}")
+        if self.round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        if self.kind == DROPOUT:
+            if self.rejoin_round is None or \
+                    self.rejoin_round <= self.round_index:
+                raise ValueError("dropout needs rejoin_round > round_index")
+        if self.kind == STRAGGLER and self.delay_seconds <= 0:
+            raise ValueError("straggler needs a positive delay")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of federation faults.
+
+    Build fluently; each method returns a new plan::
+
+        plan = (FaultPlan(seed=7)
+                .crash("client-7", round_index=1)
+                .straggler("client-6", round_index=2, delay_seconds=30.0)
+                .with_message_loss(0.05))
+
+    Attributes:
+        events: Scheduled per-party events.
+        loss_probability: Per-attempt message loss probability.
+        corrupt_probability: Per-delivery ciphertext corruption
+            probability (caught by the message checksum).
+        seed: Base seed for every stochastic draw.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    loss_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if not 0.0 <= self.corrupt_probability < 1.0:
+            raise ValueError("corrupt_probability must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    # Fluent builders.
+    # ------------------------------------------------------------------
+
+    def _with_event(self, event: FaultEvent) -> "FaultPlan":
+        return replace(self, events=self.events + (event,))
+
+    def crash(self, party: str, round_index: int) -> "FaultPlan":
+        """Schedule a permanent crash from ``round_index`` on."""
+        return self._with_event(FaultEvent(CRASH, party, round_index))
+
+    def dropout(self, party: str, round_index: int,
+                rejoin_round: int) -> "FaultPlan":
+        """Schedule a transient outage with a rejoin round."""
+        return self._with_event(FaultEvent(
+            DROPOUT, party, round_index, rejoin_round=rejoin_round))
+
+    def straggler(self, party: str, round_index: int,
+                  delay_seconds: float) -> "FaultPlan":
+        """Schedule a straggler delay in one round."""
+        return self._with_event(FaultEvent(
+            STRAGGLER, party, round_index, delay_seconds=delay_seconds))
+
+    def with_message_loss(self, probability: float) -> "FaultPlan":
+        """Set the per-attempt message loss probability."""
+        return replace(self, loss_probability=probability)
+
+    def with_corruption(self, probability: float) -> "FaultPlan":
+        """Set the per-delivery ciphertext corruption probability."""
+        return replace(self, corrupt_probability=probability)
+
+    def events_for(self, party: str) -> List[FaultEvent]:
+        """All events scheduled for one party."""
+        return [event for event in self.events if event.party == party]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter over *modelled* time.
+
+    The delays are charged to the ledger (``fault.retransmit``), not
+    slept: the federation is an in-process model, so backoff is part of
+    the modelled round time just like transfer latency.
+
+    Attributes:
+        max_retries: Retransmissions after the first attempt before a
+            transfer is abandoned (``max_retries + 1`` total attempts).
+        base_delay: Backoff before the first retransmission, seconds.
+        backoff_factor: Multiplier per further retransmission.
+        max_delay: Ceiling on a single backoff.
+        jitter: Uniform jitter fraction added on top of each backoff
+            (``delay * jitter * U[0, 1)``), decorrelating retry storms.
+        time_budget: Optional ceiling on the *total* modelled seconds
+            (transfers + backoff) one logical send may consume; the
+            transfer is abandoned once exceeded, even with retries left.
+    """
+
+    max_retries: int = 5
+    base_delay: float = 0.0
+    backoff_factor: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.0
+    time_budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise ValueError("time_budget must be positive")
+
+    def backoff_seconds(self, retry_index: int,
+                        rng: Optional[random.Random] = None) -> float:
+        """Backoff before retransmission ``retry_index`` (0-based)."""
+        if retry_index < 0:
+            raise ValueError("retry_index must be non-negative")
+        delay = min(self.base_delay * self.backoff_factor ** retry_index,
+                    self.max_delay)
+        if rng is not None and self.jitter > 0 and delay > 0:
+            delay += delay * self.jitter * rng.random()
+        return delay
+
+    def exhausted(self, attempts: int, elapsed_seconds: float) -> bool:
+        """Whether a transfer must be abandoned at this point."""
+        if attempts > self.max_retries:  # attempts counts retransmissions
+            return True
+        if self.time_budget is not None and \
+                elapsed_seconds >= self.time_budget:
+            return True
+        return False
+
+
+#: The default policy for fault-enabled runs: five retries, 50 ms base
+#: backoff doubling to a 2 s ceiling, 10% jitter.
+DEFAULT_RETRY_POLICY = RetryPolicy(max_retries=5, base_delay=0.05,
+                                   backoff_factor=2.0, max_delay=2.0,
+                                   jitter=0.1)
+
+#: Back-compat policy matching the old inline loop: retries without
+#: backoff, so modelled times are unchanged when no plan is active.
+NO_BACKOFF_POLICY = RetryPolicy(max_retries=5)
+
+
+class FaultInjector:
+    """Live interpreter of a :class:`FaultPlan`.
+
+    The aggregation layer asks :meth:`is_alive` / :meth:`straggler_delay`
+    per (party, round); the channel asks :meth:`should_drop_message` /
+    :meth:`should_corrupt` per attempt.  Every triggered event is charged
+    to the bound ledger under a ``fault.*`` category and appended to
+    :attr:`triggered` for the :class:`~repro.federation.metrics.FaultReport`.
+
+    Args:
+        plan: The fault schedule.
+        ledger: Cost ledger to charge; rebindable via
+            :meth:`bind_ledger` on epoch rollover.
+        incarnation: Checkpoint/resume generation.  Seeds the stochastic
+            draws with ``plan.seed + incarnation`` and disables transient
+            dropout events for ``incarnation > 0`` (the outage does not
+            outlive a restart).
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 ledger: Optional[CostLedger] = None,
+                 incarnation: int = 0):
+        if incarnation < 0:
+            raise ValueError("incarnation must be non-negative")
+        self.plan = plan
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.incarnation = incarnation
+        self._rng = random.Random(plan.seed + incarnation)
+        #: (kind, party, round_index) tuples of every event that fired.
+        self.triggered: List[Tuple[str, str, int]] = []
+
+    def bind_ledger(self, ledger: CostLedger) -> None:
+        """Point fault charges at a new (epoch) ledger."""
+        self.ledger = ledger
+
+    # ------------------------------------------------------------------
+    # Per-round party state.
+    # ------------------------------------------------------------------
+
+    def is_alive(self, party: str, round_index: int) -> bool:
+        """Whether a party participates in a round; charges the event."""
+        for event in self.plan.events_for(party):
+            if event.kind == CRASH and round_index >= event.round_index:
+                self._record(CRASH, party, round_index)
+                return False
+            if event.kind == DROPOUT and self.incarnation == 0 and \
+                    event.round_index <= round_index < event.rejoin_round:
+                self._record(DROPOUT, party, round_index)
+                return False
+        return True
+
+    def straggler_delay(self, party: str, round_index: int) -> float:
+        """Modelled delay this party adds to this round (0 if none)."""
+        total = 0.0
+        for event in self.plan.events_for(party):
+            if event.kind == STRAGGLER and \
+                    event.round_index == round_index:
+                total += event.delay_seconds
+        return total
+
+    def charge_straggler(self, party: str, round_index: int,
+                         delay_seconds: float) -> None:
+        """Charge a straggler delay that was waited out."""
+        self._record(STRAGGLER, party, round_index,
+                     seconds=delay_seconds)
+
+    def charge_deadline_miss(self, party: str, round_index: int,
+                             deadline_seconds: float) -> None:
+        """Charge a straggler excluded by the round deadline."""
+        self._record("deadline", party, round_index,
+                     seconds=deadline_seconds)
+
+    def charge_lost_update(self, party: str, round_index: int,
+                           wasted_bytes: int = 0) -> None:
+        """Charge a client update lost after exhausting retries."""
+        self._record("lost_update", party, round_index,
+                     payload_bytes=wasted_bytes)
+
+    # ------------------------------------------------------------------
+    # Per-message stochastic processes (consumed by the channel).
+    # ------------------------------------------------------------------
+
+    def should_drop_message(self) -> bool:
+        """Draw the per-attempt loss process."""
+        return (self.plan.loss_probability > 0.0
+                and self._rng.random() < self.plan.loss_probability)
+
+    def should_corrupt(self) -> bool:
+        """Draw the per-delivery corruption process."""
+        return (self.plan.corrupt_probability > 0.0
+                and self._rng.random() < self.plan.corrupt_probability)
+
+    def corrupt_payload(self, payload: Any) -> Any:
+        """Return a bit-flipped copy of a ciphertext payload.
+
+        Only integer-list payloads (the ciphertext batches every secure
+        transfer ships) are corrupted; anything else passes through
+        untouched, modelling corruption of the ciphertext body.
+        """
+        if isinstance(payload, list) and payload and \
+                all(isinstance(v, int) for v in payload):
+            tampered = list(payload)
+            index = self._rng.randrange(len(tampered))
+            bit = self._rng.randrange(max(tampered[index].bit_length(), 8))
+            tampered[index] ^= 1 << bit
+            return tampered
+        return payload
+
+    # ------------------------------------------------------------------
+    # Bookkeeping.
+    # ------------------------------------------------------------------
+
+    def _record(self, kind: str, party: str, round_index: int,
+                seconds: float = 0.0, payload_bytes: int = 0) -> None:
+        self.triggered.append((kind, party, round_index))
+        self.ledger.charge(f"fault.{kind}", seconds, count=1,
+                           payload_bytes=payload_bytes)
+
+    def triggered_counts(self) -> dict:
+        """Event counts by kind, for reports."""
+        counts: dict = {}
+        for kind, _, _ in self.triggered:
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts

@@ -2,15 +2,16 @@
 
 The ledger (:mod:`repro.ledger`) is the single source of truth; this
 module adds the FL-level views the paper reports -- per-epoch totals with
-the three-way component split of Table VI / Fig. 1 -- and the helper that
+the three-way component split of Table VI / Fig. 1 -- the helper that
 charges plaintext model computation ("Others") from counted floating-point
-operations.
+operations, and the :class:`FaultReport` summarizing the ``fault.*``
+categories the fault-tolerance layer writes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.ledger import (
     COMPONENT_COMM,
@@ -120,3 +121,110 @@ class EpochReport:
     def other_seconds(self) -> float:
         """Seconds in the others component."""
         return self.component_seconds.get(COMPONENT_OTHERS, 0.0)
+
+
+@dataclass
+class FaultReport:
+    """Summary of the fault events charged to a ledger.
+
+    Reads the ``fault.*`` categories written by
+    :class:`~repro.federation.faults.FaultInjector` and the channel's
+    retry machinery; each field is a ``(count, seconds, bytes)``-derived
+    scalar the CLI and tests assert on.
+
+    Attributes:
+        crashes: Crash observations (one per affected round).
+        dropouts: Transient-outage observations.
+        stragglers: Straggler delays waited out.
+        straggler_seconds: Modelled seconds lost to stragglers.
+        deadline_misses: Stragglers excluded by the round deadline.
+        lost_updates: Client uploads abandoned after retries.
+        retransmissions: Channel retransmission attempts.
+        backoff_seconds: Modelled seconds spent backing off.
+        corrupted: Payloads caught by the checksum.
+        giveups: Transfers abandoned entirely.
+        wasted_bytes: Wire bytes consumed by failed attempts and
+            abandoned transfers.
+        fault_seconds: Total modelled time across all ``fault.*``
+            categories.
+    """
+
+    crashes: int = 0
+    dropouts: int = 0
+    stragglers: int = 0
+    straggler_seconds: float = 0.0
+    deadline_misses: int = 0
+    lost_updates: int = 0
+    retransmissions: int = 0
+    backoff_seconds: float = 0.0
+    corrupted: int = 0
+    giveups: int = 0
+    wasted_bytes: int = 0
+    fault_seconds: float = 0.0
+
+    @classmethod
+    def from_ledger(cls, ledger: CostLedger) -> "FaultReport":
+        """Snapshot a ledger's ``fault.*`` categories."""
+        return cls(
+            crashes=ledger.count("fault.crash"),
+            dropouts=ledger.count("fault.dropout"),
+            stragglers=ledger.count("fault.straggler"),
+            straggler_seconds=ledger.seconds("fault.straggler"),
+            deadline_misses=ledger.count("fault.deadline"),
+            lost_updates=ledger.count("fault.lost_update"),
+            retransmissions=ledger.count("fault.retransmit"),
+            backoff_seconds=ledger.seconds("fault.retransmit"),
+            corrupted=ledger.count("fault.corrupt"),
+            giveups=ledger.count("fault.giveup"),
+            wasted_bytes=(ledger.payload_bytes("fault.retransmit")
+                          + ledger.payload_bytes("fault.giveup")
+                          + ledger.payload_bytes("fault.lost_update")),
+            fault_seconds=ledger.seconds("fault"),
+        )
+
+    @property
+    def total_events(self) -> int:
+        """All fault events observed."""
+        return (self.crashes + self.dropouts + self.stragglers
+                + self.deadline_misses + self.lost_updates
+                + self.retransmissions + self.corrupted + self.giveups)
+
+    @property
+    def has_faults(self) -> bool:
+        """Whether anything at all went wrong."""
+        return self.total_events > 0
+
+    def merge(self, other: "FaultReport") -> "FaultReport":
+        """Sum two reports (e.g. across epochs of one run)."""
+        return FaultReport(
+            crashes=self.crashes + other.crashes,
+            dropouts=self.dropouts + other.dropouts,
+            stragglers=self.stragglers + other.stragglers,
+            straggler_seconds=self.straggler_seconds
+            + other.straggler_seconds,
+            deadline_misses=self.deadline_misses + other.deadline_misses,
+            lost_updates=self.lost_updates + other.lost_updates,
+            retransmissions=self.retransmissions + other.retransmissions,
+            backoff_seconds=self.backoff_seconds + other.backoff_seconds,
+            corrupted=self.corrupted + other.corrupted,
+            giveups=self.giveups + other.giveups,
+            wasted_bytes=self.wasted_bytes + other.wasted_bytes,
+            fault_seconds=self.fault_seconds + other.fault_seconds,
+        )
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable summary (the CLI's fault table body)."""
+        return [
+            f"crashes observed      {self.crashes}",
+            f"dropouts observed     {self.dropouts}",
+            f"stragglers waited     {self.stragglers} "
+            f"({self.straggler_seconds:.2f}s)",
+            f"deadline misses       {self.deadline_misses}",
+            f"lost updates          {self.lost_updates}",
+            f"retransmissions       {self.retransmissions} "
+            f"({self.backoff_seconds:.3f}s backoff)",
+            f"corrupted payloads    {self.corrupted}",
+            f"abandoned transfers   {self.giveups}",
+            f"wasted wire bytes     {self.wasted_bytes}",
+            f"total fault seconds   {self.fault_seconds:.2f}",
+        ]

@@ -12,30 +12,41 @@ channel -- for users who want to see (or extend) the protocol steps:
 - :class:`SecureAveragingJob` -- the explicit state machine of one
   federated-averaging round, equivalent to
   :meth:`SecureAggregator.aggregate` (asserted by the tests).
+
+Fault tolerance mirrors the library path: the job consults a
+:class:`~repro.federation.faults.FaultInjector` per round, proceeds with
+any quorum of survivors, and decodes with the *actual* summand count so
+partial sums come back exact.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.federation.channel import Message
+from repro.federation.channel import ChannelError, Message
+from repro.federation.faults import FaultInjector, QuorumError
 from repro.federation.runtime import FederationRuntime
 
 
 @dataclass
 class Mailbox:
-    """Tagged FIFO queues, one per message tag."""
+    """Tagged FIFO queues, one per message tag.
 
-    _queues: Dict[str, Deque[Any]] = field(
+    Each entry remembers its sender, so a server short of updates can
+    name exactly which clients never reported.
+    """
+
+    _queues: Dict[str, Deque[Tuple[Optional[str], Any]]] = field(
         default_factory=lambda: defaultdict(deque))
 
-    def deliver(self, tag: str, payload: Any) -> None:
-        """Enqueue a payload under a tag."""
-        self._queues[tag].append(payload)
+    def deliver(self, tag: str, payload: Any,
+                sender: Optional[str] = None) -> None:
+        """Enqueue a payload under a tag, remembering who sent it."""
+        self._queues[tag].append((sender, payload))
 
     def collect(self, tag: str) -> Any:
         """Pop the oldest payload with this tag.
@@ -43,6 +54,10 @@ class Mailbox:
         Raises ``LookupError`` when nothing matching has arrived -- a
         protocol-ordering bug, not an empty-queue condition to poll.
         """
+        return self.collect_with_sender(tag)[1]
+
+    def collect_with_sender(self, tag: str) -> Tuple[Optional[str], Any]:
+        """Pop the oldest ``(sender, payload)`` pair with this tag."""
         queue = self._queues.get(tag)
         if not queue:
             raise LookupError(f"no message tagged {tag!r} has arrived")
@@ -51,6 +66,11 @@ class Mailbox:
     def pending(self, tag: str) -> int:
         """Messages waiting under a tag."""
         return len(self._queues.get(tag, ()))
+
+    def senders(self, tag: str) -> List[str]:
+        """Senders of the messages currently waiting under a tag."""
+        return [sender for sender, _ in self._queues.get(tag, ())
+                if sender is not None]
 
 
 class Party:
@@ -72,7 +92,7 @@ class Party:
                 self.runtime.client_engine.nominal_ciphertext_bytes()
                 if ciphertext_count else 0),
             plaintext_bytes=plaintext_bytes, packed=packed))
-        receiver.mailbox.deliver(tag, delivered)
+        receiver.mailbox.deliver(tag, delivered, sender=self.name)
 
 
 class ClientParty(Party):
@@ -108,15 +128,40 @@ class ClientParty(Party):
 class AggregatorParty(Party):
     """The server: sums ciphertexts it cannot decrypt."""
 
-    def aggregate_updates(self, num_clients: int) -> List[int]:
-        """Combine all pending client updates homomorphically."""
-        if self.mailbox.pending("update") != num_clients:
+    def aggregate_updates(self, num_clients: int,
+                          expected_clients: Optional[Sequence[str]] = None,
+                          min_quorum: Optional[int] = None) -> List[int]:
+        """Combine pending client updates homomorphically.
+
+        Args:
+            num_clients: Scheduled participant count.
+            expected_clients: Names of the scheduled clients, so a short
+                round can name exactly who is missing.
+            min_quorum: Accept this many survivors instead of requiring
+                all ``num_clients`` (partial aggregation).
+
+        Raises:
+            LookupError: Fewer updates than the quorum arrived; the
+                message names the missing clients when their names are
+                known.
+        """
+        arrived = self.mailbox.pending("update")
+        required = min_quorum if min_quorum is not None else num_clients
+        if arrived < required:
+            missing = ""
+            if expected_clients is not None:
+                reported = set(self.mailbox.senders("update"))
+                absent = [name for name in expected_clients
+                          if name not in reported]
+                if absent:
+                    missing = f"; missing: {', '.join(absent)}"
             raise LookupError(
-                f"expected {num_clients} updates, "
-                f"{self.mailbox.pending('update')} arrived")
+                f"expected {required} of {num_clients} updates, "
+                f"{arrived} arrived{missing}")
         total: Optional[List[int]] = None
-        for _ in range(num_clients):
+        for _ in range(arrived):
             update = self.mailbox.collect("update")
+            self.runtime.aggregator.validate_ciphertexts(update)
             if total is None:
                 total = list(update)
             else:
@@ -154,14 +199,65 @@ class SecureAveragingJob:
         ]
         self._length = len(client_vectors[0])
 
-    def run(self) -> np.ndarray:
+    def run(self, min_quorum: Optional[int] = None,
+            injector: Optional[FaultInjector] = None,
+            round_index: int = 0,
+            deadline_seconds: Optional[float] = None) -> np.ndarray:
         """Execute upload -> aggregate -> broadcast -> decrypt; returns
-        the averaged vector as client 0 decodes it."""
+        the averaged vector as the first surviving client decodes it.
+
+        With a fault injector, crashed / dropped-out / too-slow clients
+        skip the round and the server aggregates any quorum of
+        survivors, decoding with the actual summand count.
+
+        Raises:
+            QuorumError: Fewer survivors than ``min_quorum``.
+        """
+        injector = injector if injector is not None \
+            else self.runtime.injector
+        participants: List[ClientParty] = []
+        dropped: List[str] = []
         for client in self.clients:
-            client.upload_update(self.server)
-        aggregate = self.server.aggregate_updates(len(self.clients))
-        self.server.broadcast_aggregate(self.clients, aggregate)
+            if injector is not None:
+                if not injector.is_alive(client.name, round_index):
+                    dropped.append(client.name)
+                    continue
+                delay = injector.straggler_delay(client.name, round_index)
+                if delay > 0:
+                    if deadline_seconds is not None and \
+                            delay > deadline_seconds:
+                        injector.charge_deadline_miss(
+                            client.name, round_index, deadline_seconds)
+                        dropped.append(client.name)
+                        continue
+                    injector.charge_straggler(client.name, round_index,
+                                              delay)
+            try:
+                client.upload_update(self.server)
+            except ChannelError as error:
+                if injector is None:
+                    raise
+                injector.charge_lost_update(
+                    client.name, round_index,
+                    wasted_bytes=error.wasted_bytes)
+                dropped.append(client.name)
+                continue
+            participants.append(client)
+
+        required = min_quorum if min_quorum is not None \
+            else len(self.clients)
+        if len(participants) < required:
+            raise QuorumError(round_index,
+                              [c.name for c in participants],
+                              required, len(self.clients))
+
+        aggregate = self.server.aggregate_updates(
+            len(self.clients),
+            expected_clients=[c.name for c in self.clients],
+            min_quorum=len(participants))
+        self.server.broadcast_aggregate(participants, aggregate)
+        summands = len(participants)
         decoded = [client.decrypt_aggregate(count=self._length,
-                                            summands=len(self.clients))
-                   for client in self.clients]
-        return decoded[0] / len(self.clients)
+                                            summands=summands)
+                   for client in participants]
+        return decoded[0] / summands

@@ -28,6 +28,12 @@ from repro.crypto.gpu_engine import GpuPaillierEngine
 from repro.crypto.keys import PaillierKeypair, generate_paillier_keypair
 from repro.federation.aggregator import SecureAggregator
 from repro.federation.channel import Channel
+from repro.federation.faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.gpu.cost_model import DEFAULT_PROFILE, HardwareProfile
 from repro.gpu.device import SimulatedGpu
 from repro.gpu.kernels import GpuKernels
@@ -127,6 +133,19 @@ class FederationRuntime:
             full quantization precision and packs only what the physical
             plaintext holds -- the mode the convergence experiments use,
             where precision matters and time accounting is secondary.
+        fault_plan: Optional fault schedule; builds a
+            :class:`~repro.federation.faults.FaultInjector` shared by the
+            channel and the aggregator.
+        retry_policy: Channel retry/backoff configuration.  Defaults to
+            zero-backoff retries (legacy behaviour) without a fault plan
+            and to :data:`~repro.federation.faults.DEFAULT_RETRY_POLICY`
+            with one.
+        min_quorum: Minimum surviving clients per aggregation round;
+            ``None`` requires all clients.
+        round_deadline_seconds: Stragglers delayed beyond this miss the
+            round instead of being waited for.
+        incarnation: Checkpoint/resume generation; salts the fault seeds
+            so a resumed run draws fresh (still deterministic) faults.
     """
 
     def __init__(self, config: SystemConfig, num_clients: int,
@@ -134,12 +153,21 @@ class FederationRuntime:
                  profile: HardwareProfile = DEFAULT_PROFILE,
                  seed: int = 7, alpha: float = 1.0,
                  randomizer_pool_size: int = 32,
-                 bc_capacity: str = "nominal"):
+                 bc_capacity: str = "nominal",
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 min_quorum: Optional[int] = None,
+                 round_deadline_seconds: Optional[float] = None,
+                 incarnation: int = 0):
         if bc_capacity not in ("nominal", "physical"):
             raise ValueError("bc_capacity must be 'nominal' or 'physical'")
         self.bc_capacity = bc_capacity
         if num_clients < 1:
             raise ValueError("need at least one client")
+        if min_quorum is not None and not 1 <= min_quorum <= num_clients:
+            raise ValueError(
+                f"min_quorum {min_quorum} impossible with "
+                f"{num_clients} clients")
         self.config = config
         self.num_clients = num_clients
         self.key_bits = key_bits
@@ -154,10 +182,27 @@ class FederationRuntime:
         self._silent_ledger = CostLedger()
         self._rng = LimbRandom(seed=seed + 1)
 
+        self.fault_plan = fault_plan
+        self.min_quorum = min_quorum
+        self.round_deadline_seconds = round_deadline_seconds
+        self.incarnation = incarnation
+        self.injector = (FaultInjector(fault_plan, ledger=self.ledger,
+                                       incarnation=incarnation)
+                         if fault_plan is not None else None)
+        if retry_policy is None and fault_plan is not None:
+            # Fault-enabled runs default to real backoff; fault-free runs
+            # keep the zero-backoff policy so modelled times are
+            # unchanged.
+            retry_policy = DEFAULT_RETRY_POLICY
+        self.retry_policy = retry_policy
+
         self.client_engine = self._build_engine(self.ledger)
         self.server_engine = self._build_engine(self.ledger)
         self.silent_engine = self._build_engine(self._silent_ledger)
-        self.channel = Channel(profile=profile, ledger=self.ledger)
+        self.channel = Channel(profile=profile, ledger=self.ledger,
+                               retry_policy=retry_policy,
+                               injector=self.injector,
+                               seed=seed + incarnation)
         self.plan = self._build_plan()
         self.aggregator = SecureAggregator(
             client_engine=self.client_engine,
@@ -166,6 +211,9 @@ class FederationRuntime:
             packer=self.plan.packer,
             channel=self.channel,
             packed_serialization=config.packed_serialization,
+            injector=self.injector,
+            min_quorum=min_quorum,
+            round_deadline_seconds=round_deadline_seconds,
         )
 
     # ------------------------------------------------------------------
@@ -226,6 +274,8 @@ class FederationRuntime:
         self.client_engine.ledger = self.ledger
         self.server_engine.ledger = self.ledger
         self.channel.ledger = self.ledger
+        if self.injector is not None:
+            self.injector.bind_ledger(self.ledger)
         return self.ledger
 
     def gpu_device(self) -> Optional[SimulatedGpu]:

@@ -83,6 +83,41 @@ class FederatedModel(ABC):
         """Current global training loss."""
 
     # ------------------------------------------------------------------
+    # Checkpointable state (fault-tolerant training).
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the aggregated model state as name -> float array.
+
+        Covers the two shapes the horizontal models use -- a flat
+        ``weights`` vector (Homo LR) or a ``params`` dict of arrays
+        (Homo NN).  Models with other state override this pair.
+        Optimizer slots and local shards are deliberately *not*
+        checkpointed: they are re-derived on resume, matching a real
+        deployment where a restarted client warm-starts from the global
+        model.
+        """
+        if hasattr(self, "weights"):
+            return {"weights": np.asarray(self.weights, dtype=np.float64)}
+        if hasattr(self, "params"):
+            return {name: np.asarray(value, dtype=np.float64)
+                    for name, value in self.params.items()}
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose checkpointable state")
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        if hasattr(self, "weights"):
+            self.weights = np.asarray(state["weights"], dtype=np.float64)
+            return
+        if hasattr(self, "params"):
+            self.params = {name: np.asarray(value, dtype=np.float64)
+                           for name, value in state.items()}
+            return
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose checkpointable state")
+
+    # ------------------------------------------------------------------
     # Shared secure primitives.
     # ------------------------------------------------------------------
 

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.federation.channel import Channel, Message
+from repro.federation.channel import (
+    Channel,
+    ChannelError,
+    Message,
+    payload_checksum,
+)
+from repro.federation.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.gpu.cost_model import HardwareProfile
 from repro.ledger import CostLedger
 
@@ -158,3 +164,178 @@ class TestFailureInjection:
         result = runtime.aggregator.aggregate([np.full(8, 0.1)] * 4)
         assert np.all(np.isfinite(result))
         assert lossy.stats.retransmissions >= 0
+
+
+class TestChecksum:
+    def test_deterministic_across_payload_shapes(self):
+        import numpy as np
+        payloads = [None, 0, 12345678901234567890, -3, 0.5, "hello",
+                    b"bytes", [1, 2, 3], (1, [2, "x"]), {"a": 1, "b": [2]},
+                    np.arange(6).reshape(2, 3)]
+        for payload in payloads:
+            assert payload_checksum(payload) == payload_checksum(payload)
+
+    def test_distinguishes_close_payloads(self):
+        assert payload_checksum([1, 2, 3]) != payload_checksum([1, 2, 4])
+        assert payload_checksum([1 << 200]) != \
+            payload_checksum([(1 << 200) ^ 1])
+
+    def test_message_computes_checksum_on_construction(self):
+        message = Message(sender="a", receiver="b", tag="t",
+                          payload=[10, 20])
+        assert message.checksum == payload_checksum([10, 20])
+
+
+class TestFailureAccounting:
+    """Dropped attempts must be charged before ChannelError is raised."""
+
+    def make_lossy(self, drop, retries, seed, policy=None):
+        return Channel(profile=HardwareProfile(), ledger=CostLedger(),
+                       drop_probability=drop, max_retries=retries,
+                       seed=seed, retry_policy=policy)
+
+    def test_channel_error_carries_diagnostics(self):
+        channel = self.make_lossy(0.95, 1, 1)
+        with pytest.raises(ChannelError) as excinfo:
+            for _ in range(200):
+                channel.send(Message(sender="a", receiver="b", tag="grad",
+                                     payload=None, plaintext_bytes=50))
+        error = excinfo.value
+        assert error.tag == "grad"
+        assert error.attempts == 2  # first attempt + one retry
+        assert error.wasted_bytes == 2 * 50
+
+    def test_exhausted_transfer_charges_ledger(self):
+        channel = self.make_lossy(0.95, 1, 1)
+        sends = 0
+        with pytest.raises(ChannelError):
+            for _ in range(200):
+                channel.send(Message(sender="a", receiver="b", tag="grad",
+                                     payload=None, plaintext_bytes=50))
+                sends += 1
+        # Every attempt (including the abandoned transfer's) is charged.
+        assert channel.ledger.payload_bytes("comm.grad") == \
+            channel.stats.wire_bytes
+        assert channel.ledger.count("fault.giveup") == 1
+        assert channel.ledger.payload_bytes("fault.giveup") == 100
+        assert channel.stats.failed_messages == 1
+        # Sends that succeeded are still counted normally.
+        assert channel.stats.messages == sends
+
+    def test_backoff_charged_as_modelled_time(self):
+        policy = RetryPolicy(max_retries=10, base_delay=0.5,
+                             backoff_factor=2.0, max_delay=4.0)
+        channel = self.make_lossy(0.5, 10, 3, policy=policy)
+        for _ in range(30):
+            channel.send(Message(sender="a", receiver="b", tag="t",
+                                 payload=None, plaintext_bytes=10))
+        assert channel.stats.retransmissions > 0
+        assert channel.stats.backoff_seconds > 0
+        assert channel.ledger.seconds("fault.retransmit") == \
+            pytest.approx(channel.stats.backoff_seconds)
+        assert channel.ledger.count("fault.retransmit") == \
+            channel.stats.retransmissions
+
+    def test_time_budget_abandons_transfer(self):
+        policy = RetryPolicy(max_retries=1000, base_delay=1.0,
+                             backoff_factor=1.0, max_delay=1.0,
+                             time_budget=2.5)
+        channel = self.make_lossy(0.9, 1000, 7, policy=policy)
+        with pytest.raises(ChannelError) as excinfo:
+            for _ in range(500):
+                channel.send(Message(sender="a", receiver="b", tag="t",
+                                     payload=None, plaintext_bytes=1))
+        assert excinfo.value.attempts < 1000
+
+
+class TestRetransmissionAccountingProperty:
+    """Seeded-loss property: stats and ledger stay mutually consistent."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("drop", [0.0, 0.2, 0.5])
+    def test_send_invariants(self, seed, drop):
+        channel = Channel(profile=HardwareProfile(), ledger=CostLedger(),
+                          drop_probability=drop, max_retries=200,
+                          seed=seed)
+        per_message = 64
+        for _ in range(40):
+            channel.send(Message(sender="a", receiver="b", tag="t",
+                                 payload=None,
+                                 plaintext_bytes=per_message))
+        stats = channel.stats
+        assert stats.messages == 40
+        # Total attempts = deliveries + retransmissions.
+        assert stats.wire_bytes == per_message * (stats.messages
+                                                  + stats.retransmissions)
+        assert channel.ledger.payload_bytes("comm.t") == stats.wire_bytes
+        assert channel.ledger.count("comm.t") == 40
+        if drop == 0.0:
+            assert stats.retransmissions == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_broadcast_invariants(self, seed):
+        channel = Channel(profile=HardwareProfile(), ledger=CostLedger(),
+                          drop_probability=0.3, max_retries=200,
+                          seed=seed)
+        receivers = [f"c{i}" for i in range(6)]
+        per_message = 32
+        for _ in range(10):
+            channel.broadcast(Message(sender="s", receiver="*", tag="down",
+                                      payload=None,
+                                      plaintext_bytes=per_message),
+                              receivers=receivers)
+        stats = channel.stats
+        assert stats.messages == 60
+        assert stats.wire_bytes == per_message * (stats.messages
+                                                  + stats.retransmissions)
+        assert channel.ledger.payload_bytes("comm.down") == stats.wire_bytes
+        assert channel.ledger.count("comm.down") == 60
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_invariants_hold_across_failures(self, seed):
+        channel = Channel(profile=HardwareProfile(), ledger=CostLedger(),
+                          drop_probability=0.6, max_retries=2, seed=seed)
+        per_message = 16
+        attempted = 0
+        for _ in range(60):
+            attempted += 1
+            try:
+                channel.send(Message(sender="a", receiver="b", tag="t",
+                                     payload=None,
+                                     plaintext_bytes=per_message))
+            except ChannelError:
+                pass
+        stats = channel.stats
+        assert stats.messages + stats.failed_messages == attempted
+        assert stats.wire_bytes == per_message * (
+            stats.messages + stats.retransmissions + stats.failed_messages)
+        assert channel.ledger.payload_bytes("comm.t") == stats.wire_bytes
+
+
+class TestCorruptionDetection:
+    def test_corrupted_payload_detected_and_retransmitted(self):
+        plan = FaultPlan(seed=9).with_corruption(0.5)
+        injector = FaultInjector(plan)
+        ledger = CostLedger()
+        channel = Channel(profile=HardwareProfile(), ledger=ledger,
+                          max_retries=100, injector=injector)
+        payload = [123456789, 987654321]
+        for _ in range(30):
+            delivered = channel.send(Message(
+                sender="a", receiver="b", tag="t", payload=payload,
+                ciphertext_count=2, ciphertext_bytes=64))
+            # Detected corruption is retried; delivery is always intact.
+            assert delivered == payload
+        assert channel.stats.corrupted > 0
+        assert ledger.count("fault.corrupt") == channel.stats.corrupted
+        assert channel.stats.retransmissions >= channel.stats.corrupted
+
+    def test_injector_loss_feeds_channel(self):
+        plan = FaultPlan(seed=4).with_message_loss(0.4)
+        channel = Channel(profile=HardwareProfile(), ledger=CostLedger(),
+                          max_retries=100,
+                          injector=FaultInjector(plan))
+        for _ in range(40):
+            channel.send(Message(sender="a", receiver="b", tag="t",
+                                 payload=None, plaintext_bytes=8))
+        assert channel.stats.retransmissions > 0

@@ -1,0 +1,221 @@
+"""Quorum-based partial aggregation: k-of-n rounds decode exactly."""
+
+import numpy as np
+import pytest
+
+from repro.federation.faults import FaultInjector, FaultPlan, QuorumError
+from repro.federation.parties import (
+    AggregatorParty,
+    Mailbox,
+    SecureAveragingJob,
+)
+from repro.federation.runtime import (
+    FATE_SYSTEM,
+    FLBOOSTER_SYSTEM,
+    FederationRuntime,
+)
+
+
+def make_runtime(num_clients=8, **kwargs):
+    kwargs.setdefault("key_bits", 256)
+    kwargs.setdefault("physical_key_bits", 256)
+    return FederationRuntime(FLBOOSTER_SYSTEM, num_clients=num_clients,
+                             **kwargs)
+
+
+def client_vectors(num_clients, length=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(-0.5, 0.5, size=length) for _ in range(num_clients)]
+
+
+class TestPartialSumDecode:
+    """Satellite: k-of-n aggregation matches the true k-client sum."""
+
+    @pytest.mark.parametrize("bc_capacity", ["nominal", "physical"])
+    def test_partial_sum_within_quantization_error(self, bc_capacity):
+        plan = (FaultPlan(seed=0).crash("client-5", 0)
+                .crash("client-6", 0).crash("client-7", 0))
+        runtime = make_runtime(num_clients=8, bc_capacity=bc_capacity,
+                               fault_plan=plan, min_quorum=5)
+        vectors = client_vectors(8)
+        decoded = runtime.aggregator.aggregate(vectors)
+        surviving = sum(vectors[:5])
+        step = runtime.aggregator.scheme.quantization_step
+        # 5 quantized summands: at most 5 half-steps of rounding error.
+        # A wrong Eq. 6 offset (K instead of k) would be off by ~3 * alpha.
+        assert np.allclose(decoded, surviving, atol=5 * step)
+        report = runtime.aggregator.last_round
+        assert report.partial
+        assert report.summands == 5
+        assert report.survivors == [f"client-{i}" for i in range(5)]
+        assert sorted(name for name, _ in report.dropped) == \
+            ["client-5", "client-6", "client-7"]
+        assert all(reason == "offline" for _, reason in report.dropped)
+
+    def test_full_round_is_not_partial(self):
+        runtime = make_runtime(num_clients=4)
+        vectors = client_vectors(4)
+        decoded = runtime.aggregator.aggregate(vectors)
+        step = runtime.aggregator.scheme.quantization_step
+        assert np.allclose(decoded, sum(vectors), atol=4 * step)
+        assert not runtime.aggregator.last_round.partial
+        assert runtime.aggregator.last_round.summands == 4
+
+    def test_average_divides_by_survivors(self):
+        plan = FaultPlan().crash("client-3", 0)
+        runtime = make_runtime(num_clients=4, fault_plan=plan, min_quorum=3)
+        vectors = client_vectors(4)
+        averaged = runtime.aggregator.average(vectors)
+        step = runtime.aggregator.scheme.quantization_step
+        assert np.allclose(averaged, sum(vectors[:3]) / 3, atol=3 * step)
+
+    def test_quorum_error_when_too_few_survive(self):
+        plan = (FaultPlan().crash("client-2", 0).crash("client-3", 0))
+        runtime = make_runtime(num_clients=4, fault_plan=plan, min_quorum=3)
+        with pytest.raises(QuorumError) as excinfo:
+            runtime.aggregator.aggregate(client_vectors(4))
+        error = excinfo.value
+        assert error.required == 3
+        assert error.survivors == ["client-0", "client-1"]
+
+    def test_impossible_quorum_rejected(self):
+        runtime = make_runtime(num_clients=4)
+        with pytest.raises(ValueError):
+            runtime.aggregator.aggregate(client_vectors(4), min_quorum=5)
+        with pytest.raises(ValueError):
+            runtime.aggregator.aggregate(client_vectors(4), min_quorum=0)
+
+    def test_deadline_excludes_slow_straggler(self):
+        plan = FaultPlan().straggler("client-1", 0, delay_seconds=60.0)
+        runtime = make_runtime(num_clients=4, fault_plan=plan, min_quorum=3,
+                               round_deadline_seconds=10.0)
+        vectors = client_vectors(4)
+        decoded = runtime.aggregator.aggregate(vectors)
+        step = runtime.aggregator.scheme.quantization_step
+        expected = vectors[0] + vectors[2] + vectors[3]
+        assert np.allclose(decoded, expected, atol=3 * step)
+        assert ("client-1", "deadline") in runtime.aggregator.last_round.dropped
+        assert runtime.ledger.count("fault.deadline") == 1
+
+    def test_tolerated_straggler_charges_delay(self):
+        plan = FaultPlan().straggler("client-1", 0, delay_seconds=5.0)
+        runtime = make_runtime(num_clients=4, fault_plan=plan,
+                               round_deadline_seconds=10.0)
+        runtime.aggregator.aggregate(client_vectors(4))
+        assert runtime.ledger.seconds("fault.straggler") == 5.0
+        assert runtime.aggregator.last_round.summands == 4
+
+    def test_round_cursor_advances_and_lines_up_events(self):
+        plan = FaultPlan().crash("client-3", 1)
+        runtime = make_runtime(num_clients=4, fault_plan=plan, min_quorum=3)
+        vectors = client_vectors(4)
+        runtime.aggregator.aggregate(vectors)  # round 0: all alive
+        assert runtime.aggregator.last_round.summands == 4
+        runtime.aggregator.aggregate(vectors)  # round 1: crash fires
+        assert runtime.aggregator.last_round.summands == 3
+        assert runtime.aggregator.round_cursor == 2
+
+
+class TestCiphertextValidation:
+    def test_out_of_range_ciphertext_rejected(self):
+        runtime = make_runtime(num_clients=2)
+        bound = runtime.server_engine.public_key.n_squared
+        with pytest.raises(ValueError):
+            runtime.aggregator.validate_ciphertexts([0, bound])
+        with pytest.raises(ValueError):
+            runtime.aggregator.validate_ciphertexts([-1])
+        with pytest.raises(ValueError):
+            runtime.aggregator.validate_ciphertexts(["junk"])
+        runtime.aggregator.validate_ciphertexts([0, bound - 1])  # in range
+
+
+class TestMailboxSenders:
+    def test_deliver_remembers_sender(self):
+        mailbox = Mailbox()
+        mailbox.deliver("update", [1], sender="client-0")
+        mailbox.deliver("update", [2], sender="client-2")
+        assert mailbox.senders("update") == ["client-0", "client-2"]
+        sender, payload = mailbox.collect_with_sender("update")
+        assert (sender, payload) == ("client-0", [1])
+        assert mailbox.senders("update") == ["client-2"]
+
+
+class TestAggregatorPartyDiagnostics:
+    """Satellite: a short round names exactly the missing clients."""
+
+    def test_missing_clients_named(self):
+        runtime = make_runtime(num_clients=3)
+        server = AggregatorParty("arbiter", runtime)
+        ciphertexts = runtime.aggregator.encrypt_vector(
+            np.zeros(4), charged=False)
+        server.mailbox.deliver("update", ciphertexts, sender="client-1")
+        expected = ["client-0", "client-1", "client-2"]
+        with pytest.raises(LookupError) as excinfo:
+            server.aggregate_updates(3, expected_clients=expected)
+        message = str(excinfo.value)
+        assert "client-0" in message
+        assert "client-2" in message
+        assert "client-1" not in message.split("missing:")[1]
+
+    def test_quorum_accepts_partial_mailbox(self):
+        runtime = make_runtime(num_clients=3)
+        server = AggregatorParty("arbiter", runtime)
+        for name in ("client-0", "client-2"):
+            server.mailbox.deliver(
+                "update",
+                runtime.aggregator.encrypt_vector(np.ones(4),
+                                                  charged=False),
+                sender=name)
+        total = server.aggregate_updates(3, min_quorum=2)
+        assert isinstance(total, list)
+
+
+class TestSecureAveragingJobQuorum:
+    def test_job_matches_library_partial_average(self):
+        plan = FaultPlan().crash("client-4", 0).crash("client-5", 0)
+        vectors = client_vectors(6, seed=3)
+
+        job_runtime = make_runtime(num_clients=6, fault_plan=plan,
+                                   min_quorum=4)
+        job = SecureAveragingJob(job_runtime, vectors)
+        job_result = job.run(min_quorum=4)
+
+        lib_runtime = make_runtime(num_clients=6, fault_plan=plan,
+                                   min_quorum=4)
+        lib_result = lib_runtime.aggregator.average(vectors)
+
+        assert np.allclose(job_result, lib_result, atol=1e-12)
+        step = job_runtime.aggregator.scheme.quantization_step
+        assert np.allclose(job_result, sum(vectors[:4]) / 4, atol=4 * step)
+
+    def test_job_raises_quorum_error(self):
+        plan = (FaultPlan().crash("client-0", 0).crash("client-1", 0)
+                .crash("client-2", 0))
+        runtime = make_runtime(num_clients=4, fault_plan=plan)
+        job = SecureAveragingJob(runtime, client_vectors(4))
+        with pytest.raises(QuorumError):
+            job.run(min_quorum=2)
+
+    def test_fate_runtime_also_supports_quorum(self):
+        plan = FaultPlan().crash("client-3", 0)
+        runtime = FederationRuntime(FATE_SYSTEM, num_clients=4,
+                                    key_bits=256, physical_key_bits=256,
+                                    fault_plan=plan, min_quorum=3)
+        vectors = client_vectors(4, seed=7)
+        decoded = runtime.aggregator.aggregate(vectors)
+        step = runtime.aggregator.scheme.quantization_step
+        assert np.allclose(decoded, sum(vectors[:3]), atol=3 * step)
+
+
+class TestRuntimeQuorumValidation:
+    def test_invalid_runtime_quorum_rejected(self):
+        with pytest.raises(ValueError):
+            make_runtime(num_clients=4, min_quorum=5)
+        with pytest.raises(ValueError):
+            make_runtime(num_clients=4, min_quorum=0)
+
+    def test_injector_only_with_plan(self):
+        runtime = make_runtime(num_clients=2)
+        assert runtime.injector is None
+        with_plan = make_runtime(num_clients=2, fault_plan=FaultPlan())
+        assert isinstance(with_plan.injector, FaultInjector)
