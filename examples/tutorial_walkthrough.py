@@ -16,7 +16,6 @@ import json
 import tempfile
 from pathlib import Path
 
-import numpy as np
 
 from repro.baselines import FLBOOSTER
 from repro.datasets import synthetic_like, train_test_split, vertical_split

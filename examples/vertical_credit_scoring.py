@@ -17,7 +17,7 @@ from repro.federation.intersection import RsaIntersection
 from repro.datasets import synthetic_like, vertical_split
 from repro.federation.runtime import FederationRuntime
 from repro.models import HeteroLogisticRegression, HeteroSecureBoost
-from repro.models.losses import logistic_gradient, logistic_loss
+from repro.models.losses import logistic_gradient
 from repro.models.optim import AdamOptimizer
 
 

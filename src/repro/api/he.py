@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.api.ops import ArrayOps
+from repro.crypto.engine import HeEngine
+from repro.crypto.gpu_engine import GpuPaillierEngine
 from repro.crypto.keys import (
     PaillierKeypair,
     PaillierPrivateKey,
@@ -24,6 +26,9 @@ from repro.crypto.paillier import Paillier
 from repro.crypto.rsa import Rsa
 from repro.gpu.kernels import GpuKernels
 from repro.mpint.primes import LimbRandom
+from repro.quantization.packing import PackingPlan
+from repro.tensor.cipher import CipherTensor
+from repro.tensor.plain import PlainTensor
 
 Ints = Union[int, Sequence[int]]
 
@@ -165,3 +170,37 @@ class FlBooster:
     def mod_pow(self, x, p, n):
         """Table I ``mod_pow``."""
         return self.ops.mod_pow(x, p, n)
+
+    # Encrypted tensors -----------------------------------------------
+
+    def he_engine(self, keypair: PaillierKeypair,
+                  nominal_bits: Optional[int] = None) -> GpuPaillierEngine:
+        """A batched Paillier engine sharing this session's GPU.
+
+        The returned engine's kernel launches land on ``self.kernels``,
+        so tensor work is visible in the same device log and utilization
+        stats as the Table I array operations.
+        """
+        return GpuPaillierEngine(keypair, kernels=self.kernels,
+                                 nominal_bits=nominal_bits)
+
+    def encrypt_tensor(self, engine: HeEngine, values,
+                       alpha: float = 1.0, r_bits: int = 30,
+                       num_parties: int = 2) -> CipherTensor:
+        """Encode, pack and encrypt a real-valued array in one call.
+
+        The packing plan is derived from the engine's key geometry; the
+        returned :class:`CipherTensor` carries everything needed to
+        decrypt and decode it later.
+        """
+        plan = PackingPlan.for_engine(engine, alpha=alpha, r_bits=r_bits,
+                                      num_parties=num_parties)
+        return engine.encrypt_tensor(PlainTensor.encode(values, plan.packer))
+
+    def decrypt_tensor(self, engine: HeEngine, tensor: CipherTensor):
+        """Decrypt and decode an encrypted tensor; returns the array.
+
+        No caller-supplied count, summand count or scheme: the tensor's
+        metadata describes its own layout.
+        """
+        return engine.decrypt_tensor(tensor).decode()

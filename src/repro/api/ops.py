@@ -18,12 +18,17 @@ IntArray = Sequence[int]
 
 def _broadcast(a: Union[int, IntArray],
                b: Union[int, IntArray]) -> tuple:
-    """Promote scalars and validate lengths; returns two equal lists."""
+    """Promote scalars and validate lengths; returns two equal lists.
+
+    A length-1 operand broadcasts against *any* other length, including
+    zero: scalar-vs-empty yields empty results rather than a length
+    mismatch (numpy's broadcasting rule).
+    """
     a_list = [a] if isinstance(a, int) else list(a)
     b_list = [b] if isinstance(b, int) else list(b)
-    if len(a_list) == 1 and len(b_list) > 1:
+    if len(a_list) == 1 and len(b_list) != 1:
         a_list = a_list * len(b_list)
-    if len(b_list) == 1 and len(a_list) > 1:
+    if len(b_list) == 1 and len(a_list) != 1:
         b_list = b_list * len(a_list)
     if len(a_list) != len(b_list):
         raise ValueError(

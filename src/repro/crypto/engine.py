@@ -18,13 +18,16 @@ paper's 1024/2048/4096 bits (see DESIGN.md).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 from repro.crypto.keys import PaillierKeypair
 from repro.crypto.paillier import Paillier
 from repro.ledger import CostLedger
 from repro.mpint.primes import LimbRandom
+from repro.tensor.cipher import CipherTensor
+from repro.tensor.meta import KeyMismatchError, key_fingerprint
+from repro.tensor.plain import PlainTensor
 
 
 @dataclass
@@ -72,6 +75,7 @@ class HeEngine(ABC):
         self.randomizer_pool_size = randomizer_pool_size
         self._randomizer_pool: list = []
         self._pool_cursor = 0
+        self._fingerprint: Optional[bytes] = None
 
     # ------------------------------------------------------------------
     # Key geometry.
@@ -90,6 +94,12 @@ class HeEngine(ABC):
     def nominal_ciphertext_bytes(self) -> int:
         """Wire size of one ciphertext at the *charged* key size."""
         return 2 * self.nominal_bits // 8
+
+    def fingerprint(self) -> bytes:
+        """16-byte fingerprint of this engine's public key (cached)."""
+        if self._fingerprint is None:
+            self._fingerprint = key_fingerprint(self.public_key)
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Batch operations (implemented by the CPU / GPU engines).
@@ -111,6 +121,44 @@ class HeEngine(ABC):
     def scalar_mul_batch(self, ciphertexts: Sequence[int],
                          scalars: Sequence[int]) -> List[int]:
         """Element-wise plaintext-scalar multiplication of a batch."""
+
+    # ------------------------------------------------------------------
+    # Tensor interface.
+    # ------------------------------------------------------------------
+
+    def encrypt_tensor(self, plain: PlainTensor) -> CipherTensor:
+        """Encrypt an encoded-and-packed :class:`PlainTensor`.
+
+        The resulting :class:`CipherTensor` carries this engine's key
+        fingerprint and key geometry in its metadata, so every downstream
+        consumer -- including :meth:`decrypt_tensor` -- interprets the
+        payload without caller-supplied counts, summands or schemes.
+        """
+        words = self.encrypt_batch(plain.word_list())
+        meta = replace(plain.meta,
+                       key_fingerprint=self.fingerprint(),
+                       nominal_bits=self.nominal_bits,
+                       physical_bits=self.physical_bits)
+        return CipherTensor(meta, words=words, engine=self)
+
+    def decrypt_tensor(self, tensor: CipherTensor) -> PlainTensor:
+        """Decrypt a :class:`CipherTensor` back into its plain codec form.
+
+        Lazy expressions are flushed (through this engine) first.  Call
+        ``.decode()`` on the result for the real-valued array.
+
+        Raises:
+            KeyMismatchError: The tensor was encrypted under a different
+                key than this engine holds.
+        """
+        if tensor.meta.key_fingerprint != self.fingerprint():
+            raise KeyMismatchError(
+                f"tensor encrypted under key "
+                f"{tensor.meta.key_fingerprint.hex()[:8]}, engine holds "
+                f"{self.fingerprint().hex()[:8]}")
+        materialized = tensor.materialize(engine=self)
+        words = self.decrypt_batch(list(materialized.words))
+        return PlainTensor(words, materialized.meta)
 
     # ------------------------------------------------------------------
     # Shared helpers.

@@ -138,6 +138,13 @@ class GpuPaillierEngine(HeEngine):
                 launches = engine.kernels.device.launches[self_inner.start:]
                 seconds = sum(launch.seconds for launch in launches)
                 engine.ledger.charge(category, seconds, count=ops)
+                if launches:
+                    # Launch-count accounting: lets the ledger show how
+                    # many kernel launches an epoch spent, so op fusion
+                    # (fewer, larger launches) is measurable without
+                    # inspecting the device log.
+                    engine.ledger.charge("gpu.launch", 0.0,
+                                         count=len(launches))
                 engine.report.modelled_seconds += seconds
                 return False
 

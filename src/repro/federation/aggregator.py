@@ -5,9 +5,17 @@ Implements the full FLBooster data path for one aggregation round:
     gradients -> encode/quantize -> pack -> encrypt -> upload
               -> homomorphic sum -> download -> decrypt -> unpack -> decode
 
-plus the two packing flavours the protocols need:
+Ciphertext payloads move as :class:`~repro.tensor.cipher.CipherTensor` --
+an immutable container carrying its own layout metadata (key fingerprint,
+scheme, capacity, shape, summand count) -- so decodes never depend on
+caller-supplied counts, and the server-side homomorphic sum is a *lazy*
+tensor expression the fusion planner flushes into ``ceil(log2 k)``
+batched kernel launches instead of ``k - 1`` sequential ones.
 
-- *plaintext-side* packing (Eq. 9) when the producer holds plaintexts;
+The module also keeps the two packing flavours the protocols need:
+
+- *plaintext-side* packing (Eq. 9), owned by
+  :class:`~repro.tensor.plain.PlainTensor`;
 - *ciphertext-side* packing -- shift-and-add cipher compression in the
   style of SecureBoost+ [16] -- when the values to transmit are already
   encrypted (e.g. homomorphically computed gradients or histograms).
@@ -19,20 +27,47 @@ Only the designated *representative* client charges the ledger for
 client-side work: the paper's clients run in parallel, so wall-clock
 client time is one client's time, while server work and every transfer are
 charged in full.
+
+The pre-tensor raw-list entry points (``encrypt_vector`` /
+``decrypt_vector`` / ``send_encrypted``) remain as deprecated shims for
+one release; new code should use the ``*_tensor`` methods.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.crypto.engine import HeEngine
 from repro.federation.channel import Channel, ChannelError, Message
 from repro.federation.faults import FaultInjector, QuorumError
-from repro.federation.metrics import charge_model_compute, charge_pipeline_stage
+from repro.federation.metrics import charge_pipeline_stage
 from repro.quantization.packing import BatchPacker
+from repro.tensor.cipher import CipherTensor
+from repro.tensor.plain import PlainTensor
+
+#: Raw-list entry points already warned about this process (the shims
+#: warn exactly once each; tests reset via
+#: :func:`reset_deprecation_warnings`).
+_DEPRECATION_SEEN: set = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _DEPRECATION_SEEN:
+        return
+    _DEPRECATION_SEEN.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead "
+        f"(raw ciphertext lists are replaced by CipherTensor)",
+        DeprecationWarning, stacklevel=3)
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm the once-per-process deprecation warnings (tests)."""
+    _DEPRECATION_SEEN.clear()
 
 
 @dataclass
@@ -77,6 +112,9 @@ class SecureAggregator:
         round_deadline_seconds: Default round deadline; stragglers whose
             delay exceeds it are excluded from the round instead of
             charged.
+        fused: Flush the server-side sum through the lazy fusion planner
+            (fewer, larger kernel launches).  ``False`` reproduces the
+            eager per-pair path for comparison benchmarks.
     """
 
     def __init__(self, client_engine: HeEngine, silent_engine: HeEngine,
@@ -84,7 +122,8 @@ class SecureAggregator:
                  channel: Channel, packed_serialization: bool = False,
                  injector: Optional[FaultInjector] = None,
                  min_quorum: Optional[int] = None,
-                 round_deadline_seconds: Optional[float] = None):
+                 round_deadline_seconds: Optional[float] = None,
+                 fused: bool = True):
         self.client_engine = client_engine
         self.silent_engine = silent_engine
         self.server_engine = server_engine
@@ -94,6 +133,7 @@ class SecureAggregator:
         self.injector = injector
         self.min_quorum = min_quorum
         self.round_deadline_seconds = round_deadline_seconds
+        self.fused = fused
         #: Global aggregation-round counter; checkpoints restore it so a
         #: resumed run lines scheduled fault events up correctly.
         self.round_cursor = 0
@@ -106,59 +146,121 @@ class SecureAggregator:
         return self.packer.scheme
 
     # ------------------------------------------------------------------
-    # Client-side pipeline stages.
+    # Client-side pipeline stages (tensor interface).
     # ------------------------------------------------------------------
 
-    def encrypt_vector(self, values: np.ndarray,
-                       charged: bool = True) -> List[int]:
-        """Encode, pack and encrypt one gradient vector.
+    def encrypt_tensor(self, values: np.ndarray,
+                       charged: bool = True) -> CipherTensor:
+        """Encode, pack and encrypt one gradient array into a tensor.
 
         Args:
-            values: Real-valued gradient array.
+            values: Real-valued gradient array (any shape).
             charged: Route through the charged client engine (the
                 representative client) or the silent one.
         """
         engine = self.client_engine if charged else self.silent_engine
-        encoded = self.scheme.encode_array(values)
-        words = self.packer.pack(encoded)
+        plain = PlainTensor.encode(values, self.packer)
         if charged:
             # The encode/quantize/pad/pack stages of the pipeline
             # (Fig. 4): float -> multi-precision conversion per value.
-            charge_pipeline_stage(engine.ledger, len(values),
+            charge_pipeline_stage(engine.ledger, plain.meta.count,
                                   tag="pipeline.encode_pack")
-        return engine.encrypt_batch(words)
+        return engine.encrypt_tensor(plain)
+
+    def decrypt_tensor(self, tensor: CipherTensor,
+                       charged: bool = True) -> np.ndarray:
+        """Decrypt, unpack and decode an encrypted tensor.
+
+        All the layout information -- value count, summand count, scheme
+        -- comes from the tensor's own metadata; nothing is caller
+        supplied.  Cross-key tensors raise
+        :class:`~repro.tensor.meta.KeyMismatchError`.
+        """
+        engine = self.client_engine if charged else self.silent_engine
+        plain = engine.decrypt_tensor(tensor)
+        if charged:
+            charge_pipeline_stage(engine.ledger, plain.meta.count,
+                                  tag="pipeline.unpack_decode")
+        return plain.decode()
+
+    def send_tensor(self, tensor: CipherTensor, sender: str,
+                    receiver: str, tag: str,
+                    packed: Optional[bool] = None) -> CipherTensor:
+        """Transmit a tensor, charging the wire at nominal sizes.
+
+        Args:
+            packed: Wire-format flag for byte accounting; defaults to the
+                aggregator's ``packed_serialization`` setting.
+        """
+        materialized = tensor.materialize()
+        return self.channel.send(Message.for_tensor(
+            materialized, sender=sender, receiver=receiver, tag=tag,
+            ciphertext_bytes=self.client_engine.nominal_ciphertext_bytes(),
+            packed=self.packed_serialization if packed is None else packed))
+
+    # ------------------------------------------------------------------
+    # Deprecated raw-list shims (one release of grace).
+    # ------------------------------------------------------------------
+
+    def encrypt_vector(self, values: np.ndarray,
+                       charged: bool = True) -> List[int]:
+        """Deprecated: use :meth:`encrypt_tensor`.
+
+        Returns the raw ciphertext words of the encrypted tensor.
+        """
+        _warn_deprecated("SecureAggregator.encrypt_vector",
+                         "SecureAggregator.encrypt_tensor")
+        return list(self.encrypt_tensor(values, charged=charged).words)
 
     def decrypt_vector(self, ciphertexts: Sequence[int], count: int,
                        summands: int = 1, charged: bool = True) -> np.ndarray:
-        """Decrypt, unpack and decode an aggregated vector.
+        """Deprecated: use :meth:`decrypt_tensor`.
 
-        Args:
-            ciphertexts: Packed ciphertext words.
-            count: Number of real values packed inside.
-            summands: How many vectors were slot-wise summed (for the
-                translation-offset correction of Eq. 6).
-            charged: Charge the client engine or run silent.
+        Wraps caller-supplied raw words and metadata into a tensor and
+        decrypts it -- the very hand-threading the tensor type removes.
         """
+        _warn_deprecated("SecureAggregator.decrypt_vector",
+                         "SecureAggregator.decrypt_tensor")
         engine = self.client_engine if charged else self.silent_engine
-        words = engine.decrypt_batch(list(ciphertexts))
-        encoded = self.packer.unpack(words, count)
-        if charged:
-            charge_pipeline_stage(engine.ledger, count,
-                                  tag="pipeline.unpack_decode")
-        return self.scheme.decode_array(encoded, count=summands)
+        plain = PlainTensor.encode(np.zeros(count), self.packer)
+        meta = plain.meta
+        from dataclasses import replace
+        meta = replace(meta, key_fingerprint=engine.fingerprint(),
+                       nominal_bits=engine.nominal_bits,
+                       physical_bits=engine.physical_bits,
+                       summands=summands)
+        tensor = CipherTensor(meta, words=list(ciphertexts), engine=engine)
+        return self.decrypt_tensor(tensor, charged=charged).ravel()
+
+    def send_encrypted(self, ciphertexts: Sequence[int], sender: str,
+                       receiver: str, tag: str,
+                       already_packed: bool) -> List[int]:
+        """Deprecated: use :meth:`send_tensor`."""
+        _warn_deprecated("SecureAggregator.send_encrypted",
+                         "SecureAggregator.send_tensor")
+        payload = list(ciphertexts)
+        return self.channel.send(Message(
+            sender=sender, receiver=receiver, tag=tag, payload=payload,
+            ciphertext_count=len(payload),
+            ciphertext_bytes=self.client_engine.nominal_ciphertext_bytes(),
+            packed=self.packed_serialization and already_packed))
 
     # ------------------------------------------------------------------
     # The full round.
     # ------------------------------------------------------------------
 
-    def validate_ciphertexts(self, ciphertexts: Sequence[int]) -> None:
+    def validate_ciphertexts(
+            self, ciphertexts: Union[CipherTensor, Sequence[int]]) -> None:
         """Server-side sanity check: every ciphertext in ``[0, n^2)``.
 
         Paillier ciphertexts live in ``Z_{n^2}``; anything outside that
         range is a framing or corruption bug that would otherwise decrypt
         to silent garbage (Paillier is malleable, so corruption never
-        errors on its own).
+        errors on its own).  Accepts a :class:`CipherTensor` or a raw
+        word sequence.
         """
+        if isinstance(ciphertexts, CipherTensor):
+            ciphertexts = ciphertexts.words
         bound = self.server_engine.public_key.n_squared
         for value in ciphertexts:
             if not isinstance(value, int) or not 0 <= value < bound:
@@ -179,13 +281,19 @@ class SecureAggregator:
         server-side homomorphic summation, downloads and the (parallel)
         decryption are charged in full.
 
+        The server-side sum is a lazy :class:`CipherTensor` expression:
+        with ``fused=True`` the planner coalesces it into level-wise
+        batched additions (``ceil(log2 k)`` kernel launches); with
+        ``fused=False`` it runs the eager pair-at-a-time path.  Both
+        produce bit-identical ciphertext sums.
+
         Under a fault injector, clients may be crashed, dropped out,
         excluded by the round deadline (stragglers), or lose their upload
         after exhausting retries.  The round proceeds with the survivors
         as long as their number meets ``min_quorum`` (default: the
         aggregator's configured quorum, or *all* clients when none is
-        set), and the decode corrects the Eq. 6 translation offset with
-        the *actual* summand count so partial sums decode exactly.
+        set), and the tensor metadata accumulates the *actual* summand
+        count so partial sums decode exactly (Eq. 6 offset correction).
         Details of the round land in :attr:`last_round`.
 
         Raises:
@@ -216,8 +324,7 @@ class SecureAggregator:
                 f"quorum {required} impossible with {len(vectors)} clients")
         round_report = AggregationRound(round_index=round_index)
 
-        nominal_bytes = self.client_engine.nominal_ciphertext_bytes()
-        uploaded: List[List[int]] = []
+        uploaded: List[CipherTensor] = []
         representative_charged = False
         for index, vector in enumerate(vectors):
             name = f"client-{index}"
@@ -236,14 +343,11 @@ class SecureAggregator:
                     injector.charge_straggler(name, round_index, delay)
             charged = not representative_charged
             representative_charged = True
-            ciphertexts = self.encrypt_vector(vector, charged=charged)
+            tensor = self.encrypt_tensor(vector, charged=charged)
             try:
-                payload = self.channel.send(Message(
-                    sender=name, receiver="server",
-                    tag=f"upload.{tag}", payload=ciphertexts,
-                    ciphertext_count=len(ciphertexts),
-                    ciphertext_bytes=nominal_bytes,
-                    packed=self.packed_serialization))
+                payload = self.send_tensor(tensor, sender=name,
+                                           receiver="server",
+                                           tag=f"upload.{tag}")
             except ChannelError as error:
                 if injector is None:
                     raise
@@ -262,23 +366,35 @@ class SecureAggregator:
             raise QuorumError(round_index, round_report.survivors,
                               required, len(vectors))
 
-        aggregated = uploaded[0]
-        for other in uploaded[1:]:
-            aggregated = self.server_engine.add_batch(aggregated, other)
+        aggregated = self._server_sum(uploaded)
 
         for name in round_report.survivors:
-            self.channel.send(Message(
-                sender="server", receiver=name,
-                tag=f"download.{tag}", payload=aggregated,
-                ciphertext_count=len(aggregated),
-                ciphertext_bytes=nominal_bytes,
-                packed=self.packed_serialization))
+            self.send_tensor(aggregated, sender="server", receiver=name,
+                             tag=f"download.{tag}")
 
-        # Eq. 6 offset correction with the *actual* summand count: each
-        # surviving encoding carries one +alpha translation, so a partial
-        # sum of k vectors must subtract k * alpha, not K * alpha.
-        return self.decrypt_vector(aggregated, count=length,
-                                   summands=len(uploaded), charged=True)
+        # The Eq. 6 offset correction rides the metadata: each surviving
+        # tensor contributed summands=1, so the aggregate's summand count
+        # is exactly the number of vectors actually summed and a partial
+        # sum of k vectors subtracts k * alpha, not K * alpha.
+        return self.decrypt_tensor(aggregated, charged=True)
+
+    def _server_sum(self, uploaded: List[CipherTensor]) -> CipherTensor:
+        """Homomorphically sum the uploads on the server engine."""
+        if self.fused:
+            total = uploaded[0]
+            for other in uploaded[1:]:
+                total = total + other
+            return total.materialize(engine=self.server_engine)
+        # Eager path: one add_batch per client pair, exactly the
+        # pre-fusion data path (kept for the comparison benchmarks).
+        total = uploaded[0].materialize(engine=self.server_engine)
+        for other in uploaded[1:]:
+            summed = total.meta.combine_add(other.meta)
+            words = self.server_engine.add_batch(list(total.words),
+                                                 list(other.words))
+            total = CipherTensor(summed, words=words,
+                                 engine=self.server_engine)
+        return total
 
     def average(self, client_vectors: Sequence[np.ndarray],
                 tag: str = "gradients", **kwargs) -> np.ndarray:
@@ -321,14 +437,3 @@ class SecureAggregator:
                     [word], [1 << (slot_bits * pad_slots)])[0]
             packed.append(word)
         return packed
-
-    def send_encrypted(self, ciphertexts: Sequence[int], sender: str,
-                       receiver: str, tag: str,
-                       already_packed: bool) -> List[int]:
-        """Transmit ciphertexts, charging the wire at nominal sizes."""
-        payload = list(ciphertexts)
-        return self.channel.send(Message(
-            sender=sender, receiver=receiver, tag=tag, payload=payload,
-            ciphertext_count=len(payload),
-            ciphertext_bytes=self.client_engine.nominal_ciphertext_bytes(),
-            packed=self.packed_serialization and already_packed))

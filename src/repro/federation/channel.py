@@ -31,9 +31,10 @@ from typing import Any, List, Optional
 
 import numpy as np
 
-from repro.federation.faults import FaultInjector, NO_BACKOFF_POLICY, RetryPolicy
+from repro.federation.faults import FaultInjector, RetryPolicy
 from repro.gpu.cost_model import DEFAULT_PROFILE, HardwareProfile
 from repro.ledger import CostLedger
+from repro.tensor.cipher import CipherTensor
 
 #: Monotonic ids for message tracing.
 _message_counter = itertools.count()
@@ -72,6 +73,13 @@ def _mix(payload: Any) -> int:
         return zlib.adler32(payload.encode())
     if isinstance(payload, np.ndarray):
         return zlib.adler32(payload.tobytes()) ^ _mix(payload.shape)
+    if isinstance(payload, CipherTensor):
+        # Cover the ciphertext words AND the metadata a receiver decodes
+        # with -- a tampered summand count or fingerprint must fail the
+        # checksum just like a flipped ciphertext bit.
+        meta = payload.meta
+        return _mix((payload.words, meta.key_fingerprint, meta.count,
+                     meta.summands, meta.capacity, meta.shape))
     if isinstance(payload, (list, tuple)):
         digest = _CHECKSUM_SEED ^ len(payload)
         for item in payload:
@@ -119,6 +127,19 @@ class Message:
     def __post_init__(self) -> None:
         if self.checksum is None:
             self.checksum = payload_checksum(self.payload)
+
+    @classmethod
+    def for_tensor(cls, tensor: CipherTensor, sender: str, receiver: str,
+                   tag: str, ciphertext_bytes: int,
+                   packed: bool = False) -> "Message":
+        """Build the message shipping one encrypted tensor.
+
+        The ciphertext count comes from the tensor itself; ``packed``
+        selects the binary packed wire format for byte accounting.
+        """
+        return cls(sender=sender, receiver=receiver, tag=tag,
+                   payload=tensor, ciphertext_count=tensor.num_words,
+                   ciphertext_bytes=ciphertext_bytes, packed=packed)
 
 
 @dataclass

@@ -44,7 +44,7 @@ across incarnations.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, List, Optional, Tuple
 
 from repro.ledger import CostLedger
@@ -348,10 +348,19 @@ class FaultInjector:
     def corrupt_payload(self, payload: Any) -> Any:
         """Return a bit-flipped copy of a ciphertext payload.
 
-        Only integer-list payloads (the ciphertext batches every secure
-        transfer ships) are corrupted; anything else passes through
-        untouched, modelling corruption of the ciphertext body.
+        Integer-list payloads (raw ciphertext batches) and
+        :class:`~repro.tensor.cipher.CipherTensor` payloads are
+        corrupted; anything else passes through untouched, modelling
+        corruption of the ciphertext body.
         """
+        from repro.tensor.cipher import CipherTensor
+
+        if isinstance(payload, CipherTensor) and payload.num_words:
+            tampered = list(payload.words)
+            index = self._rng.randrange(len(tampered))
+            bit = self._rng.randrange(max(tampered[index].bit_length(), 8))
+            tampered[index] ^= 1 << bit
+            return payload.with_words(tampered)
         if isinstance(payload, list) and payload and \
                 all(isinstance(v, int) for v in payload):
             tampered = list(payload)

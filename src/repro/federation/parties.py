@@ -30,6 +30,7 @@ import numpy as np
 from repro.federation.channel import ChannelError, Message
 from repro.federation.faults import FaultInjector, QuorumError
 from repro.federation.runtime import FederationRuntime
+from repro.tensor.cipher import CipherTensor
 
 
 @dataclass
@@ -110,19 +111,22 @@ class ClientParty(Party):
 
     def upload_update(self, server: "AggregatorParty") -> None:
         """Encrypt the local vector and ship it to the server."""
-        ciphertexts = self.runtime.aggregator.encrypt_vector(
+        tensor = self.runtime.aggregator.encrypt_tensor(
             self.vector, charged=self.charged)
-        self.send(server, tag="update", payload=ciphertexts,
-                  ciphertext_count=len(ciphertexts),
+        self.send(server, tag="update", payload=tensor,
+                  ciphertext_count=tensor.num_words,
                   packed=self.runtime.config.packed_serialization)
 
-    def decrypt_aggregate(self, count: int,
-                          summands: int) -> np.ndarray:
-        """Decrypt the aggregate the server broadcast."""
-        ciphertexts = self.mailbox.collect("aggregate")
-        return self.runtime.aggregator.decrypt_vector(
-            ciphertexts, count=count, summands=summands,
-            charged=self.charged)
+    def decrypt_aggregate(self) -> np.ndarray:
+        """Decrypt the aggregate the server broadcast.
+
+        The tensor payload carries its own value count and summand
+        count, so the client needs no protocol-level bookkeeping to
+        decode it correctly.
+        """
+        tensor = self.mailbox.collect("aggregate")
+        return self.runtime.aggregator.decrypt_tensor(
+            tensor, charged=self.charged)
 
 
 class AggregatorParty(Party):
@@ -130,8 +134,13 @@ class AggregatorParty(Party):
 
     def aggregate_updates(self, num_clients: int,
                           expected_clients: Optional[Sequence[str]] = None,
-                          min_quorum: Optional[int] = None) -> List[int]:
+                          min_quorum: Optional[int] = None) -> CipherTensor:
         """Combine pending client updates homomorphically.
+
+        The sum is built as a lazy :class:`CipherTensor` expression and
+        materialized once on the server engine, so the fusion planner
+        flushes it in ``ceil(log2 k)`` batched launches.  The resulting
+        tensor's metadata carries the actual summand count.
 
         Args:
             num_clients: Scheduled participant count.
@@ -158,23 +167,20 @@ class AggregatorParty(Party):
             raise LookupError(
                 f"expected {required} of {num_clients} updates, "
                 f"{arrived} arrived{missing}")
-        total: Optional[List[int]] = None
+        total: Optional[CipherTensor] = None
         for _ in range(arrived):
             update = self.mailbox.collect("update")
             self.runtime.aggregator.validate_ciphertexts(update)
-            if total is None:
-                total = list(update)
-            else:
-                total = self.runtime.server_engine.add_batch(total, update)
+            total = update if total is None else total + update
         assert total is not None
-        return total
+        return total.materialize(engine=self.runtime.server_engine)
 
     def broadcast_aggregate(self, clients: Sequence[ClientParty],
-                            aggregate: List[int]) -> None:
+                            aggregate: CipherTensor) -> None:
         """Send the encrypted aggregate back to every client."""
         for client in clients:
             self.send(client, tag="aggregate", payload=aggregate,
-                      ciphertext_count=len(aggregate),
+                      ciphertext_count=aggregate.num_words,
                       packed=self.runtime.config.packed_serialization)
 
 
@@ -197,7 +203,6 @@ class SecureAveragingJob:
                         charged=(index == 0))
             for index, vector in enumerate(client_vectors)
         ]
-        self._length = len(client_vectors[0])
 
     def run(self, min_quorum: Optional[int] = None,
             injector: Optional[FaultInjector] = None,
@@ -256,8 +261,8 @@ class SecureAveragingJob:
             expected_clients=[c.name for c in self.clients],
             min_quorum=len(participants))
         self.server.broadcast_aggregate(participants, aggregate)
-        summands = len(participants)
-        decoded = [client.decrypt_aggregate(count=self._length,
-                                            summands=summands)
-                   for client in participants]
+        # The decode's Eq. 6 offset correction rides the tensor metadata
+        # (summands accumulated through the homomorphic sum).
+        summands = aggregate.meta.summands
+        decoded = [client.decrypt_aggregate() for client in participants]
         return decoded[0] / summands

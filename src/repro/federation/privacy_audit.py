@@ -19,7 +19,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
-from repro.federation.channel import Channel, Message
+from repro.federation.channel import Channel
 
 
 @dataclass

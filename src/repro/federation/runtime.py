@@ -146,6 +146,9 @@ class FederationRuntime:
             round instead of being waited for.
         incarnation: Checkpoint/resume generation; salts the fault seeds
             so a resumed run draws fresh (still deterministic) faults.
+        fused: Flush server-side aggregation through the lazy tensor
+            fusion planner (default); ``False`` keeps the eager per-pair
+            path for launch-count comparison benchmarks.
     """
 
     def __init__(self, config: SystemConfig, num_clients: int,
@@ -158,7 +161,8 @@ class FederationRuntime:
                  retry_policy: Optional[RetryPolicy] = None,
                  min_quorum: Optional[int] = None,
                  round_deadline_seconds: Optional[float] = None,
-                 incarnation: int = 0):
+                 incarnation: int = 0,
+                 fused: bool = True):
         if bc_capacity not in ("nominal", "physical"):
             raise ValueError("bc_capacity must be 'nominal' or 'physical'")
         self.bc_capacity = bc_capacity
@@ -214,6 +218,7 @@ class FederationRuntime:
             injector=self.injector,
             min_quorum=min_quorum,
             round_deadline_seconds=round_deadline_seconds,
+            fused=fused,
         )
 
     # ------------------------------------------------------------------

@@ -10,18 +10,36 @@ real encodings:
   fingerprint and a Python-object envelope.  Bloat ~2.5x raw.
 - ``packed`` -- FLBooster's binary format: one header, then fixed-width
   big-endian ciphertext words back to back.  Bloat ~1.05x raw.
+- ``tensor`` (v2) -- the packed body prefixed by a self-describing
+  header carrying the full :class:`~repro.tensor.meta.TensorMeta`: key
+  fingerprint, key geometry, quantization scheme, packing capacity,
+  logical shape and summand count.  Decoding a v2 frame needs *no*
+  caller-supplied metadata, and the decoder validates the key
+  fingerprint so cross-key payloads fail loudly.
 
-Both formats round-trip exactly; the measured bloat factors match the
+All formats round-trip exactly; the measured bloat factors match the
 cost model's constants (asserted by the tests).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+from repro.quantization.encoding import QuantizationScheme
+from repro.tensor.cipher import CipherTensor
+from repro.tensor.meta import KeyMismatchError, TensorMeta
 
 #: Frame magic for the packed format.
 PACKED_MAGIC = b"FLBP"
+#: Frame magic + version for the self-describing tensor format.
+TENSOR_MAGIC = b"FLT2"
+#: Fixed-size part of the v2 tensor header: magic, version, flags, ndim,
+#: count, summands, capacity, word count, word width, nominal bits,
+#: physical bits, r bits, participant count, alpha, key fingerprint.
+TENSOR_HEADER = struct.Struct(">4sBBBxIIIIIIIHHd16s")
+#: v2 format version byte.
+TENSOR_VERSION = 2
 #: Per-object envelope overhead of the object format, bytes: type tag,
 #: schema name, key fingerprint, exponent field, length headers -- the
 #: accumulated framing of a serialized ciphertext *object*.
@@ -53,14 +71,31 @@ def serialize_packed(ciphertexts: Sequence[int],
 
 
 def deserialize_packed(blob: bytes) -> List[int]:
-    """Invert :func:`serialize_packed`."""
+    """Invert :func:`serialize_packed`.
+
+    Validates the frame end to end before slicing: a short header, a
+    zero word width with a non-zero count, or a body whose length does
+    not match ``count * width`` all raise a clear ``ValueError`` instead
+    of silently mis-slicing into garbage ciphertexts.
+    """
+    if len(blob) < 12:
+        raise ValueError(
+            f"truncated frame: packed header needs 12 bytes, got "
+            f"{len(blob)}")
     if blob[:4] != PACKED_MAGIC:
         raise ValueError("not a packed ciphertext frame")
     count, width = struct.unpack(">II", blob[4:12])
-    expected = 12 + count * width
-    if len(blob) != expected:
+    if count and width == 0:
         raise ValueError(
-            f"truncated frame: expected {expected} bytes, got {len(blob)}")
+            f"corrupt frame: {count} ciphertexts declared with zero "
+            f"word width")
+    body = len(blob) - 12
+    expected = count * width
+    if body != expected:
+        kind = "truncated" if body < expected else "oversized"
+        raise ValueError(
+            f"{kind} frame: {count} x {width}-byte words need "
+            f"{expected} body bytes, got {body}")
     return [_bytes_to_int(blob[12 + i * width:12 + (i + 1) * width])
             for i in range(count)]
 
@@ -112,6 +147,96 @@ def deserialize_objects(blob: bytes,
         value = _bytes_to_int(blob[start:start + ciphertext_bytes])
         out.append((value, exponent))
     return out
+
+
+def serialize_tensor(tensor: CipherTensor,
+                     ciphertext_bytes: Optional[int] = None) -> bytes:
+    """The v2 packed wire frame: self-describing tensor header + body.
+
+    Args:
+        tensor: The (materialized or lazy) encrypted tensor; lazy
+            expressions are flushed through their attached engine.
+        ciphertext_bytes: Fixed word width on the wire; defaults to the
+            width of ``n^2`` at the tensor's *physical* key size.
+    """
+    meta = tensor.meta
+    width = (ciphertext_bytes if ciphertext_bytes is not None
+             else max(1, 2 * meta.physical_bits // 8 + 1))
+    words = tensor.words
+    for word in words:
+        if word.bit_length() > 8 * width:
+            raise ValueError(
+                f"ciphertext of {word.bit_length()} bits does not fit "
+                f"the {width}-byte wire width")
+    header = TENSOR_HEADER.pack(
+        TENSOR_MAGIC, TENSOR_VERSION,
+        1 if meta.packed else 0, len(meta.shape),
+        meta.count, meta.summands, meta.capacity, len(words), width,
+        meta.nominal_bits, meta.physical_bits,
+        meta.scheme.r_bits, meta.scheme.num_parties,
+        meta.scheme.alpha, meta.key_fingerprint)
+    dims = struct.pack(f">{len(meta.shape)}I", *meta.shape)
+    body = b"".join(_int_to_bytes(word, width) for word in words)
+    return header + dims + body
+
+
+def deserialize_tensor(blob: bytes,
+                       expected_fingerprint: Optional[bytes] = None
+                       ) -> CipherTensor:
+    """Invert :func:`serialize_tensor`, validating the frame end to end.
+
+    The returned :class:`CipherTensor` carries its full metadata, so no
+    caller-supplied count / summands / scheme is needed to decode it.
+
+    Args:
+        expected_fingerprint: When given (e.g. the receiving engine's
+            :meth:`~repro.crypto.engine.HeEngine.fingerprint`), a frame
+            encrypted under any other key raises
+            :class:`~repro.tensor.meta.KeyMismatchError`.
+    """
+    if len(blob) < TENSOR_HEADER.size:
+        raise ValueError(
+            f"truncated frame: tensor header needs {TENSOR_HEADER.size} "
+            f"bytes, got {len(blob)}")
+    (magic, version, flags, ndim, count, summands, capacity, num_words,
+     width, nominal_bits, physical_bits, r_bits, num_parties, alpha,
+     fingerprint) = TENSOR_HEADER.unpack(blob[:TENSOR_HEADER.size])
+    if magic != TENSOR_MAGIC:
+        raise ValueError("not a v2 tensor frame")
+    if version != TENSOR_VERSION:
+        raise ValueError(f"unsupported tensor frame version {version}")
+    if num_words and width == 0:
+        raise ValueError(
+            f"corrupt frame: {num_words} words declared with zero width")
+    dims_end = TENSOR_HEADER.size + 4 * ndim
+    expected = dims_end + num_words * width
+    if len(blob) != expected:
+        kind = "truncated" if len(blob) < expected else "oversized"
+        raise ValueError(
+            f"{kind} frame: {num_words} x {width}-byte words and "
+            f"{ndim} dims need {expected} bytes, got {len(blob)}")
+    shape = struct.unpack(f">{ndim}I", blob[TENSOR_HEADER.size:dims_end])
+    if expected_fingerprint is not None and \
+            fingerprint != expected_fingerprint:
+        raise KeyMismatchError(
+            f"frame encrypted under key {fingerprint.hex()[:8]}, "
+            f"receiver expects {expected_fingerprint.hex()[:8]}")
+    meta = TensorMeta(
+        key_fingerprint=fingerprint,
+        nominal_bits=nominal_bits,
+        physical_bits=physical_bits,
+        scheme=QuantizationScheme(alpha=alpha, r_bits=r_bits,
+                                  num_parties=num_parties),
+        capacity=capacity,
+        shape=tuple(shape),
+        count=count,
+        summands=summands,
+        packed=bool(flags & 1),
+    )
+    words = [_bytes_to_int(blob[dims_end + i * width:
+                                dims_end + (i + 1) * width])
+             for i in range(num_words)]
+    return CipherTensor(meta, words=words)
 
 
 def measured_bloat(ciphertexts: Sequence[int], ciphertext_bytes: int,

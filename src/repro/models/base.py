@@ -142,14 +142,15 @@ class FederatedModel(ABC):
         if scale <= 0:
             raise ValueError("scale must be positive")
         aggregator = runtime.aggregator
-        flat = np.asarray(values, dtype=np.float64).ravel() / scale
-        ciphertexts = aggregator.encrypt_vector(flat, charged=True)
-        payload = aggregator.send_encrypted(
-            ciphertexts, sender=sender, receiver=receiver, tag=tag,
-            already_packed=runtime.config.batch_compression)
-        received = aggregator.decrypt_vector(payload, count=len(flat),
-                                             summands=1, charged=True)
-        return received.reshape(np.asarray(values).shape) * scale
+        scaled = np.asarray(values, dtype=np.float64) / scale
+        # The tensor remembers the logical shape, so the receiver's
+        # decode reshapes without protocol-level bookkeeping.
+        tensor = aggregator.encrypt_tensor(scaled, charged=True)
+        payload = aggregator.send_tensor(
+            tensor, sender=sender, receiver=receiver, tag=tag,
+            packed=(runtime.config.packed_serialization
+                    and runtime.config.batch_compression))
+        return aggregator.decrypt_tensor(payload, charged=True) * scale
 
     # ------------------------------------------------------------------
     # Training loop.

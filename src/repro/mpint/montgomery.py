@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from repro.mpint.limbs import WORD_BITS, from_int, limbs_for_bits, to_int
+from repro.mpint.limbs import WORD_BITS, from_int, limbs_for_bits
 
 
 def _modular_inverse(value: int, modulus: int) -> int:

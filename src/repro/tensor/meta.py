@@ -1,0 +1,164 @@
+"""Self-describing layout metadata for encrypted tensors.
+
+A raw Paillier ciphertext batch is just a list of huge integers; nothing
+about it says which key it was encrypted under, how many logical values
+are packed per word, which quantization scheme produced the encodings, or
+how many vectors were slot-wise summed.  Historically that metadata was
+threaded by hand through every producer/consumer (`encrypt_vector` /
+`decrypt_vector` callers supplying ``count`` / ``summands`` / scheme) --
+a standing source of mismatched-decode bugs.  :class:`TensorMeta` pins
+all of it to the payload itself, so a decode can never be asked to guess.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.quantization.encoding import QuantizationScheme
+
+
+class KeyMismatchError(ValueError):
+    """Two encrypted tensors under different keys were combined.
+
+    Homomorphic operations across keys decrypt to silent garbage
+    (Paillier is malleable); the key fingerprint carried by every
+    :class:`TensorMeta` turns that into a loud error instead.
+    """
+
+
+def key_fingerprint(public_key) -> bytes:
+    """16-byte fingerprint of a Paillier public key ``(n, g)``."""
+    digest = hashlib.sha256()
+    digest.update(public_key.n.to_bytes(
+        (public_key.n.bit_length() + 7) // 8, "big"))
+    digest.update(public_key.g.to_bytes(
+        (public_key.g.bit_length() + 7) // 8, "big"))
+    return digest.digest()[:16]
+
+
+@dataclass(frozen=True)
+class TensorMeta:
+    """Layout of one encrypted (or encoded) tensor.
+
+    Attributes:
+        key_fingerprint: 16-byte fingerprint of the encrypting public key
+            (:func:`key_fingerprint`); all-zeros for plaintext tensors.
+        nominal_bits: Key size the cost model charges.
+        physical_bits: Key size the mathematics actually runs at.
+        scheme: The encoding-quantization scheme (Eqs. 6-8) that produced
+            the slot values.
+        capacity: Logical values packed per ciphertext word (Eq. 9).
+        shape: Logical array shape of the values.
+        count: Number of logical values (``prod(shape)``).
+        summands: How many encodings each slot currently carries -- the
+            Eq. 6 translation-offset multiplier the decode must subtract.
+        packed: Whether the words use the Eq. 9 multi-slot layout (true
+            exactly when ``capacity > 1``).
+    """
+
+    key_fingerprint: bytes
+    nominal_bits: int
+    physical_bits: int
+    scheme: QuantizationScheme
+    capacity: int
+    shape: Tuple[int, ...]
+    count: int
+    summands: int = 1
+    packed: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.key_fingerprint) != 16:
+            raise ValueError("key fingerprint must be 16 bytes")
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if self.summands < 1:
+            raise ValueError("summands must be at least 1")
+        expected = 1
+        for dim in self.shape:
+            expected *= dim
+        if expected != self.count:
+            raise ValueError(
+                f"shape {self.shape} holds {expected} values, not "
+                f"{self.count}")
+
+    @property
+    def scheme_id(self) -> str:
+        """Compact identity of the quantization scheme."""
+        return (f"eq9:a{self.scheme.alpha:g}:r{self.scheme.r_bits}"
+                f":p{self.scheme.num_parties}")
+
+    @property
+    def num_words(self) -> int:
+        """Ciphertext words the payload occupies."""
+        if self.count == 0:
+            return 0
+        return math.ceil(self.count / self.capacity)
+
+    # ------------------------------------------------------------------
+    # Derived metadata for the homomorphic operations.
+    # ------------------------------------------------------------------
+
+    def combine_add(self, other: "TensorMeta") -> "TensorMeta":
+        """Metadata of a slot-wise sum of two tensors.
+
+        Raises:
+            KeyMismatchError: The operands were encrypted under
+                different keys.
+            ValueError: The operands' layouts are incompatible.
+        """
+        if self.key_fingerprint != other.key_fingerprint:
+            raise KeyMismatchError(
+                "cannot add ciphertexts under different keys "
+                f"({self.key_fingerprint.hex()[:8]} vs "
+                f"{other.key_fingerprint.hex()[:8]})")
+        if self.scheme != other.scheme or self.capacity != other.capacity:
+            raise ValueError(
+                f"layout mismatch: {self.scheme_id}/cap{self.capacity} vs "
+                f"{other.scheme_id}/cap{other.capacity}")
+        if self.count != other.count or self.shape != other.shape:
+            raise ValueError(
+                f"shape mismatch: {self.shape} vs {other.shape}")
+        return replace(self, summands=self.summands + other.summands)
+
+    def scaled(self, scalar: int) -> "TensorMeta":
+        """Metadata after multiplying every slot by a positive integer.
+
+        Scaling an Eq. 6 encoding by ``k`` scales its ``+alpha``
+        translation too, so the summand count multiplies.
+        """
+        if scalar < 1:
+            raise ValueError(
+                f"scalar must be a positive integer, got {scalar}")
+        return replace(self, summands=self.summands * scalar)
+
+    def sliced(self, start: int, stop: int) -> "TensorMeta":
+        """Metadata of a word-aligned logical slice ``[start:stop]``."""
+        if not 0 <= start <= stop <= self.count:
+            raise IndexError(
+                f"slice [{start}:{stop}] outside 0..{self.count}")
+        if start % self.capacity != 0:
+            raise IndexError(
+                f"slice start {start} not aligned to the packing "
+                f"capacity {self.capacity}")
+        if stop % self.capacity != 0 and stop != self.count:
+            raise IndexError(
+                f"slice stop {stop} not aligned to the packing "
+                f"capacity {self.capacity}")
+        new_count = stop - start
+        return replace(self, shape=(new_count,), count=new_count)
+
+    def summed(self, num_words: int) -> "TensorMeta":
+        """Metadata after homomorphically summing all words into one."""
+        if self.capacity != 1:
+            raise ValueError(
+                "sum() needs capacity 1: summing packed words mixes "
+                "unrelated slots")
+        if num_words < 1:
+            raise ValueError("cannot sum an empty tensor")
+        return replace(self, shape=(1,), count=1,
+                       summands=self.summands * num_words)

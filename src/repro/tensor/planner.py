@@ -1,0 +1,234 @@
+"""Lazy-expression planner: fuse tensor ops into few, large launches.
+
+:class:`~repro.tensor.cipher.CipherTensor` arithmetic builds a small
+expression tree instead of calling the engine per operation.  This module
+owns the tree and the flush that turns it into a *minimal* sequence of
+``add_batch`` / ``scalar_mul_batch`` / ``sum_ciphertexts`` engine calls:
+
+- **scalar folding** -- ``(t * k1) * k2`` collapses to one multiplication
+  by ``k1 * k2`` at construction time;
+- **scalar coalescing** -- every pending scalar multiplication under an
+  n-ary add is concatenated into ONE ``scalar_mul_batch`` launch
+  (the kernel takes per-element scalars, so different factors ride the
+  same launch);
+- **add-tree batching** -- an n-ary add of ``k`` tensors of ``m`` words
+  reduces level-wise with all pairs of a level concatenated into one
+  ``add_batch`` launch: ``ceil(log2 k)`` launches instead of the eager
+  path's ``k - 1``;
+- **slice pushdown** -- slicing commutes with add and scale, so it is
+  pushed to the leaves and costs nothing.
+
+On the simulated GPU, fewer engine calls means fewer recorded kernel
+launches (the paper's launch-overhead argument, Sec. IV-A); on the CPU
+engine the per-op accounting is unchanged -- fusion is free but not
+charged differently, exactly like the real systems.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+class Node:
+    """One lazy-expression node over ciphertext words."""
+
+    #: Ciphertext words this node evaluates to.
+    num_words: int
+
+    def sliced(self, start: int, stop: int) -> "Node":
+        """The node computing words ``[start:stop]`` of this node."""
+        raise NotImplementedError
+
+    def flush(self, engine) -> List[int]:
+        """Evaluate into raw ciphertext words through ``engine``."""
+        raise NotImplementedError
+
+
+class Leaf(Node):
+    """Materialized ciphertext words."""
+
+    __slots__ = ("words", "num_words")
+
+    def __init__(self, words: Sequence[int]):
+        self.words = tuple(words)
+        self.num_words = len(self.words)
+
+    def sliced(self, start: int, stop: int) -> "Leaf":
+        return Leaf(self.words[start:stop])
+
+    def flush(self, engine) -> List[int]:
+        return list(self.words)
+
+
+class Scale(Node):
+    """A node times a positive integer scalar (folded on nesting)."""
+
+    __slots__ = ("child", "scalar", "num_words")
+
+    def __init__(self, child: Node, scalar: int):
+        if scalar < 1:
+            raise ValueError(f"scalar must be positive, got {scalar}")
+        # (t * k1) * k2 == t * (k1 * k2): fold at construction.
+        if isinstance(child, Scale):
+            scalar *= child.scalar
+            child = child.child
+        self.child = child
+        self.scalar = scalar
+        self.num_words = child.num_words
+
+    def sliced(self, start: int, stop: int) -> "Scale":
+        return Scale(self.child.sliced(start, stop), self.scalar)
+
+    def flush(self, engine) -> List[int]:
+        words = self.child.flush(engine)
+        if not words or self.scalar == 1:
+            return words
+        return engine.scalar_mul_batch(words, [self.scalar] * len(words))
+
+
+class Add(Node):
+    """An n-ary slot-wise sum (nested adds are flattened)."""
+
+    __slots__ = ("children", "num_words")
+
+    def __init__(self, children: Sequence[Node]):
+        flat: List[Node] = []
+        for child in children:
+            if isinstance(child, Add):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            raise ValueError("Add needs at least one operand")
+        width = flat[0].num_words
+        for child in flat[1:]:
+            if child.num_words != width:
+                raise ValueError(
+                    f"operand word counts differ: {width} vs "
+                    f"{child.num_words}")
+        self.children = tuple(flat)
+        self.num_words = width
+
+    def sliced(self, start: int, stop: int) -> "Add":
+        return Add([child.sliced(start, stop) for child in self.children])
+
+    def flush(self, engine) -> List[int]:
+        width = self.num_words
+        if width == 0:
+            return []
+        # Pending (words, scalar) rows: Scale children hold their factor
+        # back so all factors fuse into one scalar_mul_batch launch.
+        rows: List[List[int]] = []
+        scalars: List[int] = []
+        for child in self.children:
+            if isinstance(child, Scale):
+                rows.append(child.child.flush(engine))
+                scalars.append(child.scalar)
+            else:
+                rows.append(child.flush(engine))
+                scalars.append(1)
+        rows = _fused_scalar_mul(engine, rows, scalars)
+        return _fused_add_reduce(engine, rows)
+
+
+class Sum(Node):
+    """Homomorphic sum of all words into one ciphertext."""
+
+    __slots__ = ("child", "num_words")
+
+    def __init__(self, child: Node):
+        if child.num_words < 1:
+            raise ValueError("cannot sum an empty tensor")
+        self.child = child
+        self.num_words = 1
+
+    def sliced(self, start: int, stop: int) -> Node:
+        if (start, stop) == (0, 1):
+            return self
+        raise IndexError("a summed tensor has exactly one word")
+
+    def flush(self, engine) -> List[int]:
+        words = self.child.flush(engine)
+        # sum_ciphertexts reduces pairwise with one add_batch per level:
+        # ceil(log2 n) launches for n words.
+        return [engine.sum_ciphertexts(words)]
+
+
+# ----------------------------------------------------------------------
+# Fusion helpers.
+# ----------------------------------------------------------------------
+
+def _fused_scalar_mul(engine, rows: List[List[int]],
+                      scalars: List[int]) -> List[List[int]]:
+    """Apply per-row scalars with a single coalesced kernel launch."""
+    pending = [index for index, scalar in enumerate(scalars)
+               if scalar != 1 and rows[index]]
+    if not pending:
+        return rows
+    flat_words: List[int] = []
+    flat_scalars: List[int] = []
+    for index in pending:
+        flat_words.extend(rows[index])
+        flat_scalars.extend([scalars[index]] * len(rows[index]))
+    scaled = engine.scalar_mul_batch(flat_words, flat_scalars)
+    cursor = 0
+    for index in pending:
+        width = len(rows[index])
+        rows[index] = scaled[cursor:cursor + width]
+        cursor += width
+    return rows
+
+
+def _fused_add_reduce(engine, rows: List[List[int]]) -> List[int]:
+    """Level-wise pairwise reduction, one launch per level.
+
+    All pairs of a level are concatenated into a single ``add_batch``
+    call, so ``k`` equal-width rows cost ``ceil(log2 k)`` launches.
+    """
+    while len(rows) > 1:
+        half = len(rows) // 2
+        left: List[int] = []
+        right: List[int] = []
+        for pair in range(half):
+            left.extend(rows[pair])
+            right.extend(rows[half + pair])
+        combined = engine.add_batch(left, right)
+        width = len(rows[0])
+        reduced = [combined[pair * width:(pair + 1) * width]
+                   for pair in range(half)]
+        rows = reduced + rows[2 * half:]
+    return list(rows[0]) if rows else []
+
+
+def plan_summary(node: Node) -> Tuple[int, int]:
+    """(engine calls, leaf count) the planner will spend on ``node``.
+
+    Purely informational -- used by tests and the benchmark to report
+    fusion wins without executing anything.
+    """
+    if isinstance(node, Leaf):
+        return 0, 1
+    if isinstance(node, Scale):
+        calls, leaves = plan_summary(node.child)
+        return calls + 1, leaves
+    if isinstance(node, Sum):
+        calls, leaves = plan_summary(node.child)
+        levels = (node.child.num_words - 1).bit_length()
+        return calls + levels, leaves
+    if isinstance(node, Add):
+        calls = 0
+        leaves = 0
+        any_scaled = False
+        for child in node.children:
+            if isinstance(child, Scale):
+                inner_calls, inner_leaves = plan_summary(child.child)
+                any_scaled = True
+            else:
+                inner_calls, inner_leaves = plan_summary(child)
+            calls += inner_calls
+            leaves += inner_leaves
+        if any_scaled:
+            calls += 1
+        levels = max(0, (len(node.children) - 1).bit_length())
+        return calls + levels, leaves
+    raise TypeError(f"unknown node type {type(node).__name__}")

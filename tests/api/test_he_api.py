@@ -3,7 +3,6 @@
 import pytest
 
 from repro.api import FlBooster, PaillierApi, RsaApi
-from repro.mpint.primes import LimbRandom
 
 
 @pytest.fixture(scope="module")

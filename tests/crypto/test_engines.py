@@ -53,6 +53,30 @@ class TestCorrectness:
         cs = engine.encrypt_batch(list(range(10)))
         assert engine.decrypt_batch([engine.sum_ciphertexts(cs)]) == [45]
 
+    @pytest.mark.parametrize("engine_index", [0, 1],
+                             ids=["cpu", "gpu"])
+    def test_sum_odd_length(self, paillier_128, engine_index):
+        # Odd batches exercise the leftover-passthrough of the pairwise
+        # halving reduction.
+        engine = make_engines(paillier_128)[engine_index]
+        cs = engine.encrypt_batch(list(range(7)))
+        assert engine.decrypt_batch([engine.sum_ciphertexts(cs)]) == [21]
+
+    @pytest.mark.parametrize("engine_index", [0, 1],
+                             ids=["cpu", "gpu"])
+    def test_sum_single_element(self, paillier_128, engine_index):
+        engine = make_engines(paillier_128)[engine_index]
+        cs = engine.encrypt_batch([42])
+        assert engine.decrypt_batch([engine.sum_ciphertexts(cs)]) == [42]
+
+    def test_sum_single_element_is_free(self, paillier_128):
+        _, gpu = make_engines(paillier_128)
+        cs = gpu.encrypt_batch([42])
+        before = len(gpu.kernels.device.launches)
+        gpu.sum_ciphertexts(cs)
+        # A one-element sum needs no additions, so no kernel launches.
+        assert len(gpu.kernels.device.launches) == before
+
     def test_sum_empty_raises(self, paillier_128):
         cpu, _ = make_engines(paillier_128)
         with pytest.raises(ValueError):

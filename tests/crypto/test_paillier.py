@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crypto.paillier import Paillier, PaillierCiphertext
+from repro.crypto.paillier import Paillier
 from repro.crypto.keys import generate_paillier_keypair
 from repro.mpint.primes import LimbRandom
 

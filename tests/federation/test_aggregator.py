@@ -84,19 +84,28 @@ class TestAggregate:
         assert ledger.count("comm.download") == 4
 
 
-class TestEncryptDecryptVector:
+class TestEncryptDecryptTensor:
     def test_roundtrip(self, flbooster_runtime):
         aggregator = flbooster_runtime.aggregator
         values = np.linspace(-0.8, 0.8, 33)
-        ciphertexts = aggregator.encrypt_vector(values)
-        decoded = aggregator.decrypt_vector(ciphertexts, count=33)
+        tensor = aggregator.encrypt_tensor(values)
+        # No caller-supplied count: the tensor describes its own layout.
+        decoded = aggregator.decrypt_tensor(tensor)
+        step = flbooster_runtime.plan.scheme.quantization_step
+        assert np.allclose(decoded, values, atol=step)
+
+    def test_roundtrip_preserves_shape(self, flbooster_runtime):
+        aggregator = flbooster_runtime.aggregator
+        values = np.linspace(-0.8, 0.8, 24).reshape(4, 6)
+        decoded = aggregator.decrypt_tensor(aggregator.encrypt_tensor(values))
+        assert decoded.shape == (4, 6)
         step = flbooster_runtime.plan.scheme.quantization_step
         assert np.allclose(decoded, values, atol=step)
 
     def test_silent_path_not_charged(self, flbooster_runtime):
         ledger = flbooster_runtime.begin_epoch()
         aggregator = flbooster_runtime.aggregator
-        aggregator.encrypt_vector(np.zeros(16), charged=False)
+        aggregator.encrypt_tensor(np.zeros(16), charged=False)
         assert ledger.seconds("he.encrypt") == 0.0
 
 

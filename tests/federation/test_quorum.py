@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.federation.faults import FaultInjector, FaultPlan, QuorumError
+from repro.tensor.cipher import CipherTensor
 from repro.federation.parties import (
     AggregatorParty,
     Mailbox,
@@ -146,7 +147,7 @@ class TestAggregatorPartyDiagnostics:
     def test_missing_clients_named(self):
         runtime = make_runtime(num_clients=3)
         server = AggregatorParty("arbiter", runtime)
-        ciphertexts = runtime.aggregator.encrypt_vector(
+        ciphertexts = runtime.aggregator.encrypt_tensor(
             np.zeros(4), charged=False)
         server.mailbox.deliver("update", ciphertexts, sender="client-1")
         expected = ["client-0", "client-1", "client-2"]
@@ -163,11 +164,13 @@ class TestAggregatorPartyDiagnostics:
         for name in ("client-0", "client-2"):
             server.mailbox.deliver(
                 "update",
-                runtime.aggregator.encrypt_vector(np.ones(4),
+                runtime.aggregator.encrypt_tensor(np.ones(4),
                                                   charged=False),
                 sender=name)
         total = server.aggregate_updates(3, min_quorum=2)
-        assert isinstance(total, list)
+        assert isinstance(total, CipherTensor)
+        # Partial sums carry the actual summand count in their metadata.
+        assert total.meta.summands == 2
 
 
 class TestSecureAveragingJobQuorum:

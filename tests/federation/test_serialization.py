@@ -1,15 +1,29 @@
 """Tests for the concrete wire formats."""
 
+import struct
+
+import numpy as np
 import pytest
 
+from repro.crypto.cpu_engine import CpuPaillierEngine
 from repro.federation.serialization import (
+    TENSOR_HEADER,
+    TENSOR_MAGIC,
     deserialize_objects,
     deserialize_packed,
+    deserialize_tensor,
     measured_bloat,
     serialize_objects,
     serialize_packed,
+    serialize_tensor,
 )
 from repro.gpu.cost_model import DEFAULT_PROFILE
+from repro.ledger import CostLedger
+from repro.mpint.primes import LimbRandom
+from repro.quantization.encoding import QuantizationScheme
+from repro.quantization.packing import BatchPacker
+from repro.tensor.meta import KeyMismatchError
+from repro.tensor.plain import PlainTensor
 
 
 class TestPackedFormat:
@@ -28,8 +42,22 @@ class TestPackedFormat:
 
     def test_truncated_raises(self):
         blob = serialize_packed([1, 2], ciphertext_bytes=64)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="truncated"):
             deserialize_packed(blob[:-1])
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_packed(b"FLBP\x00")
+
+    def test_oversized_raises(self):
+        blob = serialize_packed([1, 2], ciphertext_bytes=64)
+        with pytest.raises(ValueError, match="oversized"):
+            deserialize_packed(blob + b"\x00")
+
+    def test_zero_width_with_count_raises(self):
+        blob = b"FLBP" + struct.pack(">II", 3, 0)
+        with pytest.raises(ValueError, match="zero"):
+            deserialize_packed(blob)
 
     def test_empty_batch(self):
         assert deserialize_packed(serialize_packed([], 256)) == []
@@ -58,6 +86,78 @@ class TestObjectFormat:
         blob = serialize_objects([1, 2], ciphertext_bytes=64)
         with pytest.raises(ValueError):
             deserialize_objects(blob[:-3], ciphertext_bytes=64)
+
+
+@pytest.fixture()
+def tensor_fixture(paillier_128):
+    engine = CpuPaillierEngine(paillier_128, ledger=CostLedger(),
+                               rng=LimbRandom(seed=11))
+    scheme = QuantizationScheme(alpha=1.0, r_bits=16, num_parties=8)
+    packer = BatchPacker(scheme, plaintext_bits=127, capacity=4)
+    values = np.linspace(-0.8, 0.8, 10).reshape(2, 5)
+    tensor = engine.encrypt_tensor(PlainTensor.encode(values, packer))
+    return engine, tensor, values
+
+
+class TestTensorFormat:
+    def test_roundtrip_preserves_everything(self, tensor_fixture):
+        engine, tensor, values = tensor_fixture
+        rebuilt = deserialize_tensor(serialize_tensor(tensor))
+        assert list(rebuilt.words) == list(tensor.words)
+        assert rebuilt.meta == tensor.meta
+        decoded = engine.decrypt_tensor(rebuilt).decode()
+        step = tensor.meta.scheme.quantization_step
+        assert decoded.shape == (2, 5)
+        assert np.allclose(decoded, values, atol=step)
+
+    def test_decode_needs_no_caller_metadata(self, tensor_fixture):
+        engine, tensor, _ = tensor_fixture
+        # The frame alone (no count / summands / scheme arguments)
+        # reconstructs a decryptable tensor.
+        rebuilt = deserialize_tensor(serialize_tensor(tensor))
+        assert rebuilt.meta.count == 10
+        assert rebuilt.meta.summands == 1
+        assert rebuilt.meta.scheme_id == tensor.meta.scheme_id
+
+    def test_fingerprint_validated(self, tensor_fixture):
+        _, tensor, _ = tensor_fixture
+        blob = serialize_tensor(tensor)
+        deserialize_tensor(
+            blob, expected_fingerprint=tensor.meta.key_fingerprint)
+        with pytest.raises(KeyMismatchError):
+            deserialize_tensor(blob, expected_fingerprint=b"\xff" * 16)
+
+    def test_summands_travel_in_header(self, tensor_fixture):
+        engine, tensor, values = tensor_fixture
+        total = (tensor + tensor).materialize()
+        rebuilt = deserialize_tensor(serialize_tensor(total))
+        assert rebuilt.meta.summands == 2
+
+    def test_magic_and_version_checked(self, tensor_fixture):
+        _, tensor, _ = tensor_fixture
+        blob = serialize_tensor(tensor)
+        with pytest.raises(ValueError, match="not a v2"):
+            deserialize_tensor(b"XXXX" + blob[4:])
+        with pytest.raises(ValueError, match="version"):
+            deserialize_tensor(blob[:4] + b"\x07" + blob[5:])
+
+    def test_truncated_and_oversized_raise(self, tensor_fixture):
+        _, tensor, _ = tensor_fixture
+        blob = serialize_tensor(tensor)
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_tensor(blob[:TENSOR_HEADER.size - 1])
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_tensor(blob[:-1])
+        with pytest.raises(ValueError, match="oversized"):
+            deserialize_tensor(blob + b"\x00")
+
+    def test_word_too_wide_raises(self, tensor_fixture):
+        _, tensor, _ = tensor_fixture
+        with pytest.raises(ValueError, match="does not fit"):
+            serialize_tensor(tensor, ciphertext_bytes=4)
+
+    def test_magic_is_distinct_from_packed(self):
+        assert TENSOR_MAGIC != b"FLBP"
 
 
 class TestBloatMatchesCostModel:

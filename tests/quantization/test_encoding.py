@@ -1,7 +1,5 @@
 """Tests for encoding-quantization (paper Eqs. 6-8)."""
 
-import math
-
 import numpy as np
 import pytest
 

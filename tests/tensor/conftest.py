@@ -1,0 +1,35 @@
+"""Fixtures for the encrypted-tensor tests: small keys, small packers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.cpu_engine import CpuPaillierEngine
+from repro.ledger import CostLedger
+from repro.mpint.primes import LimbRandom
+from repro.quantization.encoding import QuantizationScheme
+from repro.quantization.packing import BatchPacker
+
+
+@pytest.fixture()
+def scheme():
+    """16 value bits, 3 overflow bits (8 parties): 19-bit slots."""
+    return QuantizationScheme(alpha=1.0, r_bits=16, num_parties=8)
+
+
+@pytest.fixture()
+def packed_packer(scheme):
+    """Four slots per word -- fits a 128-bit key's 127-bit plaintext."""
+    return BatchPacker(scheme, plaintext_bits=127, capacity=4)
+
+
+@pytest.fixture()
+def flat_packer(scheme):
+    """One value per word (the uncompressed path)."""
+    return BatchPacker(scheme, plaintext_bits=127, capacity=1)
+
+
+@pytest.fixture()
+def engine(paillier_128):
+    return CpuPaillierEngine(paillier_128, ledger=CostLedger(),
+                             rng=LimbRandom(seed=9))
