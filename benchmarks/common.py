@@ -9,6 +9,7 @@ paper-versus-measured comparison these files feed.
 from __future__ import annotations
 
 import os
+import random
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -19,6 +20,31 @@ KEY_SIZES = (1024, 2048, 4096)
 #: The evaluation grid.
 MODELS = ("Homo LR", "Hetero LR", "Hetero SBT", "Hetero NN")
 DATASETS = ("RCV1", "Avazu", "Synthetic")
+
+
+def master_seed() -> int:
+    """The one seed every benchmark RNG derives from.
+
+    Defaults to 0 so the derived streams equal the historical hardcoded
+    seeds; set ``REPRO_TEST_SEED`` to shift every stream at once.
+    """
+    return int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def bench_seed(stream: int) -> int:
+    """Combine the master seed with a per-benchmark stream id."""
+    return master_seed() * 1_000_003 + stream
+
+
+def bench_rng(stream: int):
+    """A numpy Generator on the given stream of the master seed."""
+    import numpy as np
+    return np.random.default_rng(bench_seed(stream))
+
+
+def bench_random(stream: int) -> random.Random:
+    """A stdlib Random on the given stream of the master seed."""
+    return random.Random(bench_seed(stream))
 
 
 def fast_mode() -> bool:

@@ -12,10 +12,9 @@ standard alternative.  This benchmark compares them on both axes:
   the word-work model (the GPU-relevant metric) captures.
 """
 
-import random
 import time
 
-from benchmarks.common import bench_key_sizes, publish
+from benchmarks.common import bench_key_sizes, bench_random, publish
 from repro.experiments import format_table
 from repro.mpint.advanced import BarrettContext, barrett_mod_mul
 from repro.mpint.montgomery import (
@@ -34,7 +33,7 @@ def barrett_work_estimate(limbs: int) -> int:
 
 def timed_chain(n: int, seed: int):
     """Run the same square-and-multiply chain under both reductions."""
-    rng = random.Random(seed)
+    rng = bench_random(seed)
     base = rng.randrange(n)
 
     montgomery = MontgomeryContext(n)
@@ -60,7 +59,7 @@ def collect():
     rows = []
     for key_bits in bench_key_sizes():
         limbs = 2 * key_bits // 32            # ciphertext-sized operands
-        n = random.Random(key_bits).getrandbits(2 * key_bits) \
+        n = bench_random(key_bits).getrandbits(2 * key_bits) \
             | (1 << (2 * key_bits - 1)) | 1
         mont_seconds, barrett_seconds = timed_chain(n, seed=key_bits)
         rows.append((key_bits,

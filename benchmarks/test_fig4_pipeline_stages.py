@@ -8,9 +8,7 @@ plug-in the paper promises (Sec. IV-B: "the time spent on encoding and
 quantization is extremely small").
 """
 
-import numpy as np
-
-from benchmarks.common import publish
+from benchmarks.common import bench_rng, publish
 from repro.crypto.gpu_engine import GpuPaillierEngine
 from repro.experiments import format_table
 from repro.federation.runtime import cached_keypair
@@ -35,7 +33,7 @@ def collect():
     packer = BatchPacker(scheme,
                          plaintext_bits=engine.physical_plaintext_bits,
                          capacity=32)
-    gradients = np.random.default_rng(2).uniform(-1, 1, VALUES)
+    gradients = bench_rng(2).uniform(-1, 1, VALUES)
     encrypted = EncryptionPipeline(engine, packer).run(gradients)
     decrypted = DecryptionPipeline(engine, packer).run(
         encrypted.values, count=VALUES)

@@ -12,7 +12,7 @@ import time
 
 import numpy as np
 
-from benchmarks.common import publish
+from benchmarks.common import bench_rng, publish
 from repro.baselines import FLBOOSTER
 from repro.crypto.symmetric_he import MaskingScheme
 from repro.experiments import format_table
@@ -23,7 +23,7 @@ NUM_PARTIES = 4
 
 
 def collect():
-    rng = np.random.default_rng(3)
+    rng = bench_rng(3)
     vectors = [rng.integers(0, 1 << 20, VECTOR_LENGTH).tolist()
                for _ in range(NUM_PARTIES)]
 

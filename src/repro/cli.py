@@ -11,6 +11,12 @@ Commands:
   checkpoint/resume, compared across systems.
 - ``report [--output PATH]``     -- aggregate benchmarks/results/ into
   one markdown report.
+- ``conformance``                -- replay the differential-oracle trace
+  suite against every registered engine.
+- ``simulate [--trace JSON]``    -- run (or replay) a deterministic
+  federation simulation.
+- ``fuzz --cases N --seed S``    -- fuzz the wire-format decoders; exits
+  non-zero on any crash or silent mis-decode.
 """
 
 from __future__ import annotations
@@ -158,6 +164,55 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_conformance(args) -> int:
+    from repro.experiments import format_table
+    from repro.testing import run_all
+
+    results = run_all(key_bits=args.key_bits)
+    rows = [[r.engine, r.trace, r.status, r.ops_checked]
+            for r in results]
+    print(format_table(["Engine", "Trace", "Status", "Ops checked"],
+                       rows, title="Differential conformance oracle"))
+    failed = [r for r in results if r.status not in ("ok", "skipped")]
+    print(f"\n{len(results)} (engine, trace) rows, "
+          f"{sum(1 for r in results if r.status == 'ok')} ok")
+    return 1 if failed else 0
+
+
+def _cmd_simulate(args) -> int:
+    import json as _json
+
+    from repro.testing.simulator import (
+        FederationSimulator,
+        SimulationSpec,
+        replay,
+    )
+
+    if args.trace:
+        result = replay(args.trace)
+    else:
+        spec = SimulationSpec(system=args.system,
+                              num_clients=args.clients,
+                              rounds=args.rounds,
+                              key_bits=args.key_bits,
+                              physical_key_bits=args.physical_key_bits,
+                              seed=args.seed,
+                              min_quorum=args.quorum)
+        result = FederationSimulator(spec).run()
+    print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.testing.fuzz import run_fuzz
+
+    seed = int(args.seed) if args.seed.lstrip("-").isdigit() \
+        else args.seed
+    report = run_fuzz(cases=args.cases, seed=seed)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -211,6 +266,33 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results-dir", default="benchmarks/results")
     report.add_argument("--output", default=None)
     report.set_defaults(handler=_cmd_report)
+
+    conformance = commands.add_parser(
+        "conformance",
+        help="replay the differential oracle against every engine")
+    conformance.add_argument("--key-bits", type=int, default=128,
+                             help="physical key size for the traces")
+    conformance.set_defaults(handler=_cmd_conformance)
+
+    simulate = commands.add_parser(
+        "simulate", help="run or replay a deterministic federation sim")
+    simulate.add_argument("--trace", default=None,
+                          help="replay a failure's printed trace JSON")
+    simulate.add_argument("--system", default="FLBooster")
+    simulate.add_argument("--clients", type=int, default=4)
+    simulate.add_argument("--rounds", type=int, default=3)
+    simulate.add_argument("--key-bits", type=int, default=256)
+    simulate.add_argument("--physical-key-bits", type=int, default=128)
+    simulate.add_argument("--quorum", type=int, default=None)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="fuzz the wire-format decoders")
+    fuzz.add_argument("--cases", type=int, default=500)
+    fuzz.add_argument("--seed", default="0",
+                      help="int, or a string (e.g. 'ci') hashed to one")
+    fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.crypto.keys import PaillierKeypair
 from repro.crypto.paillier import Paillier
@@ -45,6 +45,15 @@ class EngineReport:
         """All HE operations performed."""
         return (self.encryptions + self.decryptions
                 + self.additions + self.scalar_muls)
+
+
+#: Conformance registry: engine name -> factory.  A factory takes one
+#: :class:`repro.testing.trace.ConformanceTrace` and returns a
+#: :class:`repro.testing.conformance.ConformancePair` (the party under
+#: test plus its plain-``pow()`` reference).  Factories live here on the
+#: engine abstraction so ``repro.testing`` can auto-discover every
+#: registered execution path without hard-coding the engine list.
+_CONFORMANCE_FACTORIES: Dict[str, Callable] = {}
 
 
 class HeEngine(ABC):
@@ -76,6 +85,33 @@ class HeEngine(ABC):
         self._randomizer_pool: list = []
         self._pool_cursor = 0
         self._fingerprint: Optional[bytes] = None
+
+    # ------------------------------------------------------------------
+    # Conformance registry (the differential-oracle API).
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def register_conformance(cls, name: str,
+                             factory: Optional[Callable] = None):
+        """Register an execution path with the differential oracle.
+
+        Usable directly (``HeEngine.register_conformance("cpu", make)``)
+        or as a decorator.  ``factory(trace)`` must return a
+        :class:`repro.testing.conformance.ConformancePair`; the pytest
+        conformance suite parametrizes over every registered name, so a
+        new engine joins the oracle with this one call.
+        """
+        def _register(fn: Callable) -> Callable:
+            _CONFORMANCE_FACTORIES[name] = fn
+            return fn
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    @classmethod
+    def conformance_factories(cls) -> Dict[str, Callable]:
+        """Registered conformance factories by engine name (a copy)."""
+        return dict(_CONFORMANCE_FACTORIES)
 
     # ------------------------------------------------------------------
     # Key geometry.

@@ -180,6 +180,40 @@ class FaultPlan:
         """All events scheduled for one party."""
         return [event for event in self.events if event.party == party]
 
+    # ------------------------------------------------------------------
+    # Wire form (consumed by the deterministic simulator's trace).
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {
+            "seed": self.seed,
+            "loss_probability": self.loss_probability,
+            "corrupt_probability": self.corrupt_probability,
+            "events": [
+                {"kind": e.kind, "party": e.party,
+                 "round_index": e.round_index,
+                 "rejoin_round": e.rejoin_round,
+                 "delay_seconds": e.delay_seconds}
+                for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        events = tuple(
+            FaultEvent(kind=e["kind"], party=e["party"],
+                       round_index=e["round_index"],
+                       rejoin_round=e.get("rejoin_round"),
+                       delay_seconds=e.get("delay_seconds", 0.0))
+            for e in data.get("events", [])
+        )
+        return cls(events=events,
+                   loss_probability=data.get("loss_probability", 0.0),
+                   corrupt_probability=data.get("corrupt_probability", 0.0),
+                   seed=data.get("seed", 0))
+
 
 @dataclass(frozen=True)
 class RetryPolicy:

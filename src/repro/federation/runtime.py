@@ -97,6 +97,23 @@ WITHOUT_BC = SystemConfig(
 STANDARD_SYSTEMS = (FATE_SYSTEM, HAFLO_SYSTEM, FLBOOSTER_SYSTEM)
 ABLATION_SYSTEMS = (FLBOOSTER_SYSTEM, WITHOUT_GHE, WITHOUT_BC)
 
+#: Every named configuration, addressable by display name -- the handle
+#: simulation traces and the CLI use to stay JSON-serializable.
+SYSTEMS_BY_NAME: Dict[str, SystemConfig] = {
+    config.name: config
+    for config in (FATE_SYSTEM, HAFLO_SYSTEM, FLBOOSTER_SYSTEM,
+                   WITHOUT_GHE, WITHOUT_BC)
+}
+
+
+def system_by_name(name: str) -> SystemConfig:
+    """Look up a standard configuration by display name."""
+    try:
+        return SYSTEMS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown system {name!r}; choose from "
+                       f"{sorted(SYSTEMS_BY_NAME)}") from None
+
 #: Keypair cache: generation dominates small-run setup time and the keys
 #: carry no state, so benchmark sweeps share them.
 _KEYPAIR_CACHE: Dict[Tuple[int, int], PaillierKeypair] = {}

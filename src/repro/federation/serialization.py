@@ -23,12 +23,26 @@ cost model's constants (asserted by the tests).
 
 from __future__ import annotations
 
+import math
 import struct
 from typing import List, Optional, Sequence, Tuple
 
 from repro.quantization.encoding import QuantizationScheme
 from repro.tensor.cipher import CipherTensor
 from repro.tensor.meta import KeyMismatchError, TensorMeta
+
+
+class FrameError(ValueError):
+    """A wire frame failed validation (malformed, truncated, or lying).
+
+    The *typed* rejection every decoder in this module must produce for
+    hostile input -- the fuzzer asserts that no mutation ever escalates
+    to a different exception class (a crash) or decodes silently into
+    garbage.  Subclasses ``ValueError`` so existing callers keep
+    working; :class:`~repro.tensor.meta.KeyMismatchError` stays separate
+    (a well-formed frame under the wrong key is a routing error, not a
+    framing one).
+    """
 
 #: Frame magic for the packed format.
 PACKED_MAGIC = b"FLBP"
@@ -79,21 +93,21 @@ def deserialize_packed(blob: bytes) -> List[int]:
     of silently mis-slicing into garbage ciphertexts.
     """
     if len(blob) < 12:
-        raise ValueError(
+        raise FrameError(
             f"truncated frame: packed header needs 12 bytes, got "
             f"{len(blob)}")
     if blob[:4] != PACKED_MAGIC:
-        raise ValueError("not a packed ciphertext frame")
+        raise FrameError("not a packed ciphertext frame")
     count, width = struct.unpack(">II", blob[4:12])
     if count and width == 0:
-        raise ValueError(
+        raise FrameError(
             f"corrupt frame: {count} ciphertexts declared with zero "
             f"word width")
     body = len(blob) - 12
     expected = count * width
     if body != expected:
         kind = "truncated" if body < expected else "oversized"
-        raise ValueError(
+        raise FrameError(
             f"{kind} frame: {count} x {width}-byte words need "
             f"{expected} body bytes, got {body}")
     return [_bytes_to_int(blob[12 + i * width:12 + (i + 1) * width])
@@ -136,13 +150,13 @@ def deserialize_objects(blob: bytes,
     descriptor_len = ciphertext_bytes * 3 // 2
     frame_len = OBJECT_ENVELOPE.size + descriptor_len + ciphertext_bytes
     if len(blob) % frame_len != 0:
-        raise ValueError("corrupt object stream")
+        raise FrameError("corrupt object stream")
     out: List[Tuple[int, int]] = []
     for offset in range(0, len(blob), frame_len):
         magic, _length, _fp, exponent, _l2 = OBJECT_ENVELOPE.unpack(
             blob[offset:offset + OBJECT_ENVELOPE.size])
         if magic != OBJECT_MAGIC:
-            raise ValueError("bad object frame magic")
+            raise FrameError("bad object frame magic")
         start = offset + OBJECT_ENVELOPE.size + descriptor_len
         value = _bytes_to_int(blob[start:start + ciphertext_bytes])
         out.append((value, exponent))
@@ -195,48 +209,64 @@ def deserialize_tensor(blob: bytes,
             :class:`~repro.tensor.meta.KeyMismatchError`.
     """
     if len(blob) < TENSOR_HEADER.size:
-        raise ValueError(
+        raise FrameError(
             f"truncated frame: tensor header needs {TENSOR_HEADER.size} "
             f"bytes, got {len(blob)}")
     (magic, version, flags, ndim, count, summands, capacity, num_words,
      width, nominal_bits, physical_bits, r_bits, num_parties, alpha,
      fingerprint) = TENSOR_HEADER.unpack(blob[:TENSOR_HEADER.size])
     if magic != TENSOR_MAGIC:
-        raise ValueError("not a v2 tensor frame")
+        raise FrameError("not a v2 tensor frame")
     if version != TENSOR_VERSION:
-        raise ValueError(f"unsupported tensor frame version {version}")
+        raise FrameError(f"unsupported tensor frame version {version}")
+    if flags & ~1:
+        raise FrameError(f"corrupt frame: unknown flag bits 0x{flags:02x}")
+    if blob[7] != 0:
+        raise FrameError("corrupt frame: nonzero header padding")
     if num_words and width == 0:
-        raise ValueError(
+        raise FrameError(
             f"corrupt frame: {num_words} words declared with zero width")
     dims_end = TENSOR_HEADER.size + 4 * ndim
     expected = dims_end + num_words * width
     if len(blob) != expected:
         kind = "truncated" if len(blob) < expected else "oversized"
-        raise ValueError(
+        raise FrameError(
             f"{kind} frame: {num_words} x {width}-byte words and "
             f"{ndim} dims need {expected} bytes, got {len(blob)}")
     shape = struct.unpack(f">{ndim}I", blob[TENSOR_HEADER.size:dims_end])
+    if not math.isfinite(alpha):
+        raise FrameError(f"corrupt frame: non-finite alpha {alpha!r}")
     if expected_fingerprint is not None and \
             fingerprint != expected_fingerprint:
         raise KeyMismatchError(
             f"frame encrypted under key {fingerprint.hex()[:8]}, "
             f"receiver expects {expected_fingerprint.hex()[:8]}")
-    meta = TensorMeta(
-        key_fingerprint=fingerprint,
-        nominal_bits=nominal_bits,
-        physical_bits=physical_bits,
-        scheme=QuantizationScheme(alpha=alpha, r_bits=r_bits,
-                                  num_parties=num_parties),
-        capacity=capacity,
-        shape=tuple(shape),
-        count=count,
-        summands=summands,
-        packed=bool(flags & 1),
-    )
-    words = [_bytes_to_int(blob[dims_end + i * width:
-                                dims_end + (i + 1) * width])
-             for i in range(num_words)]
-    return CipherTensor(meta, words=words)
+    # Header fields are attacker-controlled: any combination the scheme
+    # or tensor constructors reject is a framing lie, reported as such
+    # instead of leaking implementation exceptions.
+    try:
+        meta = TensorMeta(
+            key_fingerprint=fingerprint,
+            nominal_bits=nominal_bits,
+            physical_bits=physical_bits,
+            scheme=QuantizationScheme(alpha=alpha, r_bits=r_bits,
+                                      num_parties=num_parties),
+            capacity=capacity,
+            shape=tuple(shape),
+            count=count,
+            summands=summands,
+            packed=bool(flags & 1),
+        )
+        words = [_bytes_to_int(blob[dims_end + i * width:
+                                    dims_end + (i + 1) * width])
+                 for i in range(num_words)]
+        return CipherTensor(meta, words=words)
+    except FrameError:
+        raise
+    except (ValueError, OverflowError) as error:
+        raise FrameError(
+            f"corrupt frame: header fields rejected "
+            f"({type(error).__name__}: {error})") from error
 
 
 def measured_bloat(ciphertexts: Sequence[int], ciphertext_bytes: int,

@@ -200,6 +200,38 @@ def _fused_add_reduce(engine, rows: List[List[int]]) -> List[int]:
     return list(rows[0]) if rows else []
 
 
+def eager_flush(node: Node, engine) -> List[int]:
+    """Evaluate ``node`` one engine call per op -- no fusion at all.
+
+    The un-optimized semantics the planner must preserve: every Scale is
+    its own ``scalar_mul_batch`` launch, an n-ary Add reduces strictly
+    left-to-right with one ``add_batch`` per operand, and Sum folds its
+    words sequentially.  The conformance oracle flushes every expression
+    through both this and :meth:`Node.flush` and requires bit-identical
+    words -- homomorphic addition is commutative and associative on
+    residues, so any divergence is a planner bug, not reordering noise.
+    """
+    if isinstance(node, Leaf):
+        return list(node.words)
+    if isinstance(node, Scale):
+        words = eager_flush(node.child, engine)
+        if not words or node.scalar == 1:
+            return words
+        return engine.scalar_mul_batch(words, [node.scalar] * len(words))
+    if isinstance(node, Add):
+        total = eager_flush(node.children[0], engine)
+        for child in node.children[1:]:
+            total = engine.add_batch(total, eager_flush(child, engine))
+        return total
+    if isinstance(node, Sum):
+        words = eager_flush(node.child, engine)
+        total = words[0]
+        for word in words[1:]:
+            total = engine.add_batch([total], [word])[0]
+        return [total]
+    raise TypeError(f"unknown node type {type(node).__name__}")
+
+
 def plan_summary(node: Node) -> Tuple[int, int]:
     """(engine calls, leaf count) the planner will spend on ``node``.
 

@@ -1,0 +1,283 @@
+"""Structured fuzzer for the FLT2 / FLBP wire formats.
+
+Seeded mutation of valid frames -- bit flips, truncation, extension,
+length-field lies, fingerprint swaps, magic/version tampering -- with a
+strict two-sided oracle on every case:
+
+- a decoder may **reject** the mutant, but only with a *typed* error
+  (:class:`~repro.federation.serialization.FrameError` or its
+  ``ValueError`` family, including
+  :class:`~repro.tensor.meta.KeyMismatchError`); any other exception is
+  a **crash** finding;
+- a decoder may **accept** the mutant, but then canonical
+  re-serialization must reproduce the mutated bytes exactly -- the
+  mutant was a genuinely valid frame.  An accepted frame that does not
+  round-trip is a **silent mis-decode** finding: the decoder invented an
+  interpretation the encoder would never produce.
+
+Determinism: the whole campaign derives from one seed (ints directly;
+strings such as ``"ci"`` are hashed), so a finding's ``(seed, case)``
+pair reproduces the exact mutant bytes in a fresh process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.federation.serialization import (
+    FrameError,
+    TENSOR_HEADER,
+    deserialize_packed,
+    deserialize_tensor,
+    serialize_packed,
+    serialize_tensor,
+)
+from repro.quantization.encoding import QuantizationScheme
+from repro.tensor.cipher import CipherTensor
+from repro.tensor.meta import TensorMeta
+
+#: Mutation strategy names, weighted uniformly per case.
+MUTATIONS = (
+    "bit_flip",          # one random bit anywhere in the frame
+    "header_bit_flip",   # one random bit inside the header
+    "truncate",          # cut the frame at a random offset
+    "extend",            # append random bytes
+    "length_lie",        # overwrite a count/width field with a lie
+    "fingerprint_swap",  # swap in a different (valid-shape) fingerprint
+    "magic_swap",        # replace the magic with another format's/garbage
+    "version_bump",      # change the version byte
+    "slice_scramble",    # overwrite a random slice with random bytes
+)
+
+
+def resolve_seed(seed: Union[int, str]) -> int:
+    """Ints pass through; strings (e.g. ``"ci"``) hash deterministically."""
+    if isinstance(seed, int):
+        return seed
+    digest = hashlib.sha256(seed.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class FuzzFinding:
+    """One oracle violation; carries everything needed to reproduce."""
+
+    kind: str  # "crash" | "silent_misdecode"
+    case_index: int
+    mutation: str
+    format: str
+    detail: str
+    blob_hex: str
+
+    def __str__(self) -> str:
+        return (f"[{self.kind}] case {self.case_index} "
+                f"({self.format}, {self.mutation}): {self.detail}\n"
+                f"  blob: {self.blob_hex}")
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seed: int
+    cases: int = 0
+    rejected: int = 0
+    accepted: int = 0
+    findings: List[FuzzFinding] = field(default_factory=list)
+    by_mutation: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.cases} cases, seed {self.seed}: "
+            f"{self.rejected} typed rejections, {self.accepted} valid "
+            f"round-trips, {len(self.findings)} findings",
+        ]
+        for name in sorted(self.by_mutation):
+            lines.append(f"  {name:16s} {self.by_mutation[name]}")
+        for finding in self.findings:
+            lines.append(str(finding))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Corpus: valid frames the mutations start from.
+# ----------------------------------------------------------------------
+
+def _tensor_frame(rng: random.Random) -> Tuple[str, bytes, int]:
+    """A valid FLT2 frame with random (but consistent) geometry."""
+    capacity = rng.choice([1, 1, 3, 4])
+    count = rng.randrange(0, 9)
+    num_words = 0 if count == 0 else -(-count // capacity)
+    width = rng.choice([8, 16, 32])
+    words = [rng.getrandbits(8 * width - 3) for _ in range(num_words)]
+    fingerprint = bytes(rng.getrandbits(8) for _ in range(16))
+    meta = TensorMeta(
+        key_fingerprint=fingerprint,
+        nominal_bits=rng.choice([1024, 2048]),
+        physical_bits=8 * width // 2,
+        scheme=QuantizationScheme(alpha=1.0,
+                                  r_bits=rng.choice([16, 30]),
+                                  num_parties=rng.randrange(1, 9)),
+        capacity=capacity,
+        shape=(count,),
+        count=count,
+        summands=rng.randrange(1, 5),
+        packed=capacity > 1,
+    )
+    tensor = CipherTensor(meta, words=words)
+    return "tensor", serialize_tensor(tensor, ciphertext_bytes=width), width
+
+
+def _packed_frame(rng: random.Random) -> Tuple[str, bytes, int]:
+    """A valid FLBP frame with random count and width."""
+    width = rng.choice([4, 8, 16, 32])
+    count = rng.randrange(0, 17)
+    words = [rng.getrandbits(8 * width - 1) for _ in range(count)]
+    return "packed", serialize_packed(words, width), width
+
+
+def _corpus_frame(rng: random.Random) -> Tuple[str, bytes, int]:
+    return (_tensor_frame(rng) if rng.random() < 0.6
+            else _packed_frame(rng))
+
+
+# ----------------------------------------------------------------------
+# Mutations.
+# ----------------------------------------------------------------------
+
+def _flip_bit(blob: bytes, index: int, bit: int) -> bytes:
+    out = bytearray(blob)
+    out[index] ^= 1 << bit
+    return bytes(out)
+
+
+def _mutate(rng: random.Random, fmt: str, blob: bytes,
+            mutation: str) -> bytes:
+    header_size = TENSOR_HEADER.size if fmt == "tensor" else 12
+    if mutation == "bit_flip" and blob:
+        return _flip_bit(blob, rng.randrange(len(blob)), rng.randrange(8))
+    if mutation == "header_bit_flip":
+        limit = min(header_size, len(blob))
+        return _flip_bit(blob, rng.randrange(limit), rng.randrange(8))
+    if mutation == "truncate":
+        return blob[:rng.randrange(len(blob))] if blob else blob
+    if mutation == "extend":
+        extra = bytes(rng.getrandbits(8)
+                      for _ in range(rng.randrange(1, 40)))
+        return blob + extra
+    if mutation == "length_lie":
+        # Overwrite one of the count / width fields with a lying value.
+        if fmt == "tensor":
+            offset = rng.choice([8, 20, 24])  # count / num_words / width
+        else:
+            offset = rng.choice([4, 8])       # count / width
+        lie = rng.choice([0, 1, 0xFF, 0xFFFF, 0x7FFFFFFF,
+                          rng.getrandbits(31)])
+        out = bytearray(blob)
+        out[offset:offset + 4] = lie.to_bytes(4, "big")
+        return bytes(out)
+    if mutation == "fingerprint_swap" and fmt == "tensor":
+        out = bytearray(blob)
+        out[48:64] = bytes(rng.getrandbits(8) for _ in range(16))
+        return bytes(out)
+    if mutation == "magic_swap":
+        other = rng.choice([b"FLBP", b"FLT2", b"FLT1", b"\x00\x00\x00\x00",
+                            bytes(rng.getrandbits(8) for _ in range(4))])
+        return other + blob[4:]
+    if mutation == "version_bump" and fmt == "tensor":
+        out = bytearray(blob)
+        out[4] = rng.choice([0, 1, 3, 0xFF])
+        return bytes(out)
+    if mutation == "slice_scramble" and blob:
+        start = rng.randrange(len(blob))
+        length = rng.randrange(1, min(16, len(blob) - start) + 1)
+        out = bytearray(blob)
+        out[start:start + length] = bytes(rng.getrandbits(8)
+                                          for _ in range(length))
+        return bytes(out)
+    # Mutation not applicable to this format: fall back to a bit flip.
+    if blob:
+        return _flip_bit(blob, rng.randrange(len(blob)), rng.randrange(8))
+    return blob
+
+
+# ----------------------------------------------------------------------
+# The oracle.
+# ----------------------------------------------------------------------
+
+def _classify(fmt: str, mutant: bytes, original: bytes,
+              case_index: int, mutation: str) -> Optional[FuzzFinding]:
+    """Apply the two-sided oracle to one mutant; None means clean."""
+    try:
+        if fmt == "tensor":
+            tensor = deserialize_tensor(mutant)
+            width = int.from_bytes(mutant[24:28], "big")
+            canonical = serialize_tensor(tensor, ciphertext_bytes=width)
+        else:
+            words = deserialize_packed(mutant)
+            width = int.from_bytes(mutant[8:12], "big")
+            canonical = serialize_packed(words, width)
+    except ValueError:
+        # FrameError / KeyMismatchError / plain ValueError: the typed
+        # rejection family.  Clean.
+        return None
+    except Exception as error:  # noqa: BLE001 -- the point of the fuzzer
+        return FuzzFinding(
+            kind="crash", case_index=case_index, mutation=mutation,
+            format=fmt,
+            detail=f"{type(error).__name__}: {error}",
+            blob_hex=mutant.hex())
+    if canonical != mutant:
+        return FuzzFinding(
+            kind="silent_misdecode", case_index=case_index,
+            mutation=mutation, format=fmt,
+            detail=(f"decode accepted a non-canonical frame "
+                    f"(re-serializes to {len(canonical)} bytes, mutant "
+                    f"is {len(mutant)})"),
+            blob_hex=mutant.hex())
+    return None
+
+
+def run_fuzz(cases: int = 500, seed: Union[int, str] = 0,
+             on_case: Optional[Callable[[int], None]] = None
+             ) -> FuzzReport:
+    """Run a fuzz campaign; deterministic in ``(cases, seed)``.
+
+    Args:
+        cases: Mutants to generate and classify.
+        seed: Campaign seed; strings are hashed (``--seed ci``).
+        on_case: Optional per-case progress hook.
+    """
+    resolved = resolve_seed(seed)
+    rng = random.Random(resolved)
+    report = FuzzReport(seed=resolved)
+    for case_index in range(cases):
+        fmt, blob, _width = _corpus_frame(rng)
+        mutation = rng.choice(MUTATIONS)
+        mutant = _mutate(rng, fmt, blob, mutation)
+        report.cases += 1
+        report.by_mutation[mutation] = \
+            report.by_mutation.get(mutation, 0) + 1
+        finding = _classify(fmt, mutant, blob, case_index, mutation)
+        if finding is not None:
+            report.findings.append(finding)
+        else:
+            # Re-run the cheap accept/reject split for the tally.
+            try:
+                if fmt == "tensor":
+                    deserialize_tensor(mutant)
+                else:
+                    deserialize_packed(mutant)
+                report.accepted += 1
+            except ValueError:
+                report.rejected += 1
+        if on_case is not None:
+            on_case(case_index)
+    return report

@@ -1,0 +1,347 @@
+"""Deterministic federation simulator: virtual time, replayable traces.
+
+Drives :class:`~repro.federation.runtime.FederationRuntime` rounds from a
+seeded virtual clock and event queue with **zero wall-clock dependence**:
+client gradient draws, fault injection, channel retries and straggler
+delays all advance modelled time only, so the same
+:class:`SimulationSpec` produces the same per-round survivors, modelled
+seconds, and aggregate checksums on every machine, every run.
+
+The spec is the *trace*: a JSON-round-trippable record of everything the
+run depends on (system name, client count, seed, fault plan, quorum,
+deadline).  When a simulation raises -- a quorum failure, an engine bug,
+anything -- the :class:`SimulationFailure` message embeds
+``(seed, trace)`` and :func:`replay` rebuilds the identical run in a
+fresh process from that JSON alone::
+
+    python -c "from repro.testing.simulator import replay; \\
+               replay('<trace json>')"
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.federation.faults import FaultPlan, QuorumError
+from repro.federation.runtime import FederationRuntime, system_by_name
+
+
+class VirtualClock:
+    """Monotonic modelled time; the only clock the simulator knows."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rejects negative steps."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by {seconds}")
+        self._now += seconds
+        return self._now
+
+
+@dataclass(order=True)
+class _Event:
+    """One scheduled event; ordering is (time, sequence) -- fully
+    deterministic even for simultaneous events."""
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A seeded-deterministic priority queue of simulation events."""
+
+    def __init__(self):
+        self._heap: List[_Event] = []
+        self._sequence = 0
+
+    def push(self, time: float, kind: str, payload: Any = None) -> None:
+        heapq.heappush(self._heap,
+                       _Event(time, self._sequence, kind, payload))
+        self._sequence += 1
+
+    def pop(self) -> _Event:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """The complete, JSON-round-trippable input of one simulation.
+
+    This *is* the replay trace: everything a fresh process needs to
+    reproduce the run bit-for-bit.  ``physical_key_bits`` defaults to
+    ``key_bits`` (full fidelity); specs used in tests pass a small
+    physical key so replays stay fast.
+    """
+
+    system: str = "FLBooster"
+    num_clients: int = 4
+    rounds: int = 3
+    vector_size: int = 8
+    key_bits: int = 256
+    physical_key_bits: Optional[int] = 128
+    seed: int = 7
+    min_quorum: Optional[int] = None
+    round_deadline_seconds: Optional[float] = None
+    incarnation: int = 0
+    fault_plan: Optional[FaultPlan] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "num_clients": self.num_clients,
+            "rounds": self.rounds,
+            "vector_size": self.vector_size,
+            "key_bits": self.key_bits,
+            "physical_key_bits": self.physical_key_bits,
+            "seed": self.seed,
+            "min_quorum": self.min_quorum,
+            "round_deadline_seconds": self.round_deadline_seconds,
+            "incarnation": self.incarnation,
+            "fault_plan": (self.fault_plan.to_dict()
+                           if self.fault_plan is not None else None),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationSpec":
+        plan = data.get("fault_plan")
+        return cls(
+            system=data.get("system", "FLBooster"),
+            num_clients=data.get("num_clients", 4),
+            rounds=data.get("rounds", 3),
+            vector_size=data.get("vector_size", 8),
+            key_bits=data.get("key_bits", 256),
+            physical_key_bits=data.get("physical_key_bits"),
+            seed=data.get("seed", 7),
+            min_quorum=data.get("min_quorum"),
+            round_deadline_seconds=data.get("round_deadline_seconds"),
+            incarnation=data.get("incarnation", 0),
+            fault_plan=(FaultPlan.from_dict(plan)
+                        if plan is not None else None),
+        )
+
+    @classmethod
+    def from_json(cls, blob: str) -> "SimulationSpec":
+        return cls.from_dict(json.loads(blob))
+
+
+class SimulationFailure(AssertionError):
+    """A simulation diverged or crashed; message embeds the replay trace.
+
+    ``(seed, trace)`` in the message is sufficient for a fresh process:
+    ``replay(trace_json)`` reconstructs the identical run.
+    """
+
+    def __init__(self, spec: SimulationSpec, round_index: int,
+                 detail: str):
+        self.spec = spec
+        self.round_index = round_index
+        self.detail = detail
+        super().__init__(
+            f"simulation failure at round {round_index}: {detail}\n"
+            f"  repro: seed={spec.seed} trace={spec.to_json()}")
+
+
+@dataclass
+class RoundRecord:
+    """What one aggregation round did, in modelled time."""
+
+    round_index: int
+    start_time: float
+    end_time: float
+    summands: int
+    survivors: Tuple[str, ...]
+    dropped: Tuple[str, ...]
+    checksum: int  # crc32 of the aggregated vector bytes
+
+
+@dataclass
+class SimulationResult:
+    """Deterministic outcome of one simulation run."""
+
+    spec: SimulationSpec
+    rounds: List[RoundRecord]
+    final_time: float
+    events_processed: int
+
+    def checksum(self) -> int:
+        """One integer summarizing every round's aggregate -- the value
+        replay equality is asserted on."""
+        digest = 0
+        for record in self.rounds:
+            digest = zlib.crc32(
+                f"{record.round_index}:{record.summands}:"
+                f"{record.checksum}".encode(), digest)
+        return digest
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.spec.to_dict(),
+            "final_time": self.final_time,
+            "events_processed": self.events_processed,
+            "checksum": self.checksum(),
+            "rounds": [
+                {"round": r.round_index, "summands": r.summands,
+                 "survivors": list(r.survivors),
+                 "dropped": list(r.dropped),
+                 "modelled_seconds": r.end_time - r.start_time,
+                 "checksum": r.checksum}
+                for r in self.rounds
+            ],
+        }
+
+
+class FederationSimulator:
+    """Event-driven, wall-clock-free driver of federation rounds.
+
+    Each round schedules one ``submit`` event per client (offset by any
+    straggler delay the fault plan holds for that round -- stragglers
+    genuinely arrive later on the virtual clock) and one ``aggregate``
+    event; the queue drains in deterministic ``(time, sequence)`` order,
+    the aggregation runs through the real
+    :class:`~repro.federation.aggregator.SecureAggregator` (faults,
+    quorum, retries and all), and the clock advances by the round's
+    modelled ledger seconds.
+    """
+
+    def __init__(self, spec: SimulationSpec):
+        self.spec = spec
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.runtime = FederationRuntime(
+            config=system_by_name(spec.system),
+            num_clients=spec.num_clients,
+            key_bits=spec.key_bits,
+            physical_key_bits=spec.physical_key_bits,
+            seed=spec.seed,
+            fault_plan=spec.fault_plan,
+            min_quorum=spec.min_quorum,
+            round_deadline_seconds=spec.round_deadline_seconds,
+            incarnation=spec.incarnation,
+        )
+        self._gradient_rng = np.random.default_rng(spec.seed)
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Deterministic inputs.
+    # ------------------------------------------------------------------
+
+    def _client_vectors(self, round_index: int) -> List[np.ndarray]:
+        """Seeded gradient draws; depend only on (seed, round, client)."""
+        rng = np.random.default_rng(
+            self.spec.seed * 1_000_003 + round_index)
+        return [
+            rng.uniform(-1.0, 1.0, size=self.spec.vector_size)
+            for _ in range(self.spec.num_clients)
+        ]
+
+    # ------------------------------------------------------------------
+    # The run loop.
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute every round; raises :class:`SimulationFailure` with a
+        replayable ``(seed, trace)`` on any error."""
+        records: List[RoundRecord] = []
+        injector = self.runtime.injector
+        for round_index in range(self.spec.rounds):
+            start = self.clock.now
+            # Schedule this round's events: client submissions (offset
+            # by scheduled straggler delay) then the aggregation barrier.
+            for client in range(self.spec.num_clients):
+                delay = 0.0
+                if injector is not None:
+                    delay = injector.straggler_delay(
+                        f"client-{client}", round_index)
+                self.queue.push(start + delay, "submit",
+                                (round_index, client))
+            self.queue.push(start + 1e9, "aggregate", round_index)
+
+            submitted: List[int] = []
+            while len(self.queue):
+                event = self.queue.pop()
+                self._events_processed += 1
+                if event.kind == "submit":
+                    if event.time > start:
+                        self.clock.advance(event.time - self.clock.now)
+                    submitted.append(event.payload[1])
+                elif event.kind == "aggregate":
+                    break
+
+            vectors = self._client_vectors(round_index)
+            ledger = self.runtime.begin_epoch()
+            try:
+                total = self.runtime.aggregator.aggregate(
+                    vectors, round_index=round_index)
+            except QuorumError as error:
+                raise SimulationFailure(
+                    self.spec, round_index,
+                    f"quorum not met: {error}") from error
+            except Exception as error:
+                raise SimulationFailure(
+                    self.spec, round_index,
+                    f"{type(error).__name__}: {error}") from error
+
+            self.clock.advance(ledger.total_seconds)
+            last = self.runtime.aggregator.last_round
+            records.append(RoundRecord(
+                round_index=round_index,
+                start_time=start,
+                end_time=self.clock.now,
+                summands=(last.summands if last is not None
+                          else len(vectors)),
+                survivors=tuple(last.survivors) if last is not None else (),
+                dropped=tuple(last.dropped) if last is not None else (),
+                checksum=zlib.crc32(
+                    np.ascontiguousarray(total).tobytes()),
+            ))
+        return SimulationResult(spec=self.spec, rounds=records,
+                                final_time=self.clock.now,
+                                events_processed=self._events_processed)
+
+
+def replay(trace_json: str) -> SimulationResult:
+    """Rebuild and run a simulation from a failure's printed trace.
+
+    ``(seed, trace)`` is the full state: this constructs a fresh
+    :class:`FederationSimulator` from the JSON and runs it -- the repro
+    path named in every :class:`SimulationFailure` message.
+    """
+    spec = SimulationSpec.from_json(trace_json)
+    return FederationSimulator(spec).run()
+
+
+def expect_quorum_failure(spec: SimulationSpec) -> SimulationFailure:
+    """Run a spec that must fail quorum; returns the failure.
+
+    Test helper: asserts the failure actually carries a replayable
+    trace (the JSON parses back into an equal spec).
+    """
+    try:
+        FederationSimulator(spec).run()
+    except SimulationFailure as failure:
+        rebuilt = SimulationSpec.from_json(failure.spec.to_json())
+        if rebuilt != spec:
+            raise AssertionError(
+                "failure trace does not round-trip to the original spec")
+        return failure
+    raise AssertionError("simulation unexpectedly succeeded")

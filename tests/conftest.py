@@ -1,32 +1,55 @@
-"""Shared fixtures: small deterministic keys so the suite stays fast."""
+"""Shared fixtures: small deterministic keys so the suite stays fast.
+
+All randomness in the suite flows from one master seed, read from the
+``REPRO_TEST_SEED`` environment variable (default 0).  Each consumer
+gets its own *stream* -- ``master * 1_000_003 + stream`` -- so shifting
+the master seed reseeds every fixture at once while the default keeps
+the streams equal to the historical hardcoded seeds.  Benchmarks use
+the same scheme via :func:`benchmarks.common.bench_seed`.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.crypto.keys import generate_paillier_keypair, generate_rsa_keypair
 from repro.mpint.primes import LimbRandom
 
+MASTER_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def seed_for(stream: int) -> int:
+    """Combine the suite master seed with a per-fixture stream id."""
+    return MASTER_SEED * 1_000_003 + stream
+
+
+@pytest.fixture(scope="session")
+def master_seed() -> int:
+    """The suite-wide master seed (``REPRO_TEST_SEED``, default 0)."""
+    return MASTER_SEED
+
 
 @pytest.fixture(scope="session")
 def paillier_128():
     """A 128-bit Paillier keypair (fast, session-cached)."""
-    return generate_paillier_keypair(128, rng=LimbRandom(seed=1001))
+    return generate_paillier_keypair(128, rng=LimbRandom(seed=seed_for(1001)))
 
 
 @pytest.fixture(scope="session")
 def paillier_256():
     """A 256-bit Paillier keypair (session-cached)."""
-    return generate_paillier_keypair(256, rng=LimbRandom(seed=1002))
+    return generate_paillier_keypair(256, rng=LimbRandom(seed=seed_for(1002)))
 
 
 @pytest.fixture(scope="session")
 def rsa_128():
     """A 128-bit RSA keypair (session-cached)."""
-    return generate_rsa_keypair(128, rng=LimbRandom(seed=1003))
+    return generate_rsa_keypair(128, rng=LimbRandom(seed=seed_for(1003)))
 
 
 @pytest.fixture()
 def rng():
     """A deterministic per-test large-integer random source."""
-    return LimbRandom(seed=42)
+    return LimbRandom(seed=seed_for(42))

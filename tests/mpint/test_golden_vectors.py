@@ -1,0 +1,116 @@
+"""Golden-vector tests for the multiprecision kernels.
+
+The fixture files under ``tests/mpint/golden/`` were generated offline
+with *plain Python* arithmetic only: moduli derived from a SHA-256
+stream (top and bottom bits forced so ``bit_length == bits`` and the
+modulus is odd), Montgomery products computed as
+``a * b * R^-1 mod N`` via ``pow(R, -1, N)``, and modexp expectations
+via the builtin three-argument ``pow``.  Nothing in the fixtures came
+from the code under test, so a regression in the Montgomery or
+sliding-window kernels cannot silently regenerate its own expectations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.mpint.limbs import from_int, to_int
+from repro.mpint.modexp import sliding_window_pow
+from repro.mpint.montgomery import (
+    MontgomeryContext,
+    cios_montgomery_multiply,
+    montgomery_multiply,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_BITS = (1024, 2048, 4096)
+
+
+def load_vectors(bits: int) -> dict:
+    path = GOLDEN_DIR / f"vectors_{bits}.json"
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module", params=GOLDEN_BITS,
+                ids=[f"{b}bit" for b in GOLDEN_BITS])
+def vectors(request):
+    return load_vectors(request.param)
+
+
+class TestFixtureIntegrity:
+    """The committed fixtures must agree with the context's own
+    derivation of R -- otherwise every comparison below is vacuous."""
+
+    def test_radix_matches_context(self, vectors):
+        modulus = int(vectors["modulus"])
+        ctx = MontgomeryContext(modulus)
+        assert ctx.r == int(vectors["montgomery_radix"])
+
+    def test_modulus_has_exact_width(self, vectors):
+        modulus = int(vectors["modulus"])
+        assert modulus.bit_length() == vectors["bits"]
+        assert modulus % 2 == 1
+
+    def test_case_counts(self, vectors):
+        assert len(vectors["multiply"]) == 6
+        assert len(vectors["modexp"]) == 3
+
+
+class TestMontgomeryMultiply:
+    def test_matches_golden_expectations(self, vectors):
+        modulus = int(vectors["modulus"])
+        ctx = MontgomeryContext(modulus)
+        for i, case in enumerate(vectors["multiply"]):
+            a, b = int(case["a"]), int(case["b"])
+            expected = int(case["expected"])
+            assert montgomery_multiply(a, b, ctx) == expected, \
+                f"multiply case {i} at {vectors['bits']} bits"
+
+    def test_golden_values_agree_with_plain_pow(self, vectors):
+        """Re-derive each expectation in-process from pow() alone, so a
+        corrupted fixture file is caught rather than trusted."""
+        modulus = int(vectors["modulus"])
+        r_inv = pow(int(vectors["montgomery_radix"]), -1, modulus)
+        for case in vectors["multiply"]:
+            a, b = int(case["a"]), int(case["b"])
+            assert (a * b * r_inv) % modulus == int(case["expected"])
+
+
+class TestCiosMultiply:
+    """The limb-level CIOS kernel against the same 1024-bit vectors."""
+
+    def test_cios_matches_golden_at_1024_bits(self):
+        vectors = load_vectors(1024)
+        modulus = int(vectors["modulus"])
+        ctx = MontgomeryContext(modulus)
+        for case in vectors["multiply"]:
+            a_limbs = from_int(int(case["a"]), size=ctx.num_limbs)
+            b_limbs = from_int(int(case["b"]), size=ctx.num_limbs)
+            out = cios_montgomery_multiply(a_limbs, b_limbs, ctx)
+            assert to_int(out) == int(case["expected"])
+
+
+class TestSlidingWindowModexp:
+    def test_matches_golden_expectations(self, vectors):
+        modulus = int(vectors["modulus"])
+        ctx = MontgomeryContext(modulus)
+        for i, case in enumerate(vectors["modexp"]):
+            base, exponent = int(case["base"]), int(case["exponent"])
+            expected = int(case["expected"])
+            assert sliding_window_pow(base, exponent, ctx) == expected, \
+                f"modexp case {i} at {vectors['bits']} bits"
+            assert pow(base, exponent, modulus) == expected
+
+    def test_window_width_does_not_change_results(self):
+        vectors = load_vectors(1024)
+        modulus = int(vectors["modulus"])
+        ctx = MontgomeryContext(modulus)
+        case = vectors["modexp"][0]
+        base, exponent = int(case["base"]), int(case["exponent"])
+        expected = int(case["expected"])
+        for window_bits in (2, 4, 6):
+            assert sliding_window_pow(base, exponent, ctx,
+                                      window_bits=window_bits) == expected

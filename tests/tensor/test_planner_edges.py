@@ -1,0 +1,182 @@
+"""Fusion-planner edge cases: degenerate shapes, nested slices, key mixing.
+
+The property sweep in ``test_property_fusion.py`` covers the bulk of the
+operand space; these tests pin the boundaries it rarely lands on --
+zero-width tensors, one-element expressions, slice-of-slice pushdown,
+and the cross-key guard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.cpu_engine import CpuPaillierEngine
+from repro.crypto.keys import generate_paillier_keypair
+from repro.ledger import CostLedger
+from repro.mpint.primes import LimbRandom
+from repro.tensor import planner
+from repro.tensor.meta import KeyMismatchError, TensorMeta, key_fingerprint
+from repro.tensor.cipher import CipherTensor
+from repro.tensor.plain import PlainTensor
+
+
+class CountingEngine:
+    """Delegates to a real engine while counting launches."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.calls = {"add_batch": 0, "scalar_mul_batch": 0,
+                      "sum_ciphertexts": 0}
+
+    def add_batch(self, left, right):
+        self.calls["add_batch"] += 1
+        return self._engine.add_batch(left, right)
+
+    def scalar_mul_batch(self, words, scalars):
+        self.calls["scalar_mul_batch"] += 1
+        return self._engine.scalar_mul_batch(words, scalars)
+
+    def sum_ciphertexts(self, words):
+        self.calls["sum_ciphertexts"] += 1
+        return self._engine.sum_ciphertexts(words)
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+
+def encrypt(engine, packer, values):
+    return engine.encrypt_tensor(
+        PlainTensor.encode(np.asarray(values, dtype=np.float64), packer))
+
+
+class TestEmptyTensor:
+    def test_sum_node_rejects_zero_words(self):
+        with pytest.raises(ValueError, match="cannot sum an empty tensor"):
+            planner.Sum(planner.Leaf([]))
+
+    def test_empty_cipher_tensor_sum_raises(self, engine, flat_packer):
+        meta = TensorMeta(
+            key_fingerprint=key_fingerprint(engine.public_key),
+            nominal_bits=engine.nominal_bits,
+            physical_bits=engine.physical_bits,
+            scheme=flat_packer.scheme, capacity=1, shape=(0,), count=0)
+        empty = CipherTensor(meta, words=[], engine=engine)
+        assert empty.num_words == 0
+        with pytest.raises(ValueError, match="cannot sum an empty tensor"):
+            empty.sum()
+
+    def test_empty_add_flushes_to_nothing_for_free(self, engine,
+                                                   flat_packer):
+        meta = TensorMeta(
+            key_fingerprint=key_fingerprint(engine.public_key),
+            nominal_bits=engine.nominal_bits,
+            physical_bits=engine.physical_bits,
+            scheme=flat_packer.scheme, capacity=1, shape=(0,), count=0)
+        counting = CountingEngine(engine)
+        a = CipherTensor(meta, words=[], engine=counting)
+        b = CipherTensor(meta, words=[], engine=counting)
+        total = (a + b).materialize()
+        assert list(total.words) == []
+        assert counting.calls == {"add_batch": 0, "scalar_mul_batch": 0,
+                                  "sum_ciphertexts": 0}
+
+    def test_add_needs_at_least_one_operand(self):
+        with pytest.raises(ValueError, match="at least one operand"):
+            planner.Add([])
+
+
+class TestSingleElementCoalescing:
+    def test_single_child_add_coalesces_to_zero_launches(self, engine,
+                                                         flat_packer):
+        counting = CountingEngine(engine)
+        node = planner.Add([planner.Leaf([11, 22, 33])])
+        assert node.flush(counting) == [11, 22, 33]
+        assert counting.calls["add_batch"] == 0
+        assert counting.calls["scalar_mul_batch"] == 0
+
+    def test_scalar_one_is_skipped(self, engine):
+        counting = CountingEngine(engine)
+        node = planner.Scale(planner.Leaf([5, 6]), 1)
+        assert node.flush(counting) == [5, 6]
+        assert counting.calls["scalar_mul_batch"] == 0
+
+    def test_one_element_sum_is_one_launch(self, engine, flat_packer):
+        counting = CountingEngine(engine)
+        tensor = encrypt(engine, flat_packer, [0.5])
+        lazy = CipherTensor(tensor.meta, words=tensor.words,
+                            engine=counting).sum()
+        value = lazy.materialize()
+        assert value.meta.count == 1
+        assert value.meta.summands == tensor.meta.summands
+        assert counting.calls["sum_ciphertexts"] == 1
+        decoded = engine.decrypt_tensor(value).decode()
+        assert decoded == pytest.approx([0.5],
+                                        abs=flat_packer.scheme
+                                        .quantization_step)
+
+    def test_sliced_sum_is_identity(self, engine, flat_packer):
+        summed = encrypt(engine, flat_packer, [0.1, 0.2]).sum()
+        assert summed[0:1]._node is summed._node
+        with pytest.raises(IndexError, match="exactly one word"):
+            summed._node.sliced(0, 2)
+
+
+class TestSliceOfSlicePushdown:
+    def test_nested_slices_compose(self, engine, flat_packer):
+        values = np.linspace(-0.8, 0.8, 10)
+        tensor = encrypt(engine, flat_packer, values)
+        nested = tensor[2:8][1:4]
+        direct = tensor[3:6]
+        assert nested.meta.count == 3
+        assert list(nested.words) == list(direct.words)
+        decoded = engine.decrypt_tensor(nested).decode()
+        assert np.allclose(decoded, values[3:6],
+                           atol=flat_packer.scheme.quantization_step)
+
+    def test_pushdown_through_add_and_scale_costs_only_the_slice(
+            self, engine, flat_packer):
+        """Slicing a lazy weighted sum before flushing must run the
+        engine on the sliced width, not the full width."""
+        values_a = np.linspace(-0.5, 0.5, 8)
+        values_b = np.linspace(0.4, -0.4, 8)
+        base_a = encrypt(engine, flat_packer, values_a)
+        base_b = encrypt(engine, flat_packer, values_b)
+        counting = CountingEngine(engine)
+        a = CipherTensor(base_a.meta, words=base_a.words, engine=counting)
+        b = CipherTensor(base_b.meta, words=base_b.words, engine=counting)
+
+        expr = a + 2 * b
+        window = expr[2:6][1:3]          # two logical values
+        assert window.is_lazy
+        flushed = window.materialize()
+
+        assert counting.calls["add_batch"] == 1
+        assert counting.calls["scalar_mul_batch"] == 1
+        assert len(flushed.words) == 2
+        full = (base_a + 2 * base_b).materialize()
+        assert list(flushed.words) == list(full.words)[3:5]
+
+    def test_slice_of_slice_out_of_range(self, engine, flat_packer):
+        tensor = encrypt(engine, flat_packer, [0.1, 0.2, 0.3, 0.4])
+        inner = tensor[1:3]
+        with pytest.raises(IndexError):
+            inner.meta.sliced(1, 3)
+
+
+class TestMixedFingerprintAdd:
+    def test_cross_key_add_raises_key_mismatch(self, engine, flat_packer):
+        other_keypair = generate_paillier_keypair(
+            128, rng=LimbRandom(seed=2002))
+        other_engine = CpuPaillierEngine(other_keypair, ledger=CostLedger(),
+                                         rng=LimbRandom(seed=10))
+        ours = encrypt(engine, flat_packer, [0.25, -0.25])
+        theirs = encrypt(other_engine, flat_packer, [0.25, -0.25])
+        assert ours.meta.key_fingerprint != theirs.meta.key_fingerprint
+        with pytest.raises(KeyMismatchError, match="different keys"):
+            _ = ours + theirs
+
+    def test_key_mismatch_is_a_value_error(self):
+        """The fuzzer's typed-rejection contract groups KeyMismatchError
+        with FrameError under ValueError; pin the hierarchy."""
+        assert issubclass(KeyMismatchError, ValueError)

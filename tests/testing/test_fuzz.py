@@ -1,0 +1,151 @@
+"""Wire-format fuzzer: typed rejection or exact round-trip, nothing else."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+import repro.testing.fuzz as fuzz_module
+from repro.federation.serialization import (
+    FrameError,
+    TENSOR_HEADER,
+    deserialize_packed,
+    deserialize_tensor,
+    serialize_packed,
+)
+from repro.testing.fuzz import MUTATIONS, resolve_seed, run_fuzz
+
+
+class TestSeedResolution:
+    def test_int_seeds_pass_through(self):
+        assert resolve_seed(42) == 42
+
+    def test_string_seeds_hash_deterministically(self):
+        assert resolve_seed("ci") == resolve_seed("ci")
+        assert resolve_seed("ci") != resolve_seed("nightly")
+
+
+class TestCampaign:
+    def test_500_cases_zero_findings(self):
+        """The acceptance criterion: a 500-case campaign finds neither
+        crashes nor silent mis-decodes."""
+        report = run_fuzz(cases=500, seed="ci")
+        assert report.passed, report.summary()
+        assert report.cases == 500
+        assert report.rejected + report.accepted == 500
+
+    def test_campaign_is_deterministic(self):
+        a = run_fuzz(cases=120, seed=7)
+        b = run_fuzz(cases=120, seed=7)
+        assert a.rejected == b.rejected
+        assert a.accepted == b.accepted
+        assert a.by_mutation == b.by_mutation
+
+    def test_every_mutation_strategy_is_exercised(self):
+        report = run_fuzz(cases=400, seed=3)
+        assert set(report.by_mutation) == set(MUTATIONS)
+
+    def test_both_outcomes_occur(self):
+        """A healthy campaign must both reject mutants and accept the
+        genuinely-valid ones -- an all-reject campaign would mean the
+        oracle's accept side is never tested."""
+        report = run_fuzz(cases=300, seed=11)
+        assert report.rejected > 0
+        assert report.accepted > 0
+
+
+class TestOracleSensitivity:
+    """The harness itself must catch the two failure classes."""
+
+    def test_decoder_crash_is_reported(self, monkeypatch):
+        def explode(_blob):
+            raise KeyError("internal state leak")
+        monkeypatch.setattr(fuzz_module, "deserialize_packed", explode)
+        monkeypatch.setattr(fuzz_module, "deserialize_tensor", explode)
+        report = run_fuzz(cases=40, seed=1)
+        assert not report.passed
+        assert all(f.kind == "crash" for f in report.findings)
+        assert "KeyError" in report.findings[0].detail
+
+    def test_silent_misdecode_is_reported(self, monkeypatch):
+        def lenient(_blob):
+            return [1, 2, 3]  # "decodes" anything
+        monkeypatch.setattr(fuzz_module, "deserialize_packed", lenient)
+        monkeypatch.setattr(
+            fuzz_module, "serialize_packed",
+            lambda words, width: serialize_packed(words, max(width, 1)))
+        report = run_fuzz(cases=60, seed=2)
+        assert any(f.kind == "silent_misdecode" for f in report.findings)
+
+    def test_finding_carries_repro_bytes(self, monkeypatch):
+        def explode(_blob):
+            raise RuntimeError("boom")
+        monkeypatch.setattr(fuzz_module, "deserialize_tensor", explode)
+        report = run_fuzz(cases=30, seed=5)
+        finding = next(f for f in report.findings if f.kind == "crash")
+        assert bytes.fromhex(finding.blob_hex)  # parses back to bytes
+        assert str(finding.case_index) in str(finding)
+
+
+class TestTypedRejections:
+    """Spot checks that decoders reject hostile frames with FrameError."""
+
+    def _valid_tensor_frame(self):
+        from repro.quantization.encoding import QuantizationScheme
+        from repro.tensor.cipher import CipherTensor
+        from repro.tensor.meta import TensorMeta
+        from repro.federation.serialization import serialize_tensor
+        meta = TensorMeta(
+            key_fingerprint=b"\x01" * 16, nominal_bits=1024,
+            physical_bits=64,
+            scheme=QuantizationScheme(alpha=1.0, r_bits=16,
+                                      num_parties=2),
+            capacity=1, shape=(3,), count=3)
+        tensor = CipherTensor(meta, words=[11, 22, 33])
+        return serialize_tensor(tensor, ciphertext_bytes=16)
+
+    def test_truncated_packed_header(self):
+        with pytest.raises(FrameError):
+            deserialize_packed(b"FLBP\x00")
+
+    def test_packed_length_lie(self):
+        blob = bytearray(serialize_packed([5, 6], 8))
+        blob[4:8] = struct.pack(">I", 7)  # claim 7 words, ship 2
+        with pytest.raises(FrameError, match="truncated"):
+            deserialize_packed(bytes(blob))
+
+    def test_tensor_unknown_flag_bits(self):
+        blob = bytearray(self._valid_tensor_frame())
+        blob[5] |= 0x80
+        with pytest.raises(FrameError, match="flag bits"):
+            deserialize_tensor(bytes(blob))
+
+    def test_tensor_nonzero_padding(self):
+        blob = bytearray(self._valid_tensor_frame())
+        blob[7] = 1
+        with pytest.raises(FrameError, match="padding"):
+            deserialize_tensor(bytes(blob))
+
+    def test_tensor_version_lie(self):
+        blob = bytearray(self._valid_tensor_frame())
+        blob[4] = 9
+        with pytest.raises(FrameError, match="version"):
+            deserialize_tensor(bytes(blob))
+
+    def test_tensor_header_lie_hits_typed_wrapper(self):
+        blob = bytearray(self._valid_tensor_frame())
+        blob[12:16] = struct.pack(">I", 0)  # summands = 0: meta invariant
+        with pytest.raises(FrameError, match="header fields rejected"):
+            deserialize_tensor(bytes(blob))
+
+    def test_tensor_nan_alpha(self):
+        blob = bytearray(self._valid_tensor_frame())
+        blob[40:48] = struct.pack(">d", float("nan"))
+        with pytest.raises(FrameError, match="alpha"):
+            deserialize_tensor(bytes(blob))
+
+    def test_header_size_matches_fuzzer_offsets(self):
+        """The length-lie mutation hardcodes field offsets; pin them."""
+        assert TENSOR_HEADER.size == 64
+        assert struct.calcsize(">4sBBBx") == 8  # count starts at byte 8
