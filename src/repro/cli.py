@@ -17,6 +17,9 @@ Commands:
   federation simulation.
 - ``fuzz --cases N --seed S``    -- fuzz the wire-format decoders; exits
   non-zero on any crash or silent mis-decode.
+- ``failover [--sweep]``         -- durable-coordinator scenarios: one
+  scheduled kill by default, or the kill-at-every-WAL-record-boundary
+  crash-consistency sweep; exits non-zero on any divergence.
 """
 
 from __future__ import annotations
@@ -119,6 +122,17 @@ def _cmd_faults(args) -> int:
     if args.straggler_delay > 0:
         plan = plan.straggler(f"client-{args.crashes}", round_index=2,
                               delay_seconds=args.straggler_delay)
+    if args.coordinator_crash is not None:
+        plan = plan.coordinator_crash(0,
+                                      after_record=args.coordinator_crash)
+    if args.failover is not None:
+        plan = plan.failover(0, after_record=args.failover)
+
+    if args.dump_plan:
+        import json as _json
+
+        print(_json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+        return 0
 
     rows = []
     last_result = None
@@ -213,6 +227,54 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_failover(args) -> int:
+    import json as _json
+
+    from repro.federation.faults import FaultPlan
+    from repro.testing.simulator import (
+        DurableFederationSimulator,
+        SimulationFailure,
+        SimulationSpec,
+        crash_consistency_sweep,
+    )
+
+    spec = SimulationSpec(system=args.system,
+                          num_clients=args.clients,
+                          rounds=args.rounds,
+                          key_bits=args.key_bits,
+                          physical_key_bits=args.physical_key_bits,
+                          seed=args.seed,
+                          min_quorum=args.quorum,
+                          durable=True)
+    if args.sweep:
+        modes = (("coordinator_crash", "failover")
+                 if args.mode == "both" else (args.mode,))
+        for mode in modes:
+            try:
+                report = crash_consistency_sweep(spec, mode=mode)
+            except SimulationFailure as failure:
+                print(failure)
+                return 1
+            for line in report.summary_lines():
+                print(line)
+        return 0
+
+    plan = FaultPlan(seed=args.seed)
+    if args.mode == "failover":
+        plan = plan.failover(0, after_record=args.after_record)
+    else:
+        plan = plan.coordinator_crash(0, after_record=args.after_record)
+    spec = SimulationSpec.from_dict(
+        {**spec.to_dict(), "fault_plan": plan.to_dict()})
+    try:
+        result = DurableFederationSimulator(spec).run()
+    except SimulationFailure as failure:
+        print(failure)
+        return 1
+    print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -259,6 +321,16 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--key-bits", type=int, default=1024)
     faults.add_argument("--max-restarts", type=int, default=10)
     faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--coordinator-crash", type=int, default=None,
+                        metavar="RECORD",
+                        help="schedule a coordinator crash after this "
+                             "WAL record")
+    faults.add_argument("--failover", type=int, default=None,
+                        metavar="RECORD",
+                        help="schedule a standby failover after this "
+                             "WAL record")
+    faults.add_argument("--dump-plan", action="store_true",
+                        help="print the fault plan JSON and exit")
     faults.set_defaults(handler=_cmd_faults)
 
     report = commands.add_parser(
@@ -293,6 +365,27 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", default="0",
                       help="int, or a string (e.g. 'ci') hashed to one")
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    failover = commands.add_parser(
+        "failover",
+        help="durable-coordinator crash/failover scenarios")
+    failover.add_argument("--sweep", action="store_true",
+                          help="kill after every WAL record boundary "
+                               "and verify bit-identical recovery")
+    failover.add_argument("--mode", default="coordinator_crash",
+                          choices=["coordinator_crash", "failover",
+                                   "both"])
+    failover.add_argument("--after-record", type=int, default=2,
+                          help="kill boundary for the single-scenario "
+                               "mode")
+    failover.add_argument("--system", default="FLBooster")
+    failover.add_argument("--clients", type=int, default=3)
+    failover.add_argument("--rounds", type=int, default=2)
+    failover.add_argument("--key-bits", type=int, default=256)
+    failover.add_argument("--physical-key-bits", type=int, default=128)
+    failover.add_argument("--quorum", type=int, default=None)
+    failover.add_argument("--seed", type=int, default=7)
+    failover.set_defaults(handler=_cmd_failover)
     return parser
 
 

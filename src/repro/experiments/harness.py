@@ -17,6 +17,7 @@ DESIGN.md, "Timing methodology").  Two fidelity knobs:
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -50,6 +51,25 @@ from repro.models.base import (
 #: Largest physical key the scaled sweeps use (the nominal-4096 case);
 #: hosts 128 packing slots with usable precision.
 DEFAULT_PHYSICAL_KEY_BITS = 1024
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Fsync a directory entry so a just-renamed file survives a crash.
+
+    Some filesystems (and all of Windows) refuse ``O_RDONLY`` opens or
+    fsync on directories; the rename is already atomic there, so the
+    extra durability step is best-effort.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def physical_key_for(nominal_bits: int) -> int:
@@ -241,7 +261,14 @@ class TrainingCheckpoint:
                 for name, value in self.model_state.items()}
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the checkpoint atomically (write-then-rename)."""
+        """Write the checkpoint atomically and durably.
+
+        The payload goes to a temp file that is flushed and fsynced
+        *before* the rename, and the directory entry is fsynced after
+        it, so a crash at any point leaves either the old complete
+        checkpoint or the new complete checkpoint -- never a torn one.
+        A stale ``.tmp`` from an earlier crashed save is overwritten.
+        """
         target = Path(path)
         payload = {
             "version": self.version, "system": self.system,
@@ -253,8 +280,12 @@ class TrainingCheckpoint:
             "model_state": self.model_state, "restarts": self.restarts,
         }
         temporary = target.with_suffix(target.suffix + ".tmp")
-        temporary.write_text(json.dumps(payload))
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
         temporary.replace(target)
+        _fsync_directory(target.parent)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TrainingCheckpoint":
@@ -338,11 +369,18 @@ def run_training_with_recovery(
     dataset = scaled_dataset(dataset_name, seed=seed)
 
     checkpoint: Optional[TrainingCheckpoint] = None
-    if checkpoint_path is not None and Path(checkpoint_path).exists():
-        candidate = TrainingCheckpoint.load(checkpoint_path)
-        if candidate.matches(config.name, model_name, dataset_name,
-                             key_bits, seed):
-            checkpoint = candidate
+    if checkpoint_path is not None:
+        target = Path(checkpoint_path)
+        # A .tmp next to the checkpoint is a save that died before its
+        # rename; the checkpoint itself is still the last complete one.
+        stale = target.with_suffix(target.suffix + ".tmp")
+        if stale.exists():
+            stale.unlink()
+        if target.exists():
+            candidate = TrainingCheckpoint.load(target)
+            if candidate.matches(config.name, model_name, dataset_name,
+                                 key_bits, seed):
+                checkpoint = candidate
 
     restarts = checkpoint.restarts if checkpoint is not None else 0
     resumed_epochs: List[int] = []

@@ -12,8 +12,14 @@ ledger so the benchmark harness can read epoch times and component splits.
   (FATE / HAFLO / FLBooster / ablations) into engines, channel and packer.
 - :mod:`repro.federation.metrics` -- ledger re-exports and epoch reports.
 - :mod:`repro.federation.faults` -- seeded fault injection (crashes,
-  dropouts, stragglers, loss, corruption), retry/backoff policy and
-  quorum semantics for fault-tolerant aggregation.
+  dropouts, stragglers, loss, corruption, coordinator kills),
+  retry/backoff policy and quorum semantics for fault-tolerant
+  aggregation.
+- :mod:`repro.federation.wal` -- the coordinator's CRC-framed
+  write-ahead log with torn-tail detection on replay.
+- :mod:`repro.federation.coordinator` -- the durable round state
+  machine, exactly-once upload dedupe, lease-based hot-standby
+  failover.
 """
 
 from repro.federation.channel import (
@@ -30,7 +36,26 @@ from repro.federation.faults import (
     QuorumError,
     RetryPolicy,
 )
+from repro.federation.coordinator import (
+    CoordinatorError,
+    CoordinatorKilled,
+    DurableCoordinator,
+    InvalidTransitionError,
+    Lease,
+    LeaseError,
+    LeaseManager,
+    RoundStateMachine,
+    StaleIncarnationError,
+    StandbyCoordinator,
+    recover_coordinator,
+)
 from repro.federation.runtime import FederationRuntime, SystemConfig
+from repro.federation.wal import (
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    replay_wal,
+)
 from repro.federation.metrics import EpochReport, FaultReport, flop_seconds
 from repro.federation.parties import (
     ClientParty,
@@ -60,6 +85,21 @@ __all__ = [
     "RetryPolicy",
     "FederationRuntime",
     "SystemConfig",
+    "CoordinatorError",
+    "CoordinatorKilled",
+    "DurableCoordinator",
+    "InvalidTransitionError",
+    "Lease",
+    "LeaseError",
+    "LeaseManager",
+    "RoundStateMachine",
+    "StaleIncarnationError",
+    "StandbyCoordinator",
+    "recover_coordinator",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "replay_wal",
     "EpochReport",
     "flop_seconds",
     "ClientParty",

@@ -29,13 +29,12 @@ client time is one client's time, while server work and every transfer are
 charged in full.
 
 The pre-tensor raw-list entry points (``encrypt_vector`` /
-``decrypt_vector`` / ``send_encrypted``) remain as deprecated shims for
-one release; new code should use the ``*_tensor`` methods.
+``decrypt_vector`` / ``send_encrypted``) were deprecated for one release
+and are now gone; use the ``*_tensor`` methods.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
@@ -48,26 +47,6 @@ from repro.federation.metrics import charge_pipeline_stage
 from repro.quantization.packing import BatchPacker
 from repro.tensor.cipher import CipherTensor
 from repro.tensor.plain import PlainTensor
-
-#: Raw-list entry points already warned about this process (the shims
-#: warn exactly once each; tests reset via
-#: :func:`reset_deprecation_warnings`).
-_DEPRECATION_SEEN: set = set()
-
-
-def _warn_deprecated(name: str, replacement: str) -> None:
-    if name in _DEPRECATION_SEEN:
-        return
-    _DEPRECATION_SEEN.add(name)
-    warnings.warn(
-        f"{name} is deprecated; use {replacement} instead "
-        f"(raw ciphertext lists are replaced by CipherTensor)",
-        DeprecationWarning, stacklevel=3)
-
-
-def reset_deprecation_warnings() -> None:
-    """Re-arm the once-per-process deprecation warnings (tests)."""
-    _DEPRECATION_SEEN.clear()
 
 
 @dataclass
@@ -197,53 +176,6 @@ class SecureAggregator:
             materialized, sender=sender, receiver=receiver, tag=tag,
             ciphertext_bytes=self.client_engine.nominal_ciphertext_bytes(),
             packed=self.packed_serialization if packed is None else packed))
-
-    # ------------------------------------------------------------------
-    # Deprecated raw-list shims (one release of grace).
-    # ------------------------------------------------------------------
-
-    def encrypt_vector(self, values: np.ndarray,
-                       charged: bool = True) -> List[int]:
-        """Deprecated: use :meth:`encrypt_tensor`.
-
-        Returns the raw ciphertext words of the encrypted tensor.
-        """
-        _warn_deprecated("SecureAggregator.encrypt_vector",
-                         "SecureAggregator.encrypt_tensor")
-        return list(self.encrypt_tensor(values, charged=charged).words)
-
-    def decrypt_vector(self, ciphertexts: Sequence[int], count: int,
-                       summands: int = 1, charged: bool = True) -> np.ndarray:
-        """Deprecated: use :meth:`decrypt_tensor`.
-
-        Wraps caller-supplied raw words and metadata into a tensor and
-        decrypts it -- the very hand-threading the tensor type removes.
-        """
-        _warn_deprecated("SecureAggregator.decrypt_vector",
-                         "SecureAggregator.decrypt_tensor")
-        engine = self.client_engine if charged else self.silent_engine
-        plain = PlainTensor.encode(np.zeros(count), self.packer)
-        meta = plain.meta
-        from dataclasses import replace
-        meta = replace(meta, key_fingerprint=engine.fingerprint(),
-                       nominal_bits=engine.nominal_bits,
-                       physical_bits=engine.physical_bits,
-                       summands=summands)
-        tensor = CipherTensor(meta, words=list(ciphertexts), engine=engine)
-        return self.decrypt_tensor(tensor, charged=charged).ravel()
-
-    def send_encrypted(self, ciphertexts: Sequence[int], sender: str,
-                       receiver: str, tag: str,
-                       already_packed: bool) -> List[int]:
-        """Deprecated: use :meth:`send_tensor`."""
-        _warn_deprecated("SecureAggregator.send_encrypted",
-                         "SecureAggregator.send_tensor")
-        payload = list(ciphertexts)
-        return self.channel.send(Message(
-            sender=sender, receiver=receiver, tag=tag, payload=payload,
-            ciphertext_count=len(payload),
-            ciphertext_bytes=self.client_engine.nominal_ciphertext_bytes(),
-            packed=self.packed_serialization and already_packed))
 
     # ------------------------------------------------------------------
     # The full round.

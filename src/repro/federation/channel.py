@@ -31,7 +31,7 @@ from typing import Any, List, Optional
 
 import numpy as np
 
-from repro.federation.faults import FaultInjector, RetryPolicy
+from repro.federation.faults import FaultInjector, RetryPolicy, jitter_seed
 from repro.gpu.cost_model import DEFAULT_PROFILE, HardwareProfile
 from repro.ledger import CostLedger
 from repro.tensor.cipher import CipherTensor
@@ -217,6 +217,10 @@ class Channel:
         self.max_retries = self.retry_policy.max_retries
         self.injector = injector
         self._loss_rng = random.Random(seed)
+        # Backoff jitter draws from its own stream, derived from the
+        # REPRO_TEST_SEED master seed: whether a policy jitters can
+        # never change which attempts the loss process drops.
+        self._jitter_rng = random.Random(jitter_seed(seed))
 
     # ------------------------------------------------------------------
     # Fault processes.
@@ -279,7 +283,8 @@ class Channel:
             elapsed = attempts * transfer_seconds + backoff_total
             if policy.exhausted(retry_index + 1, elapsed):
                 break
-            backoff = policy.backoff_seconds(retry_index, rng=self._loss_rng)
+            backoff = policy.backoff_seconds(retry_index,
+                                             rng=self._jitter_rng)
             backoff_total += backoff
             self.stats.backoff_seconds += backoff
             self.ledger.charge("fault.retransmit", backoff, count=1,

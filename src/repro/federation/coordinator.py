@@ -1,0 +1,697 @@
+"""Durable, failover-capable aggregation coordinator.
+
+PR 1 made *clients* survivable; this module does the same for the
+aggregator itself, the last single point of failure in the federation:
+
+- :class:`RoundStateMachine` -- the legal lifecycle of one aggregation
+  round (``open -> uploads -> quorum -> committed -> closed``), applied
+  from :class:`~repro.federation.wal.WalRecord` transitions.  Every
+  upload carries a dedupe key and every record a coordinator
+  incarnation, so replayed or duplicated messages are applied *exactly
+  once* and a deposed coordinator's writes are fenced off.
+- :class:`DurableCoordinator` -- a write-ahead-logged wrapper around
+  :class:`~repro.federation.aggregator.SecureAggregator`: each round
+  transition is journaled *before* it takes effect, so a coordinator
+  killed at any record boundary leaves a log from which
+  :meth:`DurableCoordinator.recover` rebuilds a bit-identical state
+  (accepted ciphertext uploads included) and finishes the round.
+- :class:`LeaseManager` / :class:`StandbyCoordinator` -- hot-standby
+  failover: the primary heartbeats a lease (heartbeats are charged to
+  the channel like any other message); a standby tails the WAL, and
+  once the lease expires it acquires a bumped incarnation, fences the
+  old primary, and takes over mid-round.  Full-quorum failovers yield
+  final weights identical to the fault-free run; degraded ones fall
+  back to PR 1's partial-quorum Eq. 6 offset correction.
+
+Determinism note: re-encrypting a vector after recovery draws fresh
+Paillier randomizers, so the *ciphertexts* of post-recovery uploads
+differ from an uninterrupted run -- but randomizers vanish at
+decryption, so the decoded weights are bit-identical either way, and
+the uploads accepted *before* the crash are reused verbatim from the
+log (that part of the state really is bit-identical, which
+:meth:`RoundStateMachine.digest` asserts).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.federation.aggregator import AggregationRound, SecureAggregator
+from repro.federation.channel import ChannelError, Message
+from repro.federation.faults import QuorumError
+from repro.federation.serialization import (
+    deserialize_tensor,
+    serialize_tensor,
+)
+from repro.federation.wal import (
+    DECRYPT_COMMITTED,
+    QUORUM_REACHED,
+    ROUND_CLOSE,
+    ROUND_OPEN,
+    UPLOAD_ACCEPTED,
+    WalRecord,
+    WriteAheadLog,
+)
+from repro.tensor.cipher import CipherTensor
+
+
+class CoordinatorError(RuntimeError):
+    """Base class for coordinator lifecycle failures."""
+
+
+class InvalidTransitionError(CoordinatorError):
+    """A WAL record arrived in an order no healthy coordinator writes."""
+
+
+class StaleIncarnationError(CoordinatorError):
+    """A deposed coordinator tried to act after losing its lease."""
+
+
+class LeaseError(CoordinatorError):
+    """A lease was requested while a live holder still owns it."""
+
+
+class CoordinatorKilled(CoordinatorError):
+    """The fault injector killed the coordinator at a record boundary.
+
+    Attributes:
+        lsn: Index of the last record the coordinator durably appended
+            before dying -- the replay cut point.
+    """
+
+    def __init__(self, lsn: int):
+        self.lsn = lsn
+        super().__init__(
+            f"coordinator killed after appending WAL record {lsn}")
+
+
+#: Wire size of one heartbeat message (holder, incarnation, expiry).
+HEARTBEAT_BYTES = 64
+
+
+@dataclass
+class Lease:
+    """One coordinator's claim on the primary role.
+
+    Attributes:
+        holder: Name of the coordinator holding the lease.
+        incarnation: Monotonic fencing token; every takeover bumps it.
+        expires_at: Modelled time the lease lapses without a heartbeat.
+    """
+
+    holder: str
+    incarnation: int
+    expires_at: float
+
+
+class LeaseManager:
+    """Heartbeat-renewed lease arbitration between primary and standby.
+
+    Args:
+        timeout_seconds: Lease duration; a holder that misses heartbeats
+            for this long is considered dead and can be superseded.
+        clock: Zero-argument callable returning the current (modelled)
+            time.  The deterministic simulator passes its virtual
+            clock; the default is wall-clock monotonic time.
+    """
+
+    def __init__(self, timeout_seconds: float = 30.0,
+                 clock: Optional[Callable[[], float]] = None):
+        if timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+        self.timeout_seconds = timeout_seconds
+        self._clock = clock if clock is not None else time.monotonic
+        self.lease: Optional[Lease] = None
+
+    def now(self) -> float:
+        return self._clock()
+
+    def expired(self) -> bool:
+        """Whether the current lease (if any) has lapsed."""
+        return self.lease is not None and self.now() >= self.lease.expires_at
+
+    def acquire(self, holder: str) -> Lease:
+        """Claim the lease; bumps the incarnation past any prior holder.
+
+        Raises:
+            LeaseError: A different holder's lease is still live.
+        """
+        if self.lease is not None and not self.expired() and \
+                self.lease.holder != holder:
+            raise LeaseError(
+                f"{holder!r} cannot acquire: {self.lease.holder!r} holds "
+                f"the lease until t={self.lease.expires_at:.3f}")
+        incarnation = 0 if self.lease is None \
+            else self.lease.incarnation + 1
+        self.lease = Lease(holder=holder, incarnation=incarnation,
+                           expires_at=self.now() + self.timeout_seconds)
+        return self.lease
+
+    def heartbeat(self, holder: str, incarnation: int,
+                  channel=None, receiver: str = "standby") -> Lease:
+        """Renew the lease; optionally charge the heartbeat to a channel.
+
+        Raises:
+            StaleIncarnationError: The heartbeat came from a holder that
+                no longer owns the lease (fencing).
+        """
+        self.fence(incarnation, holder=holder)
+        self.lease = Lease(holder=holder, incarnation=incarnation,
+                           expires_at=self.now() + self.timeout_seconds)
+        if channel is not None:
+            channel.send(Message(
+                sender=holder, receiver=receiver,
+                tag="coordinator.heartbeat",
+                payload={"holder": holder, "incarnation": incarnation},
+                plaintext_bytes=HEARTBEAT_BYTES))
+        return self.lease
+
+    def fence(self, incarnation: int,
+              holder: Optional[str] = None) -> None:
+        """Reject an action from a superseded incarnation."""
+        if self.lease is None:
+            return
+        if incarnation < self.lease.incarnation or (
+                incarnation == self.lease.incarnation
+                and holder is not None and holder != self.lease.holder):
+            raise StaleIncarnationError(
+                f"incarnation {incarnation}"
+                f"{f' ({holder})' if holder else ''} is fenced: "
+                f"{self.lease.holder!r} holds incarnation "
+                f"{self.lease.incarnation}")
+
+
+@dataclass
+class RoundState:
+    """Mutable state of the round currently in flight."""
+
+    round_index: int
+    tag: str
+    num_clients: int
+    quorum: int
+    survivors: List[str] = field(default_factory=list)
+    upload_frames: Dict[str, str] = field(default_factory=dict)
+    dedupe_keys: set = field(default_factory=set)
+    quorum_logged: bool = False
+    summands: int = 0
+    result: Optional[List[float]] = None
+    closed: bool = False
+    aborted: Optional[str] = None
+
+    def to_state_dict(self) -> dict:
+        """Canonical JSON-ready form, the basis of the state digest."""
+        return {
+            "round_index": self.round_index,
+            "tag": self.tag,
+            "num_clients": self.num_clients,
+            "quorum": self.quorum,
+            "survivors": list(self.survivors),
+            "upload_frames": dict(sorted(self.upload_frames.items())),
+            "dedupe_keys": sorted(self.dedupe_keys),
+            "quorum_logged": self.quorum_logged,
+            "summands": self.summands,
+            "result": self.result,
+            "closed": self.closed,
+            "aborted": self.aborted,
+        }
+
+
+class RoundStateMachine:
+    """Applies WAL records to round state, exactly once each.
+
+    The machine enforces the only record order a healthy coordinator
+    produces; anything else raises :class:`InvalidTransitionError`.
+    Duplicate uploads (same dedupe key) return ``False`` from
+    :meth:`apply` instead of mutating state -- the exactly-once
+    guarantee -- and records from an incarnation lower than the highest
+    seen raise :class:`StaleIncarnationError` (fencing on replay).
+    """
+
+    def __init__(self):
+        self.round: Optional[RoundState] = None
+        #: round_index -> digest of the round's final state.
+        self.closed_rounds: Dict[int, int] = {}
+        self.max_incarnation = 0
+        self.records_applied = 0
+
+    # ------------------------------------------------------------------
+    # Application.
+    # ------------------------------------------------------------------
+
+    def apply(self, record: WalRecord) -> bool:
+        """Apply one record; returns ``False`` for a deduplicated no-op."""
+        if record.incarnation < self.max_incarnation:
+            raise StaleIncarnationError(
+                f"record from incarnation {record.incarnation} after "
+                f"incarnation {self.max_incarnation} acted")
+        self.max_incarnation = record.incarnation
+        handler = {
+            ROUND_OPEN: self._apply_open,
+            UPLOAD_ACCEPTED: self._apply_upload,
+            QUORUM_REACHED: self._apply_quorum,
+            DECRYPT_COMMITTED: self._apply_commit,
+            ROUND_CLOSE: self._apply_close,
+        }[record.kind]
+        changed = handler(record)
+        if changed:
+            self.records_applied += 1
+        return changed
+
+    def _require_round(self, record: WalRecord) -> RoundState:
+        if self.round is None or self.round.closed:
+            raise InvalidTransitionError(
+                f"{record.kind} with no round open")
+        if self.round.round_index != record.round_index:
+            raise InvalidTransitionError(
+                f"{record.kind} names round {record.round_index} but "
+                f"round {self.round.round_index} is open")
+        return self.round
+
+    def _apply_open(self, record: WalRecord) -> bool:
+        if self.round is not None and not self.round.closed:
+            raise InvalidTransitionError(
+                f"round_open({record.round_index}) while round "
+                f"{self.round.round_index} is still open")
+        if record.round_index in self.closed_rounds:
+            raise InvalidTransitionError(
+                f"round {record.round_index} was already closed")
+        payload = record.payload
+        self.round = RoundState(
+            round_index=record.round_index,
+            tag=payload.get("tag", "gradients"),
+            num_clients=int(payload.get("num_clients", 0)),
+            quorum=int(payload.get("quorum", 0)))
+        return True
+
+    def _apply_upload(self, record: WalRecord) -> bool:
+        state = self._require_round(record)
+        if state.quorum_logged:
+            raise InvalidTransitionError(
+                "upload_accepted after quorum_reached")
+        key = record.payload["dedupe_key"]
+        if key in state.dedupe_keys:
+            return False  # exactly-once: duplicate upload is a no-op
+        state.dedupe_keys.add(key)
+        client = record.payload["client"]
+        state.survivors.append(client)
+        state.upload_frames[client] = record.payload["frame"]
+        return True
+
+    def _apply_quorum(self, record: WalRecord) -> bool:
+        state = self._require_round(record)
+        if state.quorum_logged:
+            return False
+        survivors = list(record.payload.get("survivors", []))
+        if survivors != state.survivors:
+            raise InvalidTransitionError(
+                f"quorum_reached names survivors {survivors} but the "
+                f"log accepted {state.survivors}")
+        state.quorum_logged = True
+        state.summands = int(record.payload.get("summands",
+                                                len(survivors)))
+        return True
+
+    def _apply_commit(self, record: WalRecord) -> bool:
+        state = self._require_round(record)
+        if not state.quorum_logged:
+            raise InvalidTransitionError(
+                "decrypt_committed before quorum_reached")
+        if state.result is not None:
+            return False
+        state.result = list(record.payload["result"])
+        return True
+
+    def _apply_close(self, record: WalRecord) -> bool:
+        state = self._require_round(record)
+        state.closed = True
+        state.aborted = record.payload.get("aborted")
+        self.closed_rounds[state.round_index] = self.digest()
+        return True
+
+    # ------------------------------------------------------------------
+    # Inspection.
+    # ------------------------------------------------------------------
+
+    def has_upload(self, round_index: int, client: str) -> bool:
+        """Whether a client's upload for a round is already applied."""
+        return (self.round is not None
+                and self.round.round_index == round_index
+                and not self.round.closed
+                and client in self.round.upload_frames)
+
+    def upload_tensors(self, engine=None) -> List[CipherTensor]:
+        """The accepted uploads as tensors, in acceptance order."""
+        if self.round is None:
+            return []
+        tensors = []
+        for client in self.round.survivors:
+            tensor = deserialize_tensor(
+                bytes.fromhex(self.round.upload_frames[client]))
+            if engine is not None:
+                tensor = CipherTensor(tensor.meta, words=list(tensor.words),
+                                      engine=engine)
+            tensors.append(tensor)
+        return tensors
+
+    def digest(self) -> int:
+        """CRC-32 of the canonical state -- the bit-identity witness.
+
+        Two machines that applied the same record prefix produce the
+        same digest; the crash-consistency sweep asserts a recovered
+        coordinator's digest equals the uninterrupted run's digest at
+        the same record index.
+        """
+        state = {
+            "round": (self.round.to_state_dict()
+                      if self.round is not None else None),
+            "closed_rounds": {str(k): v for k, v
+                              in sorted(self.closed_rounds.items())},
+            "max_incarnation": self.max_incarnation,
+        }
+        blob = json.dumps(state, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        return zlib.crc32(blob)
+
+
+class DurableCoordinator:
+    """A :class:`SecureAggregator` whose rounds survive coordinator death.
+
+    Every round transition is appended to the WAL *before* it takes
+    effect in memory, so the log is always at least as new as the
+    state.  Killing the coordinator after any append leaves a log from
+    which a successor (same name restarted, or a hot standby) rebuilds
+    the identical round state and finishes the round -- accepted uploads
+    are reused verbatim from the log, never re-requested.
+
+    Args:
+        aggregator: The aggregation data path (engines, packer, channel,
+            fault injector, quorum defaults).
+        wal: The journal; a fresh in-memory log by default.  Passing a
+            log with existing records recovers from it.
+        name: Coordinator identity, for lease arbitration.
+        incarnation: Fencing token; defaults to one more than the
+            highest incarnation in the log (a successor) or 0 (a fresh
+            log).
+        lease_manager: Optional lease arbitration; when set, every
+            append first fences this coordinator's incarnation, so a
+            deposed primary raises :class:`StaleIncarnationError`
+            instead of splitting the brain.
+    """
+
+    def __init__(self, aggregator: SecureAggregator,
+                 wal: Optional[WriteAheadLog] = None,
+                 name: str = "coordinator",
+                 incarnation: Optional[int] = None,
+                 lease_manager: Optional[LeaseManager] = None):
+        self.aggregator = aggregator
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.name = name
+        self.lease_manager = lease_manager
+        self.machine = RoundStateMachine()
+        #: State digest after each applied LSN -- ``digest_trail[k]`` is
+        #: the bit-identity witness for "recovered after record k".
+        self.digest_trail: List[int] = []
+        for record in self.wal.records:
+            self.machine.apply(record)
+            self.digest_trail.append(self.machine.digest())
+        if incarnation is None:
+            incarnation = (self.machine.max_incarnation + 1
+                           if len(self.wal) else 0)
+        if incarnation < self.machine.max_incarnation:
+            raise StaleIncarnationError(
+                f"cannot run as incarnation {incarnation}: the log "
+                f"already holds incarnation {self.machine.max_incarnation}")
+        self.incarnation = incarnation
+        #: Fault-injection hook: raise :class:`CoordinatorKilled` right
+        #: after appending the record with this log sequence number.
+        self.kill_after_lsn: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Journaling.
+    # ------------------------------------------------------------------
+
+    def _log(self, kind: str, round_index: int, **payload) -> bool:
+        """Fence, append, then apply one transition.
+
+        Returns whether the record changed state (``False`` only for
+        deduplicated uploads, which are not even appended).
+        """
+        if self.lease_manager is not None:
+            self.lease_manager.fence(self.incarnation, holder=self.name)
+        record = WalRecord(kind=kind, round_index=round_index,
+                           incarnation=self.incarnation, payload=payload)
+        lsn = self.wal.append(record)
+        changed = self.machine.apply(record)
+        self.digest_trail.append(self.machine.digest())
+        if self.kill_after_lsn is not None and lsn >= self.kill_after_lsn:
+            raise CoordinatorKilled(lsn)
+        return changed
+
+    def heartbeat(self, channel=None) -> None:
+        """Renew this coordinator's lease (no-op without a manager)."""
+        if self.lease_manager is not None:
+            self.lease_manager.heartbeat(self.name, self.incarnation,
+                                         channel=channel)
+
+    # ------------------------------------------------------------------
+    # Exactly-once upload intake.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def dedupe_key(round_index: int, client: str) -> str:
+        """The per-message idempotence key for one client's upload."""
+        return f"r{round_index}:{client}"
+
+    def accept_upload(self, round_index: int, client: str,
+                      tensor: CipherTensor) -> bool:
+        """Journal one accepted upload; duplicates are no-ops.
+
+        Returns ``True`` when the upload was applied, ``False`` when
+        its dedupe key was already in the round (a client retransmission
+        after a failover, for example) -- the WAL is not even touched,
+        so replay cannot double-apply it either.
+        """
+        key = self.dedupe_key(round_index, client)
+        if self.machine.round is not None and \
+                key in self.machine.round.dedupe_keys:
+            return False
+        frame = serialize_tensor(tensor.materialize()).hex()
+        return self._log(UPLOAD_ACCEPTED, round_index, client=client,
+                         dedupe_key=key, frame=frame)
+
+    # ------------------------------------------------------------------
+    # The durable round.
+    # ------------------------------------------------------------------
+
+    def run_round(self, client_vectors: Sequence[np.ndarray],
+                  tag: str = "gradients",
+                  round_index: Optional[int] = None,
+                  min_quorum: Optional[int] = None) -> np.ndarray:
+        """One write-ahead-logged aggregation round.
+
+        Semantically :meth:`SecureAggregator.aggregate` (same fault
+        injection, quorum, Eq. 6 offset correction), with every
+        transition journaled first.  Calling it on a coordinator
+        recovered mid-round *continues* that round: clients whose
+        uploads are already in the log are skipped (their logged
+        ciphertexts are reused), a logged quorum is not re-declared, and
+        a logged decrypt is returned without recomputation.
+        """
+        agg = self.aggregator
+        vectors = [np.asarray(v, dtype=np.float64)
+                   for v in client_vectors]
+        if not vectors:
+            raise ValueError("run_round needs at least one client vector")
+        length = len(vectors[0])
+        for vector in vectors:
+            if len(vector) != length:
+                raise ValueError("client vectors must share a length")
+        if len(vectors) > agg.packer.max_safe_summands():
+            raise OverflowError(
+                f"{len(vectors)} clients exceed the packer's "
+                f"{agg.packer.max_safe_summands()} safe summands")
+        if round_index is None:
+            round_index = agg.round_cursor
+        required = min_quorum if min_quorum is not None else agg.min_quorum
+        if required is None:
+            required = len(vectors)
+        if not 1 <= required <= len(vectors):
+            raise ValueError(
+                f"quorum {required} impossible with {len(vectors)} clients")
+
+        state = self.machine.round
+        if state is not None and state.closed \
+                and state.round_index == round_index:
+            # The log already decided this round (the predecessor died
+            # right after its round_close): honour the decision instead
+            # of reopening.
+            agg.round_cursor = max(agg.round_cursor, round_index + 1)
+            if state.aborted == "quorum":
+                raise QuorumError(round_index, state.survivors,
+                                  required, len(vectors))
+            agg.last_round = AggregationRound(
+                round_index=round_index,
+                survivors=list(state.survivors),
+                summands=state.summands)
+            return np.asarray(state.result, dtype=np.float64)
+        resuming = (state is not None and not state.closed
+                    and state.round_index == round_index)
+        if not resuming:
+            self._log(ROUND_OPEN, round_index, tag=tag,
+                      num_clients=len(vectors), quorum=required)
+            state = self.machine.round
+
+        report = AggregationRound(round_index=round_index,
+                                  survivors=list(state.survivors),
+                                  summands=len(state.survivors))
+        injector = agg.injector
+        deadline = agg.round_deadline_seconds
+        if not state.quorum_logged:
+            representative_charged = bool(state.survivors)
+            for index, vector in enumerate(vectors):
+                name = f"client-{index}"
+                if self.machine.has_upload(round_index, name):
+                    continue  # exactly-once: logged before the crash
+                if injector is not None:
+                    if not injector.is_alive(name, round_index):
+                        report.dropped.append((name, "offline"))
+                        continue
+                    delay = injector.straggler_delay(name, round_index)
+                    if delay > 0:
+                        if deadline is not None and delay > deadline:
+                            injector.charge_deadline_miss(
+                                name, round_index, deadline)
+                            report.dropped.append((name, "deadline"))
+                            continue
+                        injector.charge_straggler(name, round_index, delay)
+                charged = not representative_charged
+                representative_charged = True
+                tensor = agg.encrypt_tensor(vector, charged=charged)
+                try:
+                    payload = agg.send_tensor(
+                        tensor, sender=name, receiver=self.name,
+                        tag=f"upload.{tag}")
+                except ChannelError as error:
+                    if injector is None:
+                        raise
+                    injector.charge_lost_update(
+                        name, round_index, wasted_bytes=error.wasted_bytes)
+                    report.dropped.append((name, "lost"))
+                    continue
+                agg.validate_ciphertexts(payload)
+                self.accept_upload(round_index, name, payload)
+            report.survivors = list(state.survivors)
+            report.summands = len(state.survivors)
+            if len(state.survivors) < required:
+                self._log(ROUND_CLOSE, round_index, aborted="quorum")
+                agg.round_cursor = round_index + 1
+                agg.last_round = report
+                raise QuorumError(round_index, state.survivors,
+                                  required, len(vectors))
+            self._log(QUORUM_REACHED, round_index,
+                      survivors=list(state.survivors),
+                      summands=len(state.survivors))
+        else:
+            report.survivors = list(state.survivors)
+            report.summands = state.summands
+
+        if state.result is None:
+            uploaded = self.machine.upload_tensors(
+                engine=agg.server_engine)
+            aggregated = agg._server_sum(uploaded)
+            for name in state.survivors:
+                agg.send_tensor(aggregated, sender=self.name,
+                                receiver=name, tag=f"download.{tag}")
+            decoded = agg.decrypt_tensor(aggregated, charged=True)
+            self._log(DECRYPT_COMMITTED, round_index,
+                      result=list(np.asarray(decoded).ravel()),
+                      summands=state.summands)
+        decoded = np.asarray(state.result, dtype=np.float64)
+
+        self._log(ROUND_CLOSE, round_index)
+        agg.round_cursor = round_index + 1
+        agg.last_round = report
+        return decoded
+
+
+class StandbyCoordinator:
+    """A hot standby that tails the WAL and takes over a lapsed lease.
+
+    The standby keeps a *shadow* :class:`RoundStateMachine` fed from the
+    primary's log, so at takeover time it already holds the round state
+    and only has to win the lease.  :meth:`take_over` asserts the shadow
+    digest matches a fresh replay of the log -- the standby really was
+    hot, not stale.
+
+    Args:
+        aggregator: The data path the standby will drive after takeover
+            (its own engines in a real deployment; in the simulator the
+            shared in-process engines, which hold the same key).
+        lease_manager: The arbitration shared with the primary.
+        name: Standby identity.
+    """
+
+    def __init__(self, aggregator: SecureAggregator,
+                 lease_manager: LeaseManager, name: str = "standby"):
+        self.aggregator = aggregator
+        self.lease_manager = lease_manager
+        self.name = name
+        self.machine = RoundStateMachine()
+        self._tail_lsn = 0
+
+    def tail(self, image: bytes) -> int:
+        """Apply records the primary appended since the last tail.
+
+        Args:
+            image: The WAL byte image (a shipped segment in production;
+                the shared in-memory image in the simulator).
+
+        Returns:
+            Number of new records applied to the shadow machine.
+        """
+        log = WriteAheadLog.from_bytes(image)
+        fresh = log.records_since(self._tail_lsn)
+        for record in fresh:
+            self.machine.apply(record)
+        self._tail_lsn += len(fresh)
+        return len(fresh)
+
+    def take_over(self, image: bytes) -> DurableCoordinator:
+        """Acquire the lapsed lease and resume from the log.
+
+        Raises:
+            LeaseError: The primary's lease has not expired.
+        """
+        self.tail(image)
+        lease = self.lease_manager.acquire(self.name)
+        wal = WriteAheadLog.from_bytes(image)
+        successor = DurableCoordinator(
+            self.aggregator, wal=wal, name=self.name,
+            incarnation=lease.incarnation,
+            lease_manager=self.lease_manager)
+        if successor.machine.digest() != self.machine.digest():
+            raise CoordinatorError(
+                "standby shadow state diverged from the log at takeover")
+        return successor
+
+
+def recover_coordinator(aggregator: SecureAggregator, image: bytes,
+                        name: str = "coordinator",
+                        lease_manager: Optional[LeaseManager] = None
+                        ) -> DurableCoordinator:
+    """Rebuild a coordinator from a dead one's WAL image.
+
+    Trims a torn tail (a record the dead coordinator was mid-append on),
+    replays the intact prefix, and returns a successor with a bumped
+    incarnation, ready for :meth:`DurableCoordinator.run_round` to
+    finish the in-flight round.
+    """
+    wal = WriteAheadLog.from_bytes(image)
+    return DurableCoordinator(aggregator, wal=wal, name=name,
+                              lease_manager=lease_manager)

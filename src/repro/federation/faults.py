@@ -29,7 +29,11 @@ component, and summarized by
 - ``fault.lost_update``-- client uploads lost after exhausting retries;
 - ``fault.retransmit`` -- retransmitted channel attempts (time + bytes);
 - ``fault.corrupt``    -- corrupted payloads caught by the checksum;
-- ``fault.giveup``     -- transfers abandoned after the retry budget.
+- ``fault.giveup``     -- transfers abandoned after the retry budget;
+- ``fault.coordinator_crash`` -- coordinator killed and recovered from
+  its write-ahead log (see :mod:`repro.federation.coordinator`);
+- ``fault.failover``   -- standby takeover of a dead coordinator's
+  in-flight round.
 
 Determinism: every stochastic decision draws from one ``random.Random``
 seeded by ``plan.seed + incarnation``.  The *incarnation* increments on
@@ -43,6 +47,7 @@ across incarnations.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, replace
 from typing import Any, List, Optional, Tuple
@@ -53,8 +58,38 @@ from repro.ledger import CostLedger
 CRASH = "crash"
 DROPOUT = "dropout"
 STRAGGLER = "straggler"
+#: Coordinator-side kinds (PR 4): kill the primary after it appends WAL
+#: record ``after_record`` -- ``coordinator_crash`` restarts the same
+#: coordinator from its log, ``failover`` hands the round to the hot
+#: standby via the lease protocol.
+COORDINATOR_CRASH = "coordinator_crash"
+FAILOVER = "failover"
 
-_EVENT_KINDS = (CRASH, DROPOUT, STRAGGLER)
+_EVENT_KINDS = (CRASH, DROPOUT, STRAGGLER, COORDINATOR_CRASH, FAILOVER)
+COORDINATOR_KINDS = (COORDINATOR_CRASH, FAILOVER)
+
+
+def master_test_seed() -> int:
+    """The suite-wide master seed (``REPRO_TEST_SEED``, default 0).
+
+    The same scheme ``tests/conftest.py`` and ``benchmarks.common`` use:
+    library code that needs its own deterministic stream derives it as
+    ``master * 1_000_003 + stream`` so shifting the one environment
+    variable reseeds everything at once.
+    """
+    return int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def jitter_seed(channel_seed: int) -> int:
+    """Derive the retry-jitter stream for one channel.
+
+    Jitter used to share the channel's loss RNG, so enabling jitter
+    perturbed which attempts were dropped.  Giving jitter its own
+    stream -- derived from the master seed plus the channel seed --
+    keeps loss draws identical whether or not a policy jitters, and
+    routes all backoff randomness through ``REPRO_TEST_SEED``.
+    """
+    return master_test_seed() * 1_000_003 + 7919 + channel_seed
 
 
 class QuorumError(RuntimeError):
@@ -93,6 +128,9 @@ class FaultEvent:
         rejoin_round: For ``dropout``: first round the party is back.
         delay_seconds: For ``straggler``: modelled delay charged to the
             round.
+        after_record: For ``coordinator_crash`` / ``failover``: the WAL
+            log sequence number after whose append the coordinator dies
+            (the kill lands exactly on a record boundary).
     """
 
     kind: str
@@ -100,6 +138,7 @@ class FaultEvent:
     round_index: int
     rejoin_round: Optional[int] = None
     delay_seconds: float = 0.0
+    after_record: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _EVENT_KINDS:
@@ -113,6 +152,11 @@ class FaultEvent:
                 raise ValueError("dropout needs rejoin_round > round_index")
         if self.kind == STRAGGLER and self.delay_seconds <= 0:
             raise ValueError("straggler needs a positive delay")
+        if self.kind in COORDINATOR_KINDS:
+            if self.after_record is None or self.after_record < 0:
+                raise ValueError(
+                    f"{self.kind} needs a non-negative after_record "
+                    f"(the WAL record boundary to die at)")
 
 
 @dataclass(frozen=True)
@@ -168,6 +212,21 @@ class FaultPlan:
         return self._with_event(FaultEvent(
             STRAGGLER, party, round_index, delay_seconds=delay_seconds))
 
+    def coordinator_crash(self, round_index: int, after_record: int,
+                          party: str = "coordinator") -> "FaultPlan":
+        """Kill the coordinator after it appends WAL record
+        ``after_record``; it restarts and recovers from its own log."""
+        return self._with_event(FaultEvent(
+            COORDINATOR_CRASH, party, round_index,
+            after_record=after_record))
+
+    def failover(self, round_index: int, after_record: int,
+                 party: str = "coordinator") -> "FaultPlan":
+        """Kill the coordinator after WAL record ``after_record`` and
+        hand the round to the hot standby via the lease protocol."""
+        return self._with_event(FaultEvent(
+            FAILOVER, party, round_index, after_record=after_record))
+
     def with_message_loss(self, probability: float) -> "FaultPlan":
         """Set the per-attempt message loss probability."""
         return replace(self, loss_probability=probability)
@@ -179,6 +238,12 @@ class FaultPlan:
     def events_for(self, party: str) -> List[FaultEvent]:
         """All events scheduled for one party."""
         return [event for event in self.events if event.party == party]
+
+    def coordinator_events(self) -> List[FaultEvent]:
+        """The scheduled coordinator kills, in WAL-record order."""
+        return sorted(
+            (e for e in self.events if e.kind in COORDINATOR_KINDS),
+            key=lambda e: e.after_record)
 
     # ------------------------------------------------------------------
     # Wire form (consumed by the deterministic simulator's trace).
@@ -194,7 +259,8 @@ class FaultPlan:
                 {"kind": e.kind, "party": e.party,
                  "round_index": e.round_index,
                  "rejoin_round": e.rejoin_round,
-                 "delay_seconds": e.delay_seconds}
+                 "delay_seconds": e.delay_seconds,
+                 "after_record": e.after_record}
                 for e in self.events
             ],
         }
@@ -206,7 +272,8 @@ class FaultPlan:
             FaultEvent(kind=e["kind"], party=e["party"],
                        round_index=e["round_index"],
                        rejoin_round=e.get("rejoin_round"),
-                       delay_seconds=e.get("delay_seconds", 0.0))
+                       delay_seconds=e.get("delay_seconds", 0.0),
+                       after_record=e.get("after_record"))
             for e in data.get("events", [])
         )
         return cls(events=events,
@@ -364,6 +431,16 @@ class FaultInjector:
         """Charge a client update lost after exhausting retries."""
         self._record("lost_update", party, round_index,
                      payload_bytes=wasted_bytes)
+
+    def charge_coordinator_crash(self, round_index: int,
+                                 party: str = "coordinator") -> None:
+        """Charge a coordinator kill-and-recover cycle."""
+        self._record(COORDINATOR_CRASH, party, round_index)
+
+    def charge_failover(self, round_index: int,
+                        party: str = "coordinator") -> None:
+        """Charge a standby takeover of a dead coordinator's round."""
+        self._record(FAILOVER, party, round_index)
 
     # ------------------------------------------------------------------
     # Per-message stochastic processes (consumed by the channel).

@@ -143,6 +143,9 @@ class FaultReport:
         backoff_seconds: Modelled seconds spent backing off.
         corrupted: Payloads caught by the checksum.
         giveups: Transfers abandoned entirely.
+        coordinator_crashes: Coordinator kill-and-recover cycles
+            (recovered from the write-ahead log).
+        failovers: Standby takeovers of a dead coordinator's round.
         wasted_bytes: Wire bytes consumed by failed attempts and
             abandoned transfers.
         fault_seconds: Total modelled time across all ``fault.*``
@@ -159,6 +162,8 @@ class FaultReport:
     backoff_seconds: float = 0.0
     corrupted: int = 0
     giveups: int = 0
+    coordinator_crashes: int = 0
+    failovers: int = 0
     wasted_bytes: int = 0
     fault_seconds: float = 0.0
 
@@ -176,6 +181,8 @@ class FaultReport:
             backoff_seconds=ledger.seconds("fault.retransmit"),
             corrupted=ledger.count("fault.corrupt"),
             giveups=ledger.count("fault.giveup"),
+            coordinator_crashes=ledger.count("fault.coordinator_crash"),
+            failovers=ledger.count("fault.failover"),
             wasted_bytes=(ledger.payload_bytes("fault.retransmit")
                           + ledger.payload_bytes("fault.giveup")
                           + ledger.payload_bytes("fault.lost_update")),
@@ -187,7 +194,8 @@ class FaultReport:
         """All fault events observed."""
         return (self.crashes + self.dropouts + self.stragglers
                 + self.deadline_misses + self.lost_updates
-                + self.retransmissions + self.corrupted + self.giveups)
+                + self.retransmissions + self.corrupted + self.giveups
+                + self.coordinator_crashes + self.failovers)
 
     @property
     def has_faults(self) -> bool:
@@ -208,6 +216,9 @@ class FaultReport:
             backoff_seconds=self.backoff_seconds + other.backoff_seconds,
             corrupted=self.corrupted + other.corrupted,
             giveups=self.giveups + other.giveups,
+            coordinator_crashes=self.coordinator_crashes
+            + other.coordinator_crashes,
+            failovers=self.failovers + other.failovers,
             wasted_bytes=self.wasted_bytes + other.wasted_bytes,
             fault_seconds=self.fault_seconds + other.fault_seconds,
         )
@@ -225,6 +236,8 @@ class FaultReport:
             f"({self.backoff_seconds:.3f}s backoff)",
             f"corrupted payloads    {self.corrupted}",
             f"abandoned transfers   {self.giveups}",
+            f"coordinator crashes   {self.coordinator_crashes}",
+            f"standby failovers     {self.failovers}",
             f"wasted wire bytes     {self.wasted_bytes}",
             f"total fault seconds   {self.fault_seconds:.2f}",
         ]

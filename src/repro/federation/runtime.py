@@ -287,6 +287,33 @@ class FederationRuntime:
                            nominal_key_bits=self.key_bits)
 
     # ------------------------------------------------------------------
+    # Durable-coordinator wiring (PR 4).
+    # ------------------------------------------------------------------
+
+    def durable_coordinator(self, wal=None, lease_manager=None,
+                            name: str = "coordinator"):
+        """A write-ahead-logged coordinator over this runtime's path.
+
+        Args:
+            wal: An existing :class:`~repro.federation.wal.WriteAheadLog`
+                to recover from; a fresh in-memory log by default.
+            lease_manager: Optional
+                :class:`~repro.federation.coordinator.LeaseManager` for
+                hot-standby arbitration.
+        """
+        from repro.federation.coordinator import DurableCoordinator
+
+        return DurableCoordinator(self.aggregator, wal=wal, name=name,
+                                  lease_manager=lease_manager)
+
+    def standby_coordinator(self, lease_manager, name: str = "standby"):
+        """A hot standby tailing this runtime's coordinator WAL."""
+        from repro.federation.coordinator import StandbyCoordinator
+
+        return StandbyCoordinator(self.aggregator,
+                                  lease_manager=lease_manager, name=name)
+
+    # ------------------------------------------------------------------
     # Epoch lifecycle.
     # ------------------------------------------------------------------
 

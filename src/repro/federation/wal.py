@@ -1,0 +1,355 @@
+"""Write-ahead log for the durable coordinator.
+
+The coordinator journals every round transition *before* applying it, so
+a crash at any point leaves a log from which a successor reconstructs
+the exact in-flight state (accepted uploads included, ciphertext words
+and all).  The format is deliberately boring and fully self-checking:
+
+    file  := [magic "FWL1"] record*          (magic only when non-empty)
+    record:= [u32 payload_len][u32 crc32(payload)][payload]
+
+The payload is canonical JSON (sorted keys, compact separators) of a
+:class:`WalRecord` -- kind, round index, coordinator incarnation, and a
+kind-specific payload dict.  Accepted client uploads embed the full
+serialized ``FLT2`` tensor frame (hex), which is what makes recovery
+*bit-identical*: the successor re-sums the very ciphertext words the
+dead coordinator had accepted instead of asking clients to resend.
+
+Replay semantics (:func:`replay_wal`) distinguish the two corruption
+shapes a crash can leave:
+
+- a **torn tail** -- the final record is incomplete (its declared length
+  runs past end-of-file) or fails its CRC with nothing after it.  That
+  is the signature of a coordinator killed mid-``write``; the tail is
+  dropped and replay succeeds with the records before it.
+- **mid-log corruption** -- a record fails validation but intact records
+  follow it.  No crash produces that (appends are sequential), so it is
+  a :class:`WalError`, never silently skipped.
+
+Every decoder in this module raises the *typed* :class:`WalError` (a
+:class:`~repro.federation.serialization.FrameError` subclass) on
+malformed input; the wire fuzzer asserts that no mutation ever escalates
+to a different exception class or decodes into bytes the encoder would
+not produce.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.federation.serialization import FrameError
+
+#: File magic; written before the first record.
+WAL_MAGIC = b"FWL1"
+#: Per-record frame header: payload length, crc32 of the payload.
+RECORD_HEADER = struct.Struct(">II")
+#: Hard ceiling on one record's payload -- anything larger is a length
+#: lie, not a real record (the biggest genuine records are accepted
+#: uploads, well under a mebibyte at benchmark key sizes).
+MAX_PAYLOAD_BYTES = 1 << 26
+
+#: The round-lifecycle record kinds, in their only legal order.
+ROUND_OPEN = "round_open"
+UPLOAD_ACCEPTED = "upload_accepted"
+QUORUM_REACHED = "quorum_reached"
+DECRYPT_COMMITTED = "decrypt_committed"
+ROUND_CLOSE = "round_close"
+
+RECORD_KINDS = (ROUND_OPEN, UPLOAD_ACCEPTED, QUORUM_REACHED,
+                DECRYPT_COMMITTED, ROUND_CLOSE)
+
+
+class WalError(FrameError):
+    """A WAL frame failed validation (malformed, lying, or corrupt).
+
+    The typed rejection the WAL decoders must produce for hostile or
+    damaged input.  Subclasses
+    :class:`~repro.federation.serialization.FrameError` (itself a
+    ``ValueError``) so the fuzzer's typed-rejection oracle covers it.
+    """
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One journaled round transition.
+
+    Attributes:
+        kind: One of :data:`RECORD_KINDS`.
+        round_index: The aggregation round the record belongs to.
+        incarnation: The writing coordinator's incarnation number; a
+            successor's records carry a strictly larger incarnation, so
+            replay can tell which coordinator wrote what and fencing can
+            reject a deposed primary.
+        payload: Kind-specific fields (client name and tensor frame for
+            ``upload_accepted``, survivor list for ``quorum_reached``,
+            the decoded result for ``decrypt_committed``, ...).
+    """
+
+    kind: str
+    round_index: int
+    incarnation: int = 0
+    payload: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in RECORD_KINDS:
+            raise ValueError(f"unknown WAL record kind {self.kind!r}; "
+                             f"choose from {RECORD_KINDS}")
+        if self.round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        if self.incarnation < 0:
+            raise ValueError("incarnation must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "round_index": self.round_index,
+                "incarnation": self.incarnation, "payload": self.payload}
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Frame one record: length prefix, CRC, canonical-JSON payload."""
+    payload = json.dumps(record.to_dict(), sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return RECORD_HEADER.pack(len(payload),
+                              zlib.crc32(payload)) + payload
+
+
+def decode_record(blob: bytes) -> WalRecord:
+    """Strictly invert :func:`encode_record` on exactly one frame.
+
+    The frame must consume the whole input, the CRC must match, the
+    payload must be the *canonical* JSON encoding (re-encoding must be
+    byte-identical), and every field must validate.  Anything else is a
+    :class:`WalError`.
+    """
+    record, consumed = _decode_one(blob, offset=0)
+    if consumed != len(blob):
+        raise WalError(
+            f"oversized record frame: {consumed} bytes consumed, "
+            f"{len(blob)} supplied")
+    return record
+
+
+def _decode_one(blob: bytes, offset: int) -> Tuple[WalRecord, int]:
+    """Decode the record framed at ``offset``; returns (record, end).
+
+    Raises :class:`WalError` on any malformation; the *caller* decides
+    whether a failure at end-of-log is a torn tail or corruption.
+    """
+    header_end = offset + RECORD_HEADER.size
+    if header_end > len(blob):
+        raise WalError(
+            f"truncated record header at offset {offset}: needs "
+            f"{RECORD_HEADER.size} bytes, {len(blob) - offset} left")
+    length, crc = RECORD_HEADER.unpack(blob[offset:header_end])
+    if length > MAX_PAYLOAD_BYTES:
+        raise WalError(
+            f"record at offset {offset} declares an implausible "
+            f"{length}-byte payload (ceiling {MAX_PAYLOAD_BYTES})")
+    end = header_end + length
+    if end > len(blob):
+        raise WalError(
+            f"truncated record at offset {offset}: payload declares "
+            f"{length} bytes, {len(blob) - header_end} left")
+    payload = blob[header_end:end]
+    if zlib.crc32(payload) != crc:
+        raise WalError(
+            f"record at offset {offset} failed its CRC "
+            f"(stored 0x{crc:08x}, computed 0x{zlib.crc32(payload):08x})")
+    try:
+        data = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WalError(
+            f"record at offset {offset} holds invalid JSON "
+            f"({error})") from error
+    if not isinstance(data, dict):
+        raise WalError(
+            f"record at offset {offset} decodes to "
+            f"{type(data).__name__}, not an object")
+    try:
+        record = WalRecord(
+            kind=data["kind"], round_index=data["round_index"],
+            incarnation=data.get("incarnation", 0),
+            payload=data.get("payload", {}))
+    except (KeyError, TypeError, ValueError) as error:
+        raise WalError(
+            f"record at offset {offset} rejected: "
+            f"{type(error).__name__}: {error}") from error
+    if encode_record(record) != blob[offset:end]:
+        # Same CRC, different canonical form (e.g. reordered keys or
+        # extra fields the dataclass drops): refuse rather than invent
+        # an interpretation the encoder would never produce.
+        raise WalError(
+            f"record at offset {offset} is not in canonical form")
+    return record, end
+
+
+@dataclass
+class WalReplay:
+    """Outcome of replaying a WAL byte image.
+
+    Attributes:
+        records: The intact records, in append order.
+        consumed_bytes: Bytes covered by the magic plus intact records;
+            re-encoding :attr:`records` reproduces exactly this prefix.
+        torn_tail: Whether trailing bytes were dropped as a torn write
+            (coordinator killed mid-append).
+    """
+
+    records: List[WalRecord]
+    consumed_bytes: int
+    torn_tail: bool
+
+
+def replay_wal(blob: bytes) -> WalReplay:
+    """Replay a WAL image, tolerating exactly one torn tail.
+
+    An empty image is an empty log.  A non-empty image must start with
+    the full magic.  A record that fails validation is dropped as a torn
+    tail only when nothing intact follows it; otherwise the log is
+    corrupt and :class:`WalError` is raised.
+    """
+    if not blob:
+        return WalReplay(records=[], consumed_bytes=0, torn_tail=False)
+    if len(blob) < len(WAL_MAGIC) or blob[:len(WAL_MAGIC)] != WAL_MAGIC:
+        raise WalError(
+            f"not a WAL image: expected magic {WAL_MAGIC!r}, got "
+            f"{blob[:len(WAL_MAGIC)]!r}")
+    records: List[WalRecord] = []
+    offset = len(WAL_MAGIC)
+    while offset < len(blob):
+        try:
+            record, offset_after = _decode_one(blob, offset)
+        except WalError as error:
+            if _intact_record_follows(blob, offset):
+                raise WalError(
+                    f"mid-log corruption: {error} (intact records "
+                    f"follow, so this is damage, not a torn "
+                    f"write)") from error
+            return WalReplay(records=records, consumed_bytes=offset,
+                             torn_tail=True)
+        records.append(record)
+        offset = offset_after
+    return WalReplay(records=records, consumed_bytes=offset,
+                     torn_tail=False)
+
+
+def _intact_record_follows(blob: bytes, failed_offset: int) -> bool:
+    """Whether any intact record exists after a failed frame.
+
+    A torn write damages only the *final* append; damage with valid
+    records after it means the log body itself was corrupted.  The scan
+    resynchronizes on the failed record's declared extent when that is
+    available, which is how a sequential writer would have laid out the
+    next record.
+    """
+    header_end = failed_offset + RECORD_HEADER.size
+    if header_end > len(blob):
+        return False  # not even a full header: pure truncation
+    length, _crc = RECORD_HEADER.unpack(blob[failed_offset:header_end])
+    if length > MAX_PAYLOAD_BYTES or header_end + length >= len(blob):
+        return False  # declared extent swallows the rest of the file
+    try:
+        _decode_one(blob, header_end + length)
+    except WalError:
+        return False
+    return True
+
+
+class WriteAheadLog:
+    """An append-only, CRC-framed record journal.
+
+    Backed by an optional file (``path``) and always by an in-memory
+    byte image, so the deterministic simulator can run thousands of
+    crash scenarios without touching disk while production use gets a
+    real fsynced file.
+
+    Args:
+        path: Journal file; ``None`` keeps the log purely in memory.
+        fsync: Flush-and-fsync the file after every append (the
+            write-ahead guarantee).  Ignored for in-memory logs.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None,
+                 fsync: bool = True):
+        self.path = Path(path) if path is not None else None
+        self.fsync = fsync
+        self._buffer = bytearray()
+        self._records: List[WalRecord] = []
+        self.torn_tail_dropped = False
+        if self.path is not None and self.path.exists():
+            self._load(self.path.read_bytes())
+
+    # ------------------------------------------------------------------
+    # Construction from an existing image.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "WriteAheadLog":
+        """Open an in-memory log over an existing image.
+
+        A torn tail is trimmed (and flagged on
+        :attr:`torn_tail_dropped`); mid-log corruption raises
+        :class:`WalError`.
+        """
+        log = cls()
+        log._load(blob)
+        return log
+
+    def _load(self, blob: bytes) -> None:
+        result = replay_wal(blob)
+        self._records = list(result.records)
+        self._buffer = bytearray(blob[:result.consumed_bytes])
+        self.torn_tail_dropped = result.torn_tail
+        if result.torn_tail and self.path is not None:
+            # Persist the trim so the next reader sees a clean log.
+            self._flush_file()
+
+    # ------------------------------------------------------------------
+    # Appending.
+    # ------------------------------------------------------------------
+
+    def append(self, record: WalRecord) -> int:
+        """Durably append one record; returns its log sequence number."""
+        frame = encode_record(record)
+        if not self._buffer:
+            self._buffer.extend(WAL_MAGIC)
+        self._buffer.extend(frame)
+        self._records.append(record)
+        if self.path is not None:
+            self._flush_file()
+        return len(self._records) - 1
+
+    def _flush_file(self) -> None:
+        import os
+
+        with open(self.path, "wb") as handle:
+            handle.write(bytes(self._buffer))
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> Tuple[WalRecord, ...]:
+        """Every intact record, in append order."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def image(self) -> bytes:
+        """The full byte image (what a crashed coordinator leaves)."""
+        return bytes(self._buffer)
+
+    def records_since(self, lsn: int) -> List[WalRecord]:
+        """Records appended at or after ``lsn`` (standby tailing)."""
+        if lsn < 0:
+            raise ValueError("lsn must be non-negative")
+        return list(self._records[lsn:])

@@ -1,8 +1,9 @@
-"""Structured fuzzer for the FLT2 / FLBP wire formats.
+"""Structured fuzzer for the FLT2 / FLBP wire formats and the WAL.
 
 Seeded mutation of valid frames -- bit flips, truncation, extension,
-length-field lies, fingerprint swaps, magic/version tampering -- with a
-strict two-sided oracle on every case:
+length-field lies, fingerprint swaps, magic/version tampering, and
+WAL-specific CRC lies and record splices -- with a strict two-sided
+oracle on every case:
 
 - a decoder may **reject** the mutant, but only with a *typed* error
   (:class:`~repro.federation.serialization.FrameError` or its
@@ -13,7 +14,10 @@ strict two-sided oracle on every case:
   re-serialization must reproduce the mutated bytes exactly -- the
   mutant was a genuinely valid frame.  An accepted frame that does not
   round-trip is a **silent mis-decode** finding: the decoder invented an
-  interpretation the encoder would never produce.
+  interpretation the encoder would never produce.  For WAL images the
+  accept side covers torn-tail trimming: replay may drop an incomplete
+  final record, but the records it keeps must re-encode byte-exactly
+  into the consumed prefix.
 
 Determinism: the whole campaign derives from one seed (ints directly;
 strings such as ``"ci"`` are hashed), so a finding's ``(seed, case)``
@@ -35,6 +39,14 @@ from repro.federation.serialization import (
     serialize_packed,
     serialize_tensor,
 )
+from repro.federation.wal import (
+    RECORD_HEADER,
+    RECORD_KINDS,
+    WAL_MAGIC,
+    WalRecord,
+    encode_record,
+    replay_wal,
+)
 from repro.quantization.encoding import QuantizationScheme
 from repro.tensor.cipher import CipherTensor
 from repro.tensor.meta import TensorMeta
@@ -50,6 +62,8 @@ MUTATIONS = (
     "magic_swap",        # replace the magic with another format's/garbage
     "version_bump",      # change the version byte
     "slice_scramble",    # overwrite a random slice with random bytes
+    "crc_lie",           # WAL: overwrite one record's CRC field
+    "record_splice",     # WAL: duplicate or delete one record frame
 )
 
 
@@ -88,6 +102,7 @@ class FuzzReport:
     accepted: int = 0
     findings: List[FuzzFinding] = field(default_factory=list)
     by_mutation: Dict[str, int] = field(default_factory=dict)
+    by_format: Dict[str, int] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -143,9 +158,42 @@ def _packed_frame(rng: random.Random) -> Tuple[str, bytes, int]:
     return "packed", serialize_packed(words, width), width
 
 
+def _wal_frame(rng: random.Random) -> Tuple[str, bytes, int]:
+    """A valid WAL image: magic plus 1-4 framed records."""
+    frames = []
+    for _ in range(rng.randrange(1, 5)):
+        kind = rng.choice(RECORD_KINDS)
+        payload = {}
+        if rng.random() < 0.5:
+            payload = {"client": f"client-{rng.randrange(8)}",
+                       "frame": bytes(rng.getrandbits(8) for _ in
+                                      range(rng.randrange(0, 24))).hex()}
+        frames.append(encode_record(WalRecord(
+            kind=kind, round_index=rng.randrange(4),
+            incarnation=rng.randrange(3), payload=payload)))
+    return "wal", WAL_MAGIC + b"".join(frames), 0
+
+
+def _wal_extents(blob: bytes) -> List[Tuple[int, int]]:
+    """(start, end) byte extents of each record in a *valid* image."""
+    extents = []
+    offset = len(WAL_MAGIC)
+    while offset < len(blob):
+        length, _crc = RECORD_HEADER.unpack(
+            blob[offset:offset + RECORD_HEADER.size])
+        end = offset + RECORD_HEADER.size + length
+        extents.append((offset, end))
+        offset = end
+    return extents
+
+
 def _corpus_frame(rng: random.Random) -> Tuple[str, bytes, int]:
-    return (_tensor_frame(rng) if rng.random() < 0.6
-            else _packed_frame(rng))
+    draw = rng.random()
+    if draw < 0.45:
+        return _tensor_frame(rng)
+    if draw < 0.75:
+        return _packed_frame(rng)
+    return _wal_frame(rng)
 
 
 # ----------------------------------------------------------------------
@@ -160,7 +208,12 @@ def _flip_bit(blob: bytes, index: int, bit: int) -> bytes:
 
 def _mutate(rng: random.Random, fmt: str, blob: bytes,
             mutation: str) -> bytes:
-    header_size = TENSOR_HEADER.size if fmt == "tensor" else 12
+    if fmt == "tensor":
+        header_size = TENSOR_HEADER.size
+    elif fmt == "wal":
+        header_size = len(WAL_MAGIC) + RECORD_HEADER.size
+    else:
+        header_size = 12
     if mutation == "bit_flip" and blob:
         return _flip_bit(blob, rng.randrange(len(blob)), rng.randrange(8))
     if mutation == "header_bit_flip":
@@ -176,6 +229,9 @@ def _mutate(rng: random.Random, fmt: str, blob: bytes,
         # Overwrite one of the count / width fields with a lying value.
         if fmt == "tensor":
             offset = rng.choice([8, 20, 24])  # count / num_words / width
+        elif fmt == "wal":
+            extents = _wal_extents(blob)
+            offset = rng.choice(extents)[0]   # a record's length field
         else:
             offset = rng.choice([4, 8])       # count / width
         lie = rng.choice([0, 1, 0xFF, 0xFFFF, 0x7FFFFFFF,
@@ -195,6 +251,17 @@ def _mutate(rng: random.Random, fmt: str, blob: bytes,
         out = bytearray(blob)
         out[4] = rng.choice([0, 1, 3, 0xFF])
         return bytes(out)
+    if mutation == "crc_lie" and fmt == "wal":
+        start, _end = rng.choice(_wal_extents(blob))
+        out = bytearray(blob)
+        out[start + 4:start + 8] = rng.getrandbits(32).to_bytes(4, "big")
+        return bytes(out)
+    if mutation == "record_splice" and fmt == "wal":
+        extents = _wal_extents(blob)
+        start, end = rng.choice(extents)
+        if rng.random() < 0.5:
+            return blob + blob[start:end]     # duplicate a record frame
+        return blob[:start] + blob[end:]      # delete a record frame
     if mutation == "slice_scramble" and blob:
         start = rng.randrange(len(blob))
         length = rng.randrange(1, min(16, len(blob) - start) + 1)
@@ -220,6 +287,15 @@ def _classify(fmt: str, mutant: bytes, original: bytes,
             tensor = deserialize_tensor(mutant)
             width = int.from_bytes(mutant[24:28], "big")
             canonical = serialize_tensor(tensor, ciphertext_bytes=width)
+        elif fmt == "wal":
+            replayed = replay_wal(mutant)
+            # Accepted: the consumed prefix must re-encode byte-exactly
+            # (torn-tail trimming drops *only* the unconsumed suffix).
+            canonical = b"" if replayed.consumed_bytes == 0 else (
+                WAL_MAGIC + b"".join(encode_record(r)
+                                     for r in replayed.records))
+            mutant = mutant[:replayed.consumed_bytes] \
+                if replayed.torn_tail else mutant
         else:
             words = deserialize_packed(mutant)
             width = int.from_bytes(mutant[8:12], "big")
@@ -265,6 +341,7 @@ def run_fuzz(cases: int = 500, seed: Union[int, str] = 0,
         report.cases += 1
         report.by_mutation[mutation] = \
             report.by_mutation.get(mutation, 0) + 1
+        report.by_format[fmt] = report.by_format.get(fmt, 0) + 1
         finding = _classify(fmt, mutant, blob, case_index, mutation)
         if finding is not None:
             report.findings.append(finding)
@@ -273,6 +350,8 @@ def run_fuzz(cases: int = 500, seed: Union[int, str] = 0,
             try:
                 if fmt == "tensor":
                     deserialize_tensor(mutant)
+                elif fmt == "wal":
+                    replay_wal(mutant)
                 else:
                     deserialize_packed(mutant)
                 report.accepted += 1

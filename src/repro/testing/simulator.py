@@ -23,13 +23,27 @@ from __future__ import annotations
 import heapq
 import json
 import zlib
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
-from repro.federation.faults import FaultPlan, QuorumError
+from repro.federation.channel import ChannelError
+from repro.federation.coordinator import (
+    CoordinatorKilled,
+    DurableCoordinator,
+    LeaseManager,
+    StandbyCoordinator,
+)
+from repro.federation.faults import (
+    FAILOVER,
+    FaultEvent,
+    FaultPlan,
+    QuorumError,
+)
 from repro.federation.runtime import FederationRuntime, system_by_name
+from repro.federation.wal import WriteAheadLog
 
 
 class VirtualClock:
@@ -101,6 +115,7 @@ class SimulationSpec:
     round_deadline_seconds: Optional[float] = None
     incarnation: int = 0
     fault_plan: Optional[FaultPlan] = None
+    durable: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -116,6 +131,7 @@ class SimulationSpec:
             "incarnation": self.incarnation,
             "fault_plan": (self.fault_plan.to_dict()
                            if self.fault_plan is not None else None),
+            "durable": self.durable,
         }
 
     def to_json(self) -> str:
@@ -137,6 +153,7 @@ class SimulationSpec:
             incarnation=data.get("incarnation", 0),
             fault_plan=(FaultPlan.from_dict(plan)
                         if plan is not None else None),
+            durable=data.get("durable", False),
         )
 
     @classmethod
@@ -255,6 +272,16 @@ class FederationSimulator:
         ]
 
     # ------------------------------------------------------------------
+    # The aggregation step (overridden by the durable simulator).
+    # ------------------------------------------------------------------
+
+    def _aggregate_round(self, vectors: List[np.ndarray],
+                         round_index: int) -> np.ndarray:
+        """Run one round through the plain (non-durable) aggregator."""
+        return self.runtime.aggregator.aggregate(
+            vectors, round_index=round_index)
+
+    # ------------------------------------------------------------------
     # The run loop.
     # ------------------------------------------------------------------
 
@@ -290,12 +317,13 @@ class FederationSimulator:
             vectors = self._client_vectors(round_index)
             ledger = self.runtime.begin_epoch()
             try:
-                total = self.runtime.aggregator.aggregate(
-                    vectors, round_index=round_index)
+                total = self._aggregate_round(vectors, round_index)
             except QuorumError as error:
                 raise SimulationFailure(
                     self.spec, round_index,
                     f"quorum not met: {error}") from error
+            except SimulationFailure:
+                raise
             except Exception as error:
                 raise SimulationFailure(
                     self.spec, round_index,
@@ -319,14 +347,303 @@ class FederationSimulator:
                                 events_processed=self._events_processed)
 
 
+#: Lease duration on the simulator's virtual clock; failover scenarios
+#: advance past it to let the standby acquire legally.
+LEASE_TIMEOUT_SECONDS = 30.0
+#: Extra virtual seconds past lease expiry before a takeover.
+LEASE_GRACE_SECONDS = 1.0
+
+
+@dataclass
+class CoordinatorKillRecord:
+    """One coordinator death the durable simulator processed.
+
+    Attributes:
+        kind: ``coordinator_crash`` (same coordinator restarted) or
+            ``failover`` (standby took over).
+        round_index: Round in flight when the kill fired.
+        lsn: Last WAL record durably appended before death.
+        incarnation: The successor's fencing incarnation.
+        recovered_digest: The successor's state digest right after
+            replaying the log -- compared against the uninterrupted
+            run's digest at the same ``lsn`` by the sweep.
+    """
+
+    kind: str
+    round_index: int
+    lsn: int
+    incarnation: int
+    recovered_digest: int
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "round": self.round_index,
+                "lsn": self.lsn, "incarnation": self.incarnation,
+                "recovered_digest": self.recovered_digest}
+
+
+@dataclass
+class DurableSimulationResult(SimulationResult):
+    """A :class:`SimulationResult` plus the durable coordinator's story."""
+
+    wal_records: int = 0
+    kills: List[CoordinatorKillRecord] = field(default_factory=list)
+    digest_trail: List[int] = field(default_factory=list)
+    final_weights: List[List[float]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["wal_records"] = self.wal_records
+        data["kills"] = [kill.to_dict() for kill in self.kills]
+        return data
+
+
+class DurableFederationSimulator(FederationSimulator):
+    """The simulator with a write-ahead-logged coordinator in the loop.
+
+    Rounds run through :class:`~repro.federation.coordinator.
+    DurableCoordinator` instead of the bare aggregator; the spec's fault
+    plan may schedule ``coordinator_crash`` / ``failover`` events, each
+    killing the coordinator right after it appends the WAL record named
+    by ``after_record``.  A crash restarts the same coordinator from its
+    own log; a failover advances the virtual clock past the lease, lets
+    the hot standby take over, and promotes a fresh standby.  Either
+    way the round *continues* -- uploads accepted before the death are
+    reused verbatim from the log, never re-requested.
+    """
+
+    def __init__(self, spec: SimulationSpec):
+        super().__init__(spec)
+        self.lease_manager = LeaseManager(
+            timeout_seconds=LEASE_TIMEOUT_SECONDS,
+            clock=lambda: self.clock.now)
+        lease = self.lease_manager.acquire("coordinator")
+        self.coordinator = DurableCoordinator(
+            self.runtime.aggregator, name="coordinator",
+            incarnation=lease.incarnation,
+            lease_manager=self.lease_manager)
+        self.standby = StandbyCoordinator(
+            self.runtime.aggregator, self.lease_manager, name="standby")
+        plan = spec.fault_plan
+        self._pending_kills = deque(plan.coordinator_events()
+                                    if plan is not None else [])
+        self.kills: List[CoordinatorKillRecord] = []
+        self.final_weights: List[List[float]] = []
+        self._promotions = 0
+        self._arm_next_kill()
+
+    def _arm_next_kill(self) -> None:
+        self.coordinator.kill_after_lsn = (
+            self._pending_kills[0].after_record
+            if self._pending_kills else None)
+
+    def _handle_kill(self, event: FaultEvent,
+                     killed: CoordinatorKilled) -> None:
+        """Process one coordinator death: recover or fail over."""
+        injector = self.runtime.injector
+        image = self.coordinator.wal.image()
+        self.standby.tail(image)
+        if event.kind == FAILOVER:
+            if injector is not None:
+                injector.charge_failover(event.round_index)
+            # Let the dead primary's lease lapse on the virtual clock,
+            # then the hot standby acquires a bumped incarnation.
+            lease = self.lease_manager.lease
+            if lease is not None and lease.expires_at > self.clock.now:
+                self.clock.advance(lease.expires_at - self.clock.now)
+            self.clock.advance(LEASE_GRACE_SECONDS)
+            self.coordinator = self.standby.take_over(image)
+            self._promotions += 1
+            self.standby = StandbyCoordinator(
+                self.runtime.aggregator, self.lease_manager,
+                name=f"standby-{self._promotions}")
+        else:
+            if injector is not None:
+                injector.charge_coordinator_crash(event.round_index)
+            lease = self.lease_manager.acquire(self.coordinator.name)
+            self.coordinator = DurableCoordinator(
+                self.runtime.aggregator,
+                wal=WriteAheadLog.from_bytes(image),
+                name=self.coordinator.name,
+                incarnation=lease.incarnation,
+                lease_manager=self.lease_manager)
+        self.kills.append(CoordinatorKillRecord(
+            kind=event.kind, round_index=event.round_index,
+            lsn=killed.lsn, incarnation=self.coordinator.incarnation,
+            recovered_digest=self.coordinator.machine.digest()))
+        self._arm_next_kill()
+
+    def _aggregate_round(self, vectors: List[np.ndarray],
+                         round_index: int) -> np.ndarray:
+        try:
+            self.coordinator.heartbeat(channel=self.runtime.channel)
+        except ChannelError:
+            pass  # a lost heartbeat just leaves the lease unrenewed
+        while True:
+            try:
+                total = self.coordinator.run_round(
+                    vectors, round_index=round_index)
+            except CoordinatorKilled as killed:
+                # run_round on the successor resumes the round (or, if
+                # death landed on the round_close record, returns the
+                # already-decided result / re-raises the quorum abort).
+                self._handle_kill(self._pending_kills.popleft(), killed)
+                continue
+            break
+        self.standby.tail(self.coordinator.wal.image())
+        self.final_weights.append(
+            [float(v) for v in np.asarray(total).ravel()])
+        return np.asarray(total)
+
+    def run(self) -> DurableSimulationResult:
+        base = super().run()
+        if self._pending_kills:
+            leftover = [e.after_record for e in self._pending_kills]
+            raise SimulationFailure(
+                self.spec, self.spec.rounds - 1,
+                f"scheduled coordinator kills at records {leftover} "
+                f"never fired (log only grew to "
+                f"{len(self.coordinator.wal)} records)")
+        return DurableSimulationResult(
+            spec=base.spec, rounds=base.rounds,
+            final_time=base.final_time,
+            events_processed=base.events_processed,
+            wal_records=len(self.coordinator.wal),
+            kills=list(self.kills),
+            digest_trail=list(self.coordinator.digest_trail),
+            final_weights=list(self.final_weights))
+
+
+class FailoverFailure(SimulationFailure):
+    """Crash-consistency divergence; carries the replayable kill spec.
+
+    The embedded trace *includes* the coordinator-kill event, so
+    ``replay`` on the printed JSON reconstructs the exact kill-at-
+    record-``record_index`` run that diverged.
+    """
+
+    def __init__(self, spec: SimulationSpec, round_index: int,
+                 record_index: int, detail: str):
+        self.record_index = record_index
+        super().__init__(
+            spec, round_index,
+            f"kill after WAL record {record_index}: {detail}")
+
+
+@dataclass
+class CrashSweepReport:
+    """Outcome of a kill-at-every-record-boundary sweep."""
+
+    spec: SimulationSpec
+    mode: str
+    wal_records: int
+    boundaries_tested: int
+    reference_checksum: int
+
+    def summary_lines(self) -> List[str]:
+        return [
+            f"mode                 {self.mode}",
+            f"wal records          {self.wal_records}",
+            f"boundaries tested    {self.boundaries_tested}",
+            f"reference checksum   {self.reference_checksum}",
+            "verdict              recovered bit-identical at every "
+            "boundary",
+        ]
+
+
+def _spec_with_kill(spec: SimulationSpec, mode: str, round_index: int,
+                    record_index: int) -> SimulationSpec:
+    plan = spec.fault_plan if spec.fault_plan is not None \
+        else FaultPlan(seed=spec.seed)
+    if mode == FAILOVER:
+        plan = plan.failover(round_index, after_record=record_index)
+    else:
+        plan = plan.coordinator_crash(round_index,
+                                      after_record=record_index)
+    return SimulationSpec.from_dict(
+        {**spec.to_dict(), "fault_plan": plan.to_dict(), "durable": True})
+
+
+def crash_consistency_sweep(spec: SimulationSpec,
+                            mode: str = "coordinator_crash",
+                            record_indices: Optional[List[int]] = None
+                            ) -> CrashSweepReport:
+    """Kill the coordinator after *each* WAL record boundary and verify.
+
+    First runs the spec uninterrupted through the durable coordinator,
+    capturing the per-LSN state digest trail and every round's final
+    decrypted weights.  Then, for each record boundary ``k`` (or only
+    ``record_indices`` when given), re-runs from scratch with a
+    scheduled kill after record ``k``, recovers, and asserts:
+
+    - the successor's replayed state digest equals the uninterrupted
+      run's digest at record ``k`` (bit-identical recovered state), and
+    - every round's final decrypted weights equal the uninterrupted
+      run's exactly (``==``, not approximately).
+
+    Any divergence raises :class:`FailoverFailure` whose message embeds
+    the replayable ``(seed, record-index)`` spec.
+    """
+    reference_spec = SimulationSpec.from_dict(
+        {**spec.to_dict(), "durable": True})
+    reference_sim = DurableFederationSimulator(reference_spec)
+    reference = reference_sim.run()
+    if record_indices is None:
+        record_indices = list(range(reference.wal_records))
+    record_to_round = [record.round_index for record
+                       in reference_sim.coordinator.wal.records]
+    for index in record_indices:
+        if not 0 <= index < reference.wal_records:
+            raise ValueError(
+                f"record index {index} outside the log "
+                f"(0..{reference.wal_records - 1})")
+        round_index = record_to_round[index]
+        killed_spec = _spec_with_kill(spec, mode, round_index, index)
+        try:
+            result = DurableFederationSimulator(killed_spec).run()
+        except SimulationFailure as failure:
+            raise FailoverFailure(
+                killed_spec, round_index, index,
+                f"killed run failed outright: {failure.detail}"
+            ) from failure
+        kill = result.kills[0]
+        if kill.recovered_digest != reference.digest_trail[index]:
+            raise FailoverFailure(
+                killed_spec, round_index, index,
+                f"recovered state digest {kill.recovered_digest} != "
+                f"uninterrupted digest "
+                f"{reference.digest_trail[index]} at the same record")
+        if result.final_weights != reference.final_weights:
+            raise FailoverFailure(
+                killed_spec, round_index, index,
+                "final decrypted weights diverged from the "
+                "uninterrupted run")
+        if result.checksum() != reference.checksum():
+            raise FailoverFailure(
+                killed_spec, round_index, index,
+                f"round checksum {result.checksum()} != reference "
+                f"{reference.checksum()}")
+    return CrashSweepReport(
+        spec=reference_spec, mode=mode,
+        wal_records=reference.wal_records,
+        boundaries_tested=len(record_indices),
+        reference_checksum=reference.checksum())
+
+
 def replay(trace_json: str) -> SimulationResult:
     """Rebuild and run a simulation from a failure's printed trace.
 
     ``(seed, trace)`` is the full state: this constructs a fresh
-    :class:`FederationSimulator` from the JSON and runs it -- the repro
-    path named in every :class:`SimulationFailure` message.
+    simulator from the JSON and runs it -- the repro path named in every
+    :class:`SimulationFailure` message.  Traces whose spec is durable
+    (or whose fault plan schedules coordinator kills) replay through the
+    :class:`DurableFederationSimulator`.
     """
     spec = SimulationSpec.from_json(trace_json)
+    durable = spec.durable or (
+        spec.fault_plan is not None
+        and bool(spec.fault_plan.coordinator_events()))
+    if durable:
+        return DurableFederationSimulator(spec).run()
     return FederationSimulator(spec).run()
 
 

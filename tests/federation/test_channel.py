@@ -339,3 +339,48 @@ class TestCorruptionDetection:
             channel.send(Message(sender="a", receiver="b", tag="t",
                                  payload=None, plaintext_bytes=8))
         assert channel.stats.retransmissions > 0
+
+
+class TestJitterSeeding:
+    """Backoff jitter draws from its own REPRO_TEST_SEED-derived stream."""
+
+    def payload_message(self):
+        return Message(sender="a", receiver="b", tag="t", payload=None,
+                       ciphertext_count=1, ciphertext_bytes=64)
+
+    def lossy_channel(self, jitter):
+        return Channel(ledger=CostLedger(), drop_probability=0.4, seed=3,
+                       retry_policy=RetryPolicy(max_retries=8,
+                                                base_delay=0.5,
+                                                jitter=jitter))
+
+    def test_jitter_never_perturbs_loss_draws(self):
+        plain = self.lossy_channel(jitter=0.0)
+        jittered = self.lossy_channel(jitter=0.9)
+        for _ in range(20):
+            plain.send(self.payload_message())
+            jittered.send(self.payload_message())
+        assert plain.stats.retransmissions == jittered.stats.retransmissions
+        assert jittered.stats.backoff_seconds > plain.stats.backoff_seconds
+
+    def test_master_seed_reroutes_jitter_only(self, monkeypatch):
+        from repro.federation.faults import jitter_seed
+
+        def backoffs(master):
+            monkeypatch.setenv("REPRO_TEST_SEED", master)
+            channel = self.lossy_channel(jitter=0.9)
+            for _ in range(20):
+                channel.send(self.payload_message())
+            return channel.stats
+
+        base = backoffs("0")
+        shifted = backoffs("12345")
+        assert base.retransmissions == shifted.retransmissions
+        assert base.backoff_seconds != shifted.backoff_seconds
+        monkeypatch.setenv("REPRO_TEST_SEED", "12345")
+        assert jitter_seed(3) == 12345 * 1_000_003 + 7919 + 3
+
+    def test_jitter_stream_distinct_per_channel_seed(self):
+        from repro.federation.faults import jitter_seed
+
+        assert jitter_seed(0) != jitter_seed(1)

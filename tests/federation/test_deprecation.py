@@ -1,6 +1,11 @@
-"""The raw-list shims: correct delegation, one DeprecationWarning each."""
+"""The raw-list shims are gone; the tensor API is the only entry point.
 
-import warnings
+The ``encrypt_vector`` / ``decrypt_vector`` / ``send_encrypted`` shims
+were deprecated for one release (warn-once ``DeprecationWarning``) and
+have now been removed.  These tests pin the removal -- the attributes
+must not quietly come back -- and show the tensor-API equivalents of
+what the shims used to do.
+"""
 
 import numpy as np
 import pytest
@@ -15,82 +20,37 @@ def runtime():
                              physical_key_bits=256)
 
 
-@pytest.fixture(autouse=True)
-def rearmed_warnings():
-    """Each test sees the warn-once state fresh."""
-    aggregator_module.reset_deprecation_warnings()
-    yield
-    aggregator_module.reset_deprecation_warnings()
+class TestShimsAreGone:
+    @pytest.mark.parametrize("name", ["encrypt_vector", "decrypt_vector",
+                                      "send_encrypted"])
+    def test_shim_removed_from_aggregator(self, runtime, name):
+        assert not hasattr(runtime.aggregator, name)
+
+    def test_warn_once_machinery_removed(self):
+        assert not hasattr(aggregator_module,
+                           "reset_deprecation_warnings")
+        assert not hasattr(aggregator_module, "_warn_deprecated")
 
 
-def deprecations(caught):
-    return [w for w in caught
-            if issubclass(w.category, DeprecationWarning)]
-
-
-class TestWarnExactlyOnce:
-    def test_encrypt_vector(self, runtime):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            runtime.aggregator.encrypt_vector(np.zeros(4))
-            runtime.aggregator.encrypt_vector(np.zeros(4))
-        warned = deprecations(caught)
-        assert len(warned) == 1
-        assert "encrypt_tensor" in str(warned[0].message)
-
-    def test_decrypt_vector(self, runtime):
-        ciphertexts = runtime.aggregator.encrypt_tensor(np.zeros(4)).words
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            runtime.aggregator.decrypt_vector(list(ciphertexts), count=4)
-            runtime.aggregator.decrypt_vector(list(ciphertexts), count=4)
-        warned = deprecations(caught)
-        assert len(warned) == 1
-        assert "decrypt_tensor" in str(warned[0].message)
-
-    def test_send_encrypted(self, runtime):
-        ciphertexts = list(
-            runtime.aggregator.encrypt_tensor(np.zeros(2)).words)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            for _ in range(3):
-                runtime.aggregator.send_encrypted(
-                    ciphertexts, sender="a", receiver="b", tag="x",
-                    already_packed=False)
-        warned = deprecations(caught)
-        assert len(warned) == 1
-        assert "send_tensor" in str(warned[0].message)
-
-    def test_each_shim_warns_independently(self, runtime):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            ciphertexts = runtime.aggregator.encrypt_vector(np.zeros(2))
-            runtime.aggregator.decrypt_vector(ciphertexts, count=2)
-        assert len(deprecations(caught)) == 2
-
-
-class TestShimsDelegate:
-    def test_vector_roundtrip_matches_tensor_path(self, runtime):
+class TestTensorApiReplacements:
+    def test_encrypt_decrypt_roundtrip(self, runtime):
         values = np.linspace(-0.7, 0.7, 9)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            ciphertexts = runtime.aggregator.encrypt_vector(values)
-            via_shim = runtime.aggregator.decrypt_vector(
-                ciphertexts, count=9)
-        via_tensor = runtime.aggregator.decrypt_tensor(
+        decoded = runtime.aggregator.decrypt_tensor(
             runtime.aggregator.encrypt_tensor(values))
         step = runtime.plan.scheme.quantization_step
-        assert np.allclose(via_shim, values, atol=step)
-        assert np.array_equal(via_shim, via_tensor)
+        assert np.allclose(decoded, values, atol=step)
 
-    def test_decrypt_vector_honours_summands(self, runtime):
+    def test_decrypt_tensor_honours_summands(self, runtime):
         values = np.full(4, 0.25)
         tensor = runtime.aggregator.encrypt_tensor(values)
         total = (tensor + tensor).materialize(
             engine=runtime.server_engine)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            decoded = runtime.aggregator.decrypt_vector(
-                list(total.words), count=4, summands=2)
+        decoded = runtime.aggregator.decrypt_tensor(total)
         step = runtime.plan.scheme.quantization_step
         assert np.allclose(decoded, 0.5, atol=2 * step)
+
+    def test_send_tensor_ships_the_tensor(self, runtime):
+        tensor = runtime.aggregator.encrypt_tensor(np.zeros(2))
+        received = runtime.aggregator.send_tensor(
+            tensor, sender="a", receiver="b", tag="x")
+        assert received.words == tensor.materialize().words

@@ -188,3 +188,48 @@ class TestQuorumError:
         assert "client-2" in str(error)
         assert error.required == 3
         assert error.survivors == ["client-0", "client-2"]
+
+
+class TestCoordinatorFaultEvents:
+    def test_coordinator_kinds_need_after_record(self):
+        with pytest.raises(ValueError, match="after_record"):
+            FaultEvent("coordinator_crash", "coordinator", 0)
+        with pytest.raises(ValueError, match="after_record"):
+            FaultEvent("failover", "coordinator", 0, after_record=-1)
+
+    def test_builders_set_record_boundary(self):
+        plan = (FaultPlan(seed=3)
+                .coordinator_crash(0, after_record=4)
+                .failover(1, after_record=9))
+        kinds = [e.kind for e in plan.coordinator_events()]
+        assert kinds == ["coordinator_crash", "failover"]
+        assert [e.after_record for e in plan.coordinator_events()] == [4, 9]
+
+    def test_coordinator_events_sorted_by_record(self):
+        plan = (FaultPlan()
+                .failover(1, after_record=9)
+                .crash("client-0", round_index=0)
+                .coordinator_crash(0, after_record=2))
+        events = plan.coordinator_events()
+        assert [e.after_record for e in events] == [2, 9]
+        assert all(e.party == "coordinator" for e in events)
+
+    def test_round_trip_preserves_after_record(self):
+        plan = (FaultPlan(seed=5)
+                .crash("client-1", round_index=0)
+                .coordinator_crash(0, after_record=3)
+                .failover(1, after_record=11))
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt == plan
+        assert [e.after_record for e in rebuilt.coordinator_events()] == \
+            [3, 11]
+
+    def test_charges_land_in_fault_categories(self):
+        ledger = CostLedger()
+        injector = FaultInjector(FaultPlan(seed=1), ledger)
+        injector.charge_coordinator_crash(0)
+        injector.charge_failover(1)
+        assert ledger.count("fault.coordinator_crash") == 1
+        assert ledger.count("fault.failover") == 1
+        assert ("coordinator_crash", "coordinator", 0) in injector.triggered
+        assert ("failover", "coordinator", 1) in injector.triggered

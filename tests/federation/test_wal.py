@@ -1,0 +1,212 @@
+"""WAL codec and replay: framing, torn tails, mid-log corruption."""
+
+import zlib
+
+import pytest
+
+from repro.federation.serialization import FrameError
+from repro.federation.wal import (
+    MAX_PAYLOAD_BYTES,
+    RECORD_HEADER,
+    RECORD_KINDS,
+    ROUND_CLOSE,
+    ROUND_OPEN,
+    UPLOAD_ACCEPTED,
+    WAL_MAGIC,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+    replay_wal,
+)
+
+
+def sample_records():
+    return [
+        WalRecord(ROUND_OPEN, 0, payload={"tag": "gradients",
+                                          "num_clients": 3, "quorum": 3}),
+        WalRecord(UPLOAD_ACCEPTED, 0, payload={
+            "client": "client-0", "dedupe_key": "r0:client-0",
+            "frame": "deadbeef"}),
+        WalRecord(ROUND_CLOSE, 0, incarnation=1),
+    ]
+
+
+class TestRecordCodec:
+    @pytest.mark.parametrize("kind", RECORD_KINDS)
+    def test_roundtrip_every_kind(self, kind):
+        record = WalRecord(kind, 3, incarnation=2,
+                           payload={"x": [1, 2], "y": "z"})
+        assert decode_record(encode_record(record)) == record
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown WAL record kind"):
+            WalRecord("round_reopen", 0)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError, match="round_index"):
+            WalRecord(ROUND_OPEN, -1)
+        with pytest.raises(ValueError, match="incarnation"):
+            WalRecord(ROUND_OPEN, 0, incarnation=-1)
+
+    def test_crc_mismatch_is_typed(self):
+        blob = bytearray(encode_record(WalRecord(ROUND_OPEN, 0)))
+        blob[-1] ^= 0x01
+        with pytest.raises(WalError, match="CRC"):
+            decode_record(bytes(blob))
+
+    def test_truncated_header_is_typed(self):
+        with pytest.raises(WalError, match="truncated record header"):
+            decode_record(b"\x00\x00")
+
+    def test_truncated_payload_is_typed(self):
+        blob = encode_record(WalRecord(ROUND_OPEN, 0))
+        with pytest.raises(WalError, match="truncated record"):
+            decode_record(blob[:-2])
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_record(WalRecord(ROUND_OPEN, 0))
+        with pytest.raises(WalError, match="oversized"):
+            decode_record(blob + b"\x00")
+
+    def test_implausible_length_rejected_before_allocation(self):
+        header = RECORD_HEADER.pack(MAX_PAYLOAD_BYTES + 1, 0)
+        with pytest.raises(WalError, match="implausible"):
+            decode_record(header)
+
+    def test_non_canonical_json_rejected(self):
+        # Same data, non-sorted key order: CRC is valid but the frame is
+        # not what the encoder produces.
+        record = WalRecord(ROUND_OPEN, 1)
+        canonical = encode_record(record)
+        payload = canonical[RECORD_HEADER.size:]
+        assert payload.startswith(b"{")
+        noncanonical = (b'{"round_index":1,"kind":"round_open",'
+                        b'"incarnation":0,"payload":{}}')
+        framed = RECORD_HEADER.pack(len(noncanonical),
+                                    zlib.crc32(noncanonical)) + noncanonical
+        with pytest.raises(WalError, match="canonical"):
+            decode_record(framed)
+
+    def test_wal_error_is_frame_error(self):
+        assert issubclass(WalError, FrameError)
+        assert issubclass(WalError, ValueError)
+
+
+class TestReplay:
+    def image(self, records):
+        return WAL_MAGIC + b"".join(encode_record(r) for r in records)
+
+    def test_empty_image_is_empty_log(self):
+        replayed = replay_wal(b"")
+        assert replayed.records == []
+        assert not replayed.torn_tail
+
+    def test_full_replay(self):
+        records = sample_records()
+        replayed = replay_wal(self.image(records))
+        assert replayed.records == records
+        assert not replayed.torn_tail
+        assert replayed.consumed_bytes == len(self.image(records))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(WalError, match="magic"):
+            replay_wal(b"NOPE" + encode_record(sample_records()[0]))
+
+    @pytest.mark.parametrize("cut", [1, 4, 9])
+    def test_torn_tail_trimmed(self, cut):
+        records = sample_records()
+        blob = self.image(records)
+        torn = blob[:len(blob) - cut]
+        replayed = replay_wal(torn)
+        assert replayed.records == records[:-1]
+        assert replayed.torn_tail
+
+    def test_corrupt_final_record_is_torn_tail(self):
+        blob = bytearray(self.image(sample_records()))
+        blob[-1] ^= 0xFF  # damage inside the last record's payload
+        replayed = replay_wal(bytes(blob))
+        assert replayed.records == sample_records()[:-1]
+        assert replayed.torn_tail
+
+    def test_mid_log_corruption_is_typed_error(self):
+        records = sample_records()
+        frames = [encode_record(r) for r in records]
+        # Flip a payload bit in the FIRST record; intact records follow.
+        damaged = bytearray(frames[0])
+        damaged[-1] ^= 0x01
+        blob = WAL_MAGIC + bytes(damaged) + frames[1] + frames[2]
+        with pytest.raises(WalError, match="mid-log corruption"):
+            replay_wal(blob)
+
+    def test_consumed_prefix_reencodes_byte_exactly(self):
+        blob = self.image(sample_records()) + b"\x99"  # torn garbage
+        replayed = replay_wal(blob)
+        rebuilt = WAL_MAGIC + b"".join(encode_record(r)
+                                       for r in replayed.records)
+        assert rebuilt == blob[:replayed.consumed_bytes]
+
+
+class TestWriteAheadLog:
+    def test_append_and_read_back(self):
+        log = WriteAheadLog()
+        lsns = [log.append(r) for r in sample_records()]
+        assert lsns == [0, 1, 2]
+        assert list(log.records) == sample_records()
+        assert len(log) == 3
+
+    def test_image_roundtrips_through_from_bytes(self):
+        log = WriteAheadLog()
+        for record in sample_records():
+            log.append(record)
+        clone = WriteAheadLog.from_bytes(log.image())
+        assert list(clone.records) == sample_records()
+        assert not clone.torn_tail_dropped
+        assert clone.image() == log.image()
+
+    def test_from_bytes_trims_torn_tail(self):
+        log = WriteAheadLog()
+        for record in sample_records():
+            log.append(record)
+        clone = WriteAheadLog.from_bytes(log.image()[:-3])
+        assert list(clone.records) == sample_records()[:-1]
+        assert clone.torn_tail_dropped
+
+    def test_records_since(self):
+        log = WriteAheadLog()
+        for record in sample_records():
+            log.append(record)
+        assert log.records_since(1) == sample_records()[1:]
+        assert log.records_since(3) == []
+        with pytest.raises(ValueError):
+            log.records_since(-1)
+
+    def test_file_backed_log_survives_reopen(self, tmp_path):
+        path = tmp_path / "round.wal"
+        log = WriteAheadLog(path=path)
+        for record in sample_records():
+            log.append(record)
+        reopened = WriteAheadLog(path=path)
+        assert list(reopened.records) == sample_records()
+
+    def test_file_backed_log_persists_torn_tail_trim(self, tmp_path):
+        path = tmp_path / "round.wal"
+        log = WriteAheadLog(path=path)
+        for record in sample_records():
+            log.append(record)
+        torn = path.read_bytes()[:-3]
+        path.write_bytes(torn)
+        reopened = WriteAheadLog(path=path)
+        assert reopened.torn_tail_dropped
+        assert list(reopened.records) == sample_records()[:-1]
+        # The trim was persisted: a third open sees a clean log.
+        third = WriteAheadLog(path=path)
+        assert not third.torn_tail_dropped
+        assert list(third.records) == sample_records()[:-1]
+
+    def test_empty_file_is_valid_empty_log(self, tmp_path):
+        path = tmp_path / "empty.wal"
+        path.write_bytes(b"")
+        log = WriteAheadLog(path=path)
+        assert len(log) == 0

@@ -82,3 +82,49 @@ class TestReport:
         import pytest as _pytest
         with _pytest.raises(FileNotFoundError):
             main(["report", "--results-dir", str(tmp_path / "nope")])
+
+
+class TestFailoverCommand:
+    def test_single_scenario_prints_result_json(self, capsys):
+        import json
+
+        assert main(["failover", "--rounds", "1",
+                     "--after-record", "2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kills"][0]["kind"] == "coordinator_crash"
+        assert data["kills"][0]["lsn"] == 2
+        assert data["wal_records"] == 7
+
+    def test_failover_mode(self, capsys):
+        import json
+
+        assert main(["failover", "--rounds", "1", "--mode", "failover",
+                     "--after-record", "3"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kills"][0]["kind"] == "failover"
+
+    def test_sweep_reports_every_boundary(self, capsys):
+        assert main(["failover", "--sweep", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "boundaries tested    7" in out
+        assert "bit-identical" in out
+
+    def test_sweep_both_modes(self, capsys):
+        assert main(["failover", "--sweep", "--mode", "both",
+                     "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("bit-identical") == 2
+
+
+class TestFaultsDumpPlan:
+    def test_dump_plan_round_trips(self, capsys):
+        import json
+
+        from repro.federation.faults import FaultPlan
+
+        assert main(["faults", "--dump-plan", "--crashes", "1",
+                     "--coordinator-crash", "4", "--failover", "9"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        plan = FaultPlan.from_dict(data)
+        assert [e.after_record for e in plan.coordinator_events()] == [4, 9]
+        assert plan.to_dict() == data

@@ -149,3 +149,43 @@ class TestTypedRejections:
         """The length-lie mutation hardcodes field offsets; pin them."""
         assert TENSOR_HEADER.size == 64
         assert struct.calcsize(">4sBBBx") == 8  # count starts at byte 8
+
+
+class TestWalFuzzing:
+    """The WAL joined the corpus: mutants must hit the same typed-
+    rejection-or-byte-exact-replay oracle as the tensor formats."""
+
+    def test_wal_corpus_format_is_exercised(self):
+        report = run_fuzz(cases=400, seed=3)
+        assert report.by_format.get("wal", 0) > 0
+        assert set(report.by_format) == {"tensor", "packed", "wal"}
+
+    def test_generated_wal_frames_replay_cleanly(self):
+        import random
+
+        from repro.federation.wal import replay_wal
+
+        for seed in range(20):
+            _fmt, blob, _width = fuzz_module._wal_frame(
+                random.Random(seed))
+            replayed = replay_wal(blob)
+            assert not replayed.torn_tail
+            assert replayed.consumed_bytes == len(blob)
+
+    @pytest.mark.parametrize("mutation", ["crc_lie", "record_splice",
+                                          "truncate", "bitflip"])
+    def test_wal_mutations_never_confuse_the_oracle(self, mutation):
+        import random
+
+        for seed in range(40):
+            rng = random.Random(seed * 31 + 7)
+            _fmt, blob, _width = fuzz_module._wal_frame(rng)
+            mutant = fuzz_module._mutate(rng, "wal", blob, mutation)
+            finding = fuzz_module._classify("wal", mutant, blob, seed,
+                                            mutation)
+            assert finding is None, str(finding)
+
+    def test_500_case_campaign_with_wal_still_clean(self):
+        report = run_fuzz(cases=500, seed="wal-ci")
+        assert report.passed, report.summary()
+        assert report.by_format.get("wal", 0) > 50
