@@ -1,0 +1,104 @@
+"""Typed diagnostics and the lint report they aggregate into."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Fingerprint identifying a finding across line-number churn: the line is
+#: deliberately excluded so an unrelated edit above a grandfathered finding
+#: does not resurrect it from the baseline.
+Fingerprint = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, anchored to a file:line.
+
+    Attributes:
+        rule: Rule name, e.g. ``plaintext-wire``.
+        path: Posix-style display path of the offending file.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        message: Human-readable description of the violation.
+        symbol: Enclosing function/class, when known (``""`` at module
+            scope).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    @property
+    def fingerprint(self) -> Fingerprint:
+        """Line-independent identity used by the baseline file."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        """The one-line human rendering: ``path:line:col: rule: message``."""
+        where = f" (in {self.symbol})" if self.symbol else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: " \
+               f"{self.message}{where}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced.
+
+    ``findings`` are the live diagnostics (not suppressed by pragma, not
+    in the baseline); ``baselined`` counts matches grandfathered by the
+    baseline file; ``suppressed`` counts pragma-silenced hits.
+    """
+
+    findings: List[Diagnostic] = field(default_factory=list)
+    baselined: int = 0
+    suppressed: int = 0
+    files_scanned: int = 0
+    rules_run: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> str:
+        payload = {
+            "version": 1,
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "baselined": self.baselined,
+            "suppressed": self.suppressed,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "findings": [d.to_json() for d in self.findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def format(self) -> str:
+        """Multi-line human rendering."""
+        lines = [d.format() for d in self.findings]
+        summary = (f"flcheck: {len(self.findings)} finding(s) in "
+                   f"{self.files_scanned} file(s)")
+        extras = []
+        if self.baselined:
+            extras.append(f"{self.baselined} baselined")
+        if self.suppressed:
+            extras.append(f"{self.suppressed} pragma-suppressed")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        lines.append(summary)
+        return "\n".join(lines)

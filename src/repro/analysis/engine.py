@@ -1,0 +1,207 @@
+"""The flcheck engine: file discovery, pragmas, baseline, rule driving.
+
+Suppression workflow, in precedence order:
+
+1. **Pragma** -- ``# flcheck: allow[rule-name]`` on the *anchor line* of a
+   finding silences that rule there forever; use it for deliberate,
+   commented exceptions (e.g. the WAL's decrypt-commit record).  Several
+   rules may be listed comma-separated.
+2. **Baseline** -- ``flcheck-baseline.json`` grandfathers existing
+   findings by (rule, path, message) fingerprint so a new rule can land
+   before the codebase is clean.  ``--update-baseline`` rewrites it; the
+   repo's committed baseline is empty and should stay that way.
+
+This module reads the wall clock (``time.monotonic``) only to enforce the
+CI ``--max-seconds`` bound; it is whitelisted in the determinism rule
+because lint never runs inside a simulation.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.base import RULE_REGISTRY, Rule
+from repro.analysis.diagnostics import Diagnostic, Fingerprint, LintReport
+
+#: ``# flcheck: allow[rule-a, rule-b]``
+_PRAGMA_RE = re.compile(r"#\s*flcheck:\s*allow\[([^\]]+)\]")
+
+#: Directories never scanned (caches, VCS internals).
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache"}
+
+
+class TimeBudgetExceeded(RuntimeError):
+    """Raised when a run overruns its ``--max-seconds`` bound."""
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed module handed to every rule.
+
+    Attributes:
+        path: Filesystem path of the module.
+        display_path: Posix-style path used in diagnostics (relative to
+            the scan root's parent when possible).
+        source: Raw text.
+        tree: Parsed AST.
+        pragmas: line -> set of rule names allowed on that line.
+    """
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def allows(self, rule: str, line: int) -> bool:
+        allowed = self.pragmas.get(line)
+        return bool(allowed) and (rule in allowed or "all" in allowed)
+
+
+def _parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    pragmas: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match:
+            names = {part.strip() for part in match.group(1).split(",")}
+            pragmas[lineno] = {name for name in names if name}
+    return pragmas
+
+
+def load_module(path: Path, display_path: str) -> ModuleUnit:
+    """Parse one file into a :class:`ModuleUnit` (raises ``SyntaxError``)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return ModuleUnit(path=path, display_path=display_path, source=source,
+                      tree=tree, pragmas=_parse_pragmas(source))
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """All ``.py`` files under ``paths`` (files pass through), sorted."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            found.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(part in _SKIP_DIRS for part in candidate.parts):
+                found.append(candidate)
+    return found
+
+
+def _display_path(path: Path, roots: Sequence[Path]) -> str:
+    """Diagnostic path: relative to the innermost root's parent."""
+    resolved = path.resolve()
+    best: Optional[str] = None
+    for root in roots:
+        anchor = (root if root.is_dir() else root.parent).resolve().parent
+        try:
+            relative = resolved.relative_to(anchor).as_posix()
+        except ValueError:
+            continue
+        if best is None or len(relative) < len(best):
+            best = relative
+    return best if best is not None else path.as_posix()
+
+
+# ---------------------------------------------------------------------------
+# Baseline file.
+# ---------------------------------------------------------------------------
+
+def load_baseline(path: Path) -> Set[Fingerprint]:
+    """Fingerprints grandfathered by ``path`` (missing file -> empty)."""
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != 1:
+        raise ValueError(f"unsupported baseline version in {path}")
+    return {(entry["rule"], entry["path"], entry["message"])
+            for entry in payload.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: Iterable[Diagnostic]) -> None:
+    """Rewrite ``path`` to grandfather exactly ``findings``."""
+    entries = sorted({d.fingerprint for d in findings})
+    payload = {
+        "version": 1,
+        "findings": [{"rule": rule, "path": file_path, "message": message}
+                     for rule, file_path, message in entries],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# The runner.
+# ---------------------------------------------------------------------------
+
+def _resolve_rules(rule_filter: Optional[Sequence[str]]) -> List[Rule]:
+    if rule_filter:
+        unknown = sorted(set(rule_filter) - set(RULE_REGISTRY))
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(RULE_REGISTRY))}")
+        names = list(dict.fromkeys(rule_filter))
+    else:
+        names = sorted(RULE_REGISTRY)
+    return [RULE_REGISTRY[name]() for name in names]
+
+
+def run_lint(paths: Sequence[Path],
+             rule_filter: Optional[Sequence[str]] = None,
+             baseline: Optional[Set[Fingerprint]] = None,
+             max_seconds: Optional[float] = None) -> LintReport:
+    """Run the selected rules over every module under ``paths``.
+
+    Args:
+        paths: Files or directories to scan.
+        rule_filter: Rule names to run; all registered rules when omitted.
+        baseline: Grandfathered fingerprints (see :func:`load_baseline`).
+        max_seconds: Abort with :class:`TimeBudgetExceeded` when the scan
+            runs longer than this.
+
+    Returns:
+        A :class:`LintReport`; ``report.findings`` holds only live (not
+        suppressed, not baselined) diagnostics, sorted by location.
+    """
+    rules = _resolve_rules(rule_filter)
+    baseline = baseline or set()
+    started = time.monotonic()
+    report = LintReport(rules_run=[rule.name for rule in rules])
+
+    for path in discover_files(paths):
+        if max_seconds is not None and \
+                time.monotonic() - started > max_seconds:
+            raise TimeBudgetExceeded(
+                f"flcheck exceeded its {max_seconds:.0f}s budget after "
+                f"{report.files_scanned} files")
+        display = _display_path(path, paths)
+        try:
+            unit = load_module(path, display)
+        except SyntaxError as exc:
+            report.findings.append(Diagnostic(
+                rule="parse-error", path=display,
+                line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}"))
+            report.files_scanned += 1
+            continue
+        report.files_scanned += 1
+        for rule in rules:
+            for diag in rule.check(unit):
+                if unit.allows(diag.rule, diag.line):
+                    report.suppressed += 1
+                elif diag.fingerprint in baseline:
+                    report.baselined += 1
+                else:
+                    report.findings.append(diag)
+
+    report.findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    report.elapsed_seconds = time.monotonic() - started
+    return report

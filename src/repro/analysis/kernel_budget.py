@@ -1,0 +1,169 @@
+"""Rule ``kernel-budget``: declared kernel envelopes must be launchable.
+
+``repro/gpu/kernels.py`` declares a :class:`~repro.gpu.kernels.
+KernelBudget` per kernel -- worst-case registers per thread, shared
+memory per block, block width.  This rule finds every ``KERNEL_BUDGETS``
+assignment in the scanned files, *statically* evaluates the declared
+constants (literal arithmetic plus named constants resolved from
+:mod:`repro.gpu.resource_manager` / :mod:`repro.gpu.device` and the
+module's own top-level assignments), and checks hard CUDA launchability
+against the target :data:`~repro.gpu.device.RTX_3090` spec:
+
+- block size a positive warp multiple, <= 1024 and <= threads/SM;
+- registers/thread <= the architectural ceiling (255);
+- one block's registers <= the SM register file;
+- shared memory/block <= shared memory/SM.
+
+An over-budget kernel therefore fails lint -- before any simulation run
+constructs a :class:`~repro.gpu.kernels.GpuKernels` and trips the same
+check at runtime.  A budget whose fields cannot be statically evaluated
+is itself a finding: the declaration must stay analyzable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.analysis.base import Rule, callee_name, register
+from repro.analysis.diagnostics import Diagnostic
+from repro.gpu import device as _device
+from repro.gpu import resource_manager as _rm
+from repro.gpu.device import RTX_3090
+from repro.gpu.kernels import KernelBudget
+
+#: Names resolvable inside budget expressions: integer constants from the
+#: gpu device/resource-manager modules (single source of truth for
+#: limits and register modelling).
+_CONSTANT_ENV: Dict[str, int] = {
+    name: value
+    for module in (_rm, _device)
+    for name, value in vars(module).items()
+    if isinstance(value, int) and not isinstance(value, bool)
+    and name.isupper()
+}
+
+
+class _Unanalyzable(Exception):
+    pass
+
+
+def _fold(node: ast.expr, env: Dict[str, int]) -> int:
+    """Evaluate a constant integer expression, or raise ``_Unanalyzable``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return env[node.id]
+        raise _Unanalyzable(f"unknown constant {node.id!r}")
+    if isinstance(node, ast.BinOp):
+        left, right = _fold(node.left, env), _fold(node.right, env)
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.FloorDiv):
+            return left // right
+        if isinstance(node.op, ast.Pow):
+            return left ** right
+        if isinstance(node.op, ast.LShift):
+            return left << right
+        if isinstance(node.op, ast.RShift):
+            return left >> right
+        raise _Unanalyzable(f"operator {type(node.op).__name__}")
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_fold(node.operand, env)
+    raise _Unanalyzable(type(node).__name__)
+
+
+def _module_constants(tree: ast.Module) -> Dict[str, int]:
+    """Top-level integer assignments of the module being linted."""
+    env = dict(_CONSTANT_ENV)
+    for stmt in tree.body:
+        targets = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and value is not None:
+                try:
+                    env[target.id] = _fold(value, env)
+                except _Unanalyzable:
+                    pass
+    return env
+
+
+@register
+class KernelBudgetRule(Rule):
+    name = "kernel-budget"
+    description = ("declared KERNEL_BUDGETS envelopes must fit the "
+                   "device limits, evaluated statically")
+
+    def check(self, unit) -> Iterator[Diagnostic]:
+        budgets = self._find_budget_dict(unit.tree)
+        if budgets is None:
+            return
+        env = _module_constants(unit.tree)
+        for key, value in zip(budgets.keys, budgets.values):
+            kernel = key.value if isinstance(key, ast.Constant) else "?"
+            if not (isinstance(value, ast.Call)
+                    and callee_name(value.func) == "KernelBudget"):
+                yield self.diagnostic(
+                    unit, value,
+                    f"kernel {kernel!r}: budget must be a direct "
+                    f"KernelBudget(...) declaration")
+                continue
+            yield from self._check_budget(unit, kernel, value, env)
+
+    @staticmethod
+    def _find_budget_dict(tree: ast.Module) -> Optional[ast.Dict]:
+        for stmt in tree.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "KERNEL_BUDGETS" \
+                        and isinstance(value, ast.Dict):
+                    return value
+        return None
+
+    def _check_budget(self, unit, kernel: str, call: ast.Call,
+                      env: Dict[str, int]) -> Iterator[Diagnostic]:
+        fields: Dict[str, int] = {}
+        for kw in call.keywords:
+            if kw.arg is None:
+                yield self.diagnostic(
+                    unit, call,
+                    f"kernel {kernel!r}: **-expansion in a budget is not "
+                    f"statically analyzable")
+                return
+            try:
+                fields[kw.arg] = _fold(kw.value, env)
+            except _Unanalyzable as exc:
+                yield self.diagnostic(
+                    unit, kw.value,
+                    f"kernel {kernel!r}: field {kw.arg!r} is not "
+                    f"statically evaluable ({exc})")
+                return
+        missing = {"registers_per_thread", "shared_memory_per_block",
+                   "block_size"} - set(fields)
+        if call.args or missing:
+            yield self.diagnostic(
+                unit, call,
+                f"kernel {kernel!r}: budget fields must be passed by "
+                f"keyword ({', '.join(sorted(missing)) or 'positional'})")
+            return
+        budget = KernelBudget(**fields)
+        for problem in budget.violations(RTX_3090):
+            yield self.diagnostic(
+                unit, call, f"kernel {kernel!r}: {problem}")

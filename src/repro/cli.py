@@ -20,6 +20,9 @@ Commands:
 - ``failover [--sweep]``         -- durable-coordinator scenarios: one
   scheduled kill by default, or the kill-at-every-WAL-record-boundary
   crash-consistency sweep; exits non-zero on any divergence.
+- ``lint [PATHS ...]``           -- run the flcheck static invariant
+  rules (plaintext-wire, determinism, ledger-category, deprecated-api,
+  kernel-budget) over src/repro; exits non-zero on live findings.
 """
 
 from __future__ import annotations
@@ -275,6 +278,38 @@ def _cmd_failover(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import (
+        TimeBudgetExceeded,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+
+    paths = [Path(p) for p in args.paths] if args.paths else \
+        [Path(repro.__file__).resolve().parent]
+    baseline_path = Path(args.baseline)
+    try:
+        report = run_lint(paths,
+                          rule_filter=args.rule or None,
+                          baseline=load_baseline(baseline_path),
+                          max_seconds=args.max_seconds)
+    except (TimeBudgetExceeded, ValueError) as exc:
+        print(f"flcheck: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        write_baseline(baseline_path, report.findings)
+        print(f"flcheck: wrote {len(report.findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+    print(report.to_json() if args.json else report.format())
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -386,6 +421,23 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--quorum", type=int, default=None)
     failover.add_argument("--seed", type=int, default=7)
     failover.set_defaults(handler=_cmd_failover)
+
+    lint = commands.add_parser(
+        "lint", help="run the flcheck static invariant rules")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to scan "
+                           "(default: the installed repro package)")
+    lint.add_argument("--rule", action="append", default=[],
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
+    lint.add_argument("--baseline", default="flcheck-baseline.json",
+                      help="grandfathered-findings file")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to the current findings")
+    lint.add_argument("--max-seconds", type=float, default=None,
+                      help="abort (exit 2) past this time budget")
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

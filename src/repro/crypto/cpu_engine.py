@@ -15,7 +15,13 @@ from repro.crypto.engine import HeEngine
 from repro.crypto.keys import PaillierKeypair
 from repro.crypto.paillier import Paillier
 from repro.gpu.cost_model import DEFAULT_PROFILE, HardwareProfile
-from repro.ledger import CostLedger
+from repro.ledger import (
+    CAT_HE_ADD,
+    CAT_HE_DECRYPT,
+    CAT_HE_ENCRYPT,
+    CAT_HE_SCALAR_MUL,
+    CostLedger,
+)
 from repro.mpint.primes import LimbRandom
 
 
@@ -52,7 +58,7 @@ class CpuPaillierEngine(HeEngine):
             else:
                 g_m = pow(self.public_key.g, m, n_squared)
             results.append((g_m * self._randomizer_power()) % n_squared)
-        self._charge("he.encrypt", len(plaintexts),
+        self._charge(CAT_HE_ENCRYPT, len(plaintexts),
                      self.profile.words_per_encrypt(self.nominal_bits))
         self.report.encryptions += len(plaintexts)
         return results
@@ -61,7 +67,7 @@ class CpuPaillierEngine(HeEngine):
         """Decrypt sequentially, charging per-op CPU time."""
         results = [Paillier.raw_decrypt(self.private_key, c)
                    for c in ciphertexts]
-        self._charge("he.decrypt", len(ciphertexts),
+        self._charge(CAT_HE_DECRYPT, len(ciphertexts),
                      self.profile.words_per_decrypt(self.nominal_bits))
         self.report.decryptions += len(ciphertexts)
         return results
@@ -72,7 +78,7 @@ class CpuPaillierEngine(HeEngine):
             raise ValueError("ciphertext batches differ in length")
         results = [Paillier.raw_add(self.public_key, x, y)
                    for x, y in zip(c1, c2)]
-        self._charge("he.add", len(c1),
+        self._charge(CAT_HE_ADD, len(c1),
                      self.profile.words_per_homomorphic_add(self.nominal_bits))
         self.report.additions += len(c1)
         return results
@@ -84,7 +90,7 @@ class CpuPaillierEngine(HeEngine):
             raise ValueError("ciphertext and scalar batches differ in length")
         results = [Paillier.raw_scalar_mul(self.public_key, c, k)
                    for c, k in zip(ciphertexts, scalars)]
-        self._charge("he.scalar_mul", len(ciphertexts),
+        self._charge(CAT_HE_SCALAR_MUL, len(ciphertexts),
                      self.profile.words_per_scalar_mul(self.nominal_bits))
         self.report.scalar_muls += len(ciphertexts)
         return results

@@ -20,7 +20,14 @@ from repro.crypto.engine import HeEngine
 from repro.crypto.keys import PaillierKeypair
 from repro.crypto.paillier import Paillier
 from repro.gpu.kernels import GpuKernels
-from repro.ledger import CostLedger
+from repro.ledger import (
+    CAT_GPU_LAUNCH,
+    CAT_HE_ADD,
+    CAT_HE_DECRYPT,
+    CAT_HE_ENCRYPT,
+    CAT_HE_SCALAR_MUL,
+    CostLedger,
+)
 from repro.mpint.primes import LimbRandom
 
 
@@ -57,7 +64,7 @@ class GpuPaillierEngine(HeEngine):
             return []
         n = self.public_key.n
         n_squared = self.public_key.n_squared
-        with self._charging("he.encrypt", len(plaintexts)):
+        with self._charging(CAT_HE_ENCRYPT, len(plaintexts)):
             if self.public_key.g == n + 1:
                 g_m = [(1 + m * n) % n_squared for m in plaintexts]
                 self.kernels.charge_mod_mul(len(plaintexts),
@@ -82,7 +89,7 @@ class GpuPaillierEngine(HeEngine):
         """Decrypt a batch: ``L(c^lambda) * mu mod n`` on the device."""
         if not ciphertexts:
             return []
-        with self._charging("he.decrypt", len(ciphertexts)):
+        with self._charging(CAT_HE_DECRYPT, len(ciphertexts)):
             # Physical values via CRT decryption; the launch is charged as
             # the full c^lambda kernel plus the mu multiplication.
             results = [Paillier.raw_decrypt(self.private_key, c)
@@ -99,7 +106,7 @@ class GpuPaillierEngine(HeEngine):
             raise ValueError("ciphertext batches differ in length")
         if not c1:
             return []
-        with self._charging("he.add", len(c1)):
+        with self._charging(CAT_HE_ADD, len(c1)):
             results = self.kernels.mod_mul(
                 list(c1), list(c2), self.public_key.n_squared,
                 work_bits=self._work_bits)
@@ -116,7 +123,7 @@ class GpuPaillierEngine(HeEngine):
         for scalar in scalars:
             if scalar < 0:
                 raise ValueError("negative scalars require encoding")
-        with self._charging("he.scalar_mul", len(ciphertexts)):
+        with self._charging(CAT_HE_SCALAR_MUL, len(ciphertexts)):
             results = self.kernels.mod_pow(
                 list(ciphertexts), list(scalars), self.public_key.n_squared,
                 work_bits=self._work_bits)
@@ -143,7 +150,7 @@ class GpuPaillierEngine(HeEngine):
                     # many kernel launches an epoch spent, so op fusion
                     # (fewer, larger launches) is measurable without
                     # inspecting the device log.
-                    engine.ledger.charge("gpu.launch", 0.0,
+                    engine.ledger.charge(CAT_GPU_LAUNCH, 0.0,
                                          count=len(launches))
                 engine.report.modelled_seconds += seconds
                 return False

@@ -19,6 +19,8 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
+from repro.rng import np_rng
+
 
 @dataclass(frozen=True)
 class Dataset:
@@ -82,7 +84,7 @@ def rcv1_like(instances: int = 1024, features: int = 512,
     TF-IDF-like features: each document activates a power-law-distributed
     subset of terms with log-normal weights.
     """
-    rng = np.random.default_rng(seed)
+    rng = np_rng(seed)
     matrix = np.zeros((instances, features))
     nnz_per_row = max(1, int(density * features))
     # Power-law term popularity, the signature of text data.
@@ -113,7 +115,7 @@ def avazu_like(instances: int = 1024, features: int = 1024,
     the structure of hashed CTR data -- giving extreme sparsity with
     binary values.
     """
-    rng = np.random.default_rng(seed)
+    rng = np_rng(seed)
     if features % fields != 0:
         raise ValueError("features must divide evenly into fields")
     per_field = features // fields
@@ -143,7 +145,7 @@ def synthetic_like(instances: int = 1024, features: int = 64,
     heterogeneity parameter, and logistic labels -- the recipe of the
     LEAF benchmark the paper's Synthetic dataset comes from.
     """
-    rng = np.random.default_rng(seed)
+    rng = np_rng(seed)
     b = rng.normal(0.0, beta)
     mean_v = rng.normal(b, 1.0, size=features)
     diag = np.arange(1, features + 1, dtype=np.float64) ** -1.2

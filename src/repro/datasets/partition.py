@@ -16,6 +16,7 @@ from typing import List
 import numpy as np
 
 from repro.datasets.generators import Dataset
+from repro.rng import np_rng
 
 
 @dataclass(frozen=True)
@@ -60,7 +61,7 @@ def train_test_split(dataset: Dataset, test_fraction: float = 0.2,
     """
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be in (0, 1)")
-    rng = np.random.default_rng(seed)
+    rng = np_rng(seed)
     order = rng.permutation(dataset.num_instances)
     test_count = max(1, int(round(test_fraction * dataset.num_instances)))
     if test_count >= dataset.num_instances:
@@ -88,7 +89,7 @@ def horizontal_split(dataset: Dataset, num_clients: int,
         raise ValueError(
             f"{dataset.num_instances} instances cannot cover "
             f"{num_clients} clients")
-    rng = np.random.default_rng(seed)
+    rng = np_rng(seed)
     order = rng.permutation(dataset.num_instances)
     shards = np.array_split(order, num_clients)
     return [
@@ -116,7 +117,7 @@ def vertical_split(dataset: Dataset, num_parties: int = 2,
         raise ValueError(
             f"{dataset.num_features} features cannot cover "
             f"{num_parties} parties")
-    rng = np.random.default_rng(seed)
+    rng = np_rng(seed)
     order = rng.permutation(dataset.num_features)
     if guest_fraction is not None:
         if not 0 < guest_fraction < 1:

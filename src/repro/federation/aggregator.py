@@ -44,6 +44,7 @@ from repro.crypto.engine import HeEngine
 from repro.federation.channel import Channel, ChannelError, Message
 from repro.federation.faults import FaultInjector, QuorumError
 from repro.federation.metrics import charge_pipeline_stage
+from repro.ledger import CAT_PIPELINE_ENCODE_PACK, CAT_PIPELINE_UNPACK_DECODE
 from repro.quantization.packing import BatchPacker
 from repro.tensor.cipher import CipherTensor
 from repro.tensor.plain import PlainTensor
@@ -143,7 +144,7 @@ class SecureAggregator:
             # The encode/quantize/pad/pack stages of the pipeline
             # (Fig. 4): float -> multi-precision conversion per value.
             charge_pipeline_stage(engine.ledger, plain.meta.count,
-                                  tag="pipeline.encode_pack")
+                                  tag=CAT_PIPELINE_ENCODE_PACK)
         return engine.encrypt_tensor(plain)
 
     def decrypt_tensor(self, tensor: CipherTensor,
@@ -159,7 +160,7 @@ class SecureAggregator:
         plain = engine.decrypt_tensor(tensor)
         if charged:
             charge_pipeline_stage(engine.ledger, plain.meta.count,
-                                  tag="pipeline.unpack_decode")
+                                  tag=CAT_PIPELINE_UNPACK_DECODE)
         return plain.decode()
 
     def send_tensor(self, tensor: CipherTensor, sender: str,

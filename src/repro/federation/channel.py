@@ -33,7 +33,13 @@ import numpy as np
 
 from repro.federation.faults import FaultInjector, RetryPolicy, jitter_seed
 from repro.gpu.cost_model import DEFAULT_PROFILE, HardwareProfile
-from repro.ledger import CostLedger
+from repro.ledger import (
+    CAT_FAULT_CORRUPT,
+    CAT_FAULT_GIVEUP,
+    CAT_FAULT_RETRANSMIT,
+    CostLedger,
+    comm_category,
+)
 from repro.tensor.cipher import CipherTensor
 
 #: Monotonic ids for message tracing.
@@ -277,7 +283,7 @@ class Channel:
                 break
             if corrupted:
                 self.stats.corrupted += 1
-                self.ledger.charge("fault.corrupt", 0.0, count=1,
+                self.ledger.charge(CAT_FAULT_CORRUPT, 0.0, count=1,
                                    payload_bytes=wire_bytes)
             retry_index = attempts - 1  # 0-based index of the retry to come
             elapsed = attempts * transfer_seconds + backoff_total
@@ -287,11 +293,11 @@ class Channel:
                                              rng=self._jitter_rng)
             backoff_total += backoff
             self.stats.backoff_seconds += backoff
-            self.ledger.charge("fault.retransmit", backoff, count=1,
+            self.ledger.charge(CAT_FAULT_RETRANSMIT, backoff, count=1,
                                payload_bytes=wire_bytes)
 
         seconds = attempts * transfer_seconds
-        self.ledger.charge(f"comm.{message.tag}", seconds, count=1,
+        self.ledger.charge(comm_category(message.tag), seconds, count=1,
                            payload_bytes=attempts * wire_bytes)
         self.stats.ciphertexts += message.ciphertext_count
         self.stats.wire_bytes += attempts * wire_bytes
@@ -301,7 +307,7 @@ class Channel:
         if not delivered:
             self.stats.failed_messages += 1
             wasted = attempts * wire_bytes
-            self.ledger.charge("fault.giveup", 0.0, count=1,
+            self.ledger.charge(CAT_FAULT_GIVEUP, 0.0, count=1,
                                payload_bytes=wasted)
             raise ChannelError(
                 f"transfer {message.tag!r} abandoned after {attempts} "

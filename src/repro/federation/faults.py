@@ -47,12 +47,12 @@ across incarnations.
 
 from __future__ import annotations
 
-import os
 import random
 from dataclasses import dataclass, replace
 from typing import Any, List, Optional, Tuple
 
-from repro.ledger import CostLedger
+from repro.ledger import CostLedger, fault_category
+from repro.rng import jitter_seed, master_test_seed  # noqa: F401 -- re-exported
 
 #: Event kinds a :class:`FaultPlan` may schedule.
 CRASH = "crash"
@@ -67,29 +67,6 @@ FAILOVER = "failover"
 
 _EVENT_KINDS = (CRASH, DROPOUT, STRAGGLER, COORDINATOR_CRASH, FAILOVER)
 COORDINATOR_KINDS = (COORDINATOR_CRASH, FAILOVER)
-
-
-def master_test_seed() -> int:
-    """The suite-wide master seed (``REPRO_TEST_SEED``, default 0).
-
-    The same scheme ``tests/conftest.py`` and ``benchmarks.common`` use:
-    library code that needs its own deterministic stream derives it as
-    ``master * 1_000_003 + stream`` so shifting the one environment
-    variable reseeds everything at once.
-    """
-    return int(os.environ.get("REPRO_TEST_SEED", "0"))
-
-
-def jitter_seed(channel_seed: int) -> int:
-    """Derive the retry-jitter stream for one channel.
-
-    Jitter used to share the channel's loss RNG, so enabling jitter
-    perturbed which attempts were dropped.  Giving jitter its own
-    stream -- derived from the master seed plus the channel seed --
-    keeps loss draws identical whether or not a policy jitters, and
-    routes all backoff randomness through ``REPRO_TEST_SEED``.
-    """
-    return master_test_seed() * 1_000_003 + 7919 + channel_seed
 
 
 class QuorumError(RuntimeError):
@@ -488,7 +465,7 @@ class FaultInjector:
     def _record(self, kind: str, party: str, round_index: int,
                 seconds: float = 0.0, payload_bytes: int = 0) -> None:
         self.triggered.append((kind, party, round_index))
-        self.ledger.charge(f"fault.{kind}", seconds, count=1,
+        self.ledger.charge(fault_category(kind), seconds, count=1,
                            payload_bytes=payload_bytes)
 
     def triggered_counts(self) -> dict:

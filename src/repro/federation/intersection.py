@@ -32,7 +32,7 @@ from repro.crypto.keys import RsaKeypair, generate_rsa_keypair
 from repro.federation.channel import Channel, Message
 from repro.federation.metrics import charge_model_compute
 from repro.gpu.cost_model import DEFAULT_PROFILE
-from repro.ledger import CostLedger
+from repro.ledger import CAT_HE_PSI_SIGN, CostLedger
 from repro.mpint.primes import LimbRandom
 
 
@@ -119,7 +119,7 @@ class RsaIntersection:
         # charged at the nominal key size through the CPU model.
         sign_ops = len(blinded) + len(host_ids)
         ledger.charge(
-            "he.psi_sign",
+            CAT_HE_PSI_SIGN,
             DEFAULT_PROFILE.cpu_seconds(
                 sign_ops,
                 DEFAULT_PROFILE.words_per_decrypt(self.key_bits) // 4),

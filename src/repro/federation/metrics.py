@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.ledger import (
+    CAT_MODEL_COMPUTE,
     COMPONENT_COMM,
     COMPONENT_HE,
     COMPONENT_OTHERS,
@@ -40,7 +41,7 @@ def flop_seconds(flops: float) -> float:
 
 
 def charge_model_compute(ledger: CostLedger, flops: float,
-                         tag: str = "model.compute") -> None:
+                         tag: str = CAT_MODEL_COMPUTE) -> None:
     """Charge plaintext model computation to the "Others" component."""
     ledger.charge(tag, flop_seconds(flops), count=1)
 

@@ -15,13 +15,112 @@ is omitted the actual modulus size is charged.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.gpu.cost_model import DEFAULT_PROFILE, HardwareProfile
-from repro.gpu.device import KernelLaunch, SimulatedGpu
-from repro.gpu.resource_manager import ResourceManager
+from repro.gpu.device import DeviceSpec, KernelLaunch, SimulatedGpu
+from repro.gpu.resource_manager import (
+    BASE_REGISTERS_PER_THREAD,
+    REGISTERS_PER_LIMB,
+    UNMANAGED_BRANCH_REGISTER_FACTOR,
+    ResourceManager,
+)
 from repro.mpint.modexp import modexp_multiplication_count
 from repro.mpint.montgomery import cios_work_estimate
+
+#: CUDA's architectural per-thread register ceiling (compute 7.x+).
+MAX_REGISTERS_PER_THREAD = 255
+
+#: CUDA's architectural per-block thread ceiling.
+MAX_BLOCK_THREADS = 1024
+
+
+@dataclass(frozen=True)
+class KernelBudget:
+    """Declared worst-case resource envelope for one kernel.
+
+    These are *declarations*, not measurements: each kernel states the
+    most registers, shared memory, and block width it will ever request,
+    and both flcheck's ``kernel-budget`` rule (statically, at lint time)
+    and :meth:`GpuKernels.__init__` (at construction) verify the envelope
+    is launchable on the target :class:`DeviceSpec`.  An over-budget
+    kernel therefore fails lint, not a simulation run.
+
+    Attributes:
+        registers_per_thread: Worst-case registers one thread may hold.
+        shared_memory_per_block: Worst-case shared-memory bytes per block.
+        block_size: Widest block the kernel is ever launched with.
+    """
+
+    registers_per_thread: int
+    shared_memory_per_block: int
+    block_size: int
+
+    def violations(self, spec: DeviceSpec) -> List[str]:
+        """Hard-launchability violations of this budget on ``spec``."""
+        problems: List[str] = []
+        if self.block_size < spec.warp_size or \
+                self.block_size % spec.warp_size != 0:
+            problems.append(
+                f"block_size {self.block_size} is not a positive multiple "
+                f"of the warp size {spec.warp_size}")
+        if self.block_size > MAX_BLOCK_THREADS:
+            problems.append(
+                f"block_size {self.block_size} exceeds the CUDA per-block "
+                f"ceiling {MAX_BLOCK_THREADS}")
+        if self.block_size > spec.max_threads_per_sm:
+            problems.append(
+                f"block_size {self.block_size} exceeds the device's "
+                f"{spec.max_threads_per_sm} threads/SM")
+        if self.registers_per_thread > MAX_REGISTERS_PER_THREAD:
+            problems.append(
+                f"registers_per_thread {self.registers_per_thread} exceeds "
+                f"the architectural ceiling {MAX_REGISTERS_PER_THREAD}")
+        block_registers = self.registers_per_thread * self.block_size
+        if block_registers > spec.registers_per_sm:
+            problems.append(
+                f"one block needs {block_registers} registers "
+                f"({self.registers_per_thread}/thread x {self.block_size}) "
+                f"but an SM has {spec.registers_per_sm}")
+        if self.shared_memory_per_block > spec.shared_memory_per_sm:
+            problems.append(
+                f"shared_memory_per_block {self.shared_memory_per_block} "
+                f"exceeds the SM's {spec.shared_memory_per_sm} bytes")
+        return problems
+
+
+#: Declared envelopes, one per kernel `_record` name.  The register
+#: figure is the unmanaged worst case the resource manager can budget --
+#: the branch-handling factor times the base + per-limb cost at the
+#: 2-limbs-per-thread split -- so the declaration stays honest even for
+#: the HAFLO-style baseline path.  flcheck evaluates these expressions
+#: against the RTX_3090 spec; keep every operand a constant.
+KERNEL_BUDGETS: Dict[str, KernelBudget] = {
+    "mod_mul": KernelBudget(
+        registers_per_thread=UNMANAGED_BRANCH_REGISTER_FACTOR * (
+            BASE_REGISTERS_PER_THREAD + REGISTERS_PER_LIMB * 2),
+        shared_memory_per_block=32 * 1024,
+        block_size=256,
+    ),
+    "mod_pow": KernelBudget(
+        registers_per_thread=UNMANAGED_BRANCH_REGISTER_FACTOR * (
+            BASE_REGISTERS_PER_THREAD + REGISTERS_PER_LIMB * 2),
+        shared_memory_per_block=48 * 1024,
+        block_size=256,
+    ),
+}
+
+
+def validate_budgets(spec: DeviceSpec) -> None:
+    """Raise ``ValueError`` if any declared budget cannot launch on ``spec``."""
+    problems = [f"{name}: {problem}"
+                for name, budget in sorted(KERNEL_BUDGETS.items())
+                for problem in budget.violations(spec)]
+    if problems:
+        raise ValueError(
+            "kernel resource budgets exceed device limits:\n  "
+            + "\n  ".join(problems))
 
 
 class GpuKernels:
@@ -51,6 +150,7 @@ class GpuKernels:
         self.profile = profile
         self.execute = execute
         self._montgomery_cache: dict = {}
+        validate_budgets(self.device.spec)
 
     # ------------------------------------------------------------------
     # Public kernels.

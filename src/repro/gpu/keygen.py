@@ -90,7 +90,7 @@ class ParallelKeyGenerator:
                         break
 
         parallel_rounds = -(-candidates // self.threads)
-        seconds = self._charge(bits, parallel_rounds)
+        seconds = self._charge_kernels(bits, parallel_rounds)
         stats = KeygenStats(candidates_tested=candidates,
                             parallel_rounds=parallel_rounds,
                             threads=self.threads,
@@ -119,7 +119,8 @@ class ParallelKeyGenerator:
         return PaillierKeypair(public_key=public, private_key=private), \
             combined
 
-    def _charge(self, bits: int, parallel_rounds: int) -> float:
+    def _charge_kernels(self, bits: int,
+                        parallel_rounds: int) -> float:
         """Charge the search: MR exponentiations, warp-wide, per round.
 
         Each Miller-Rabin round is one ``bits``-bit modular

@@ -19,12 +19,98 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 #: Paper component names (Table VI rows).
 COMPONENT_HE = "HE operations"
 COMPONENT_COMM = "Communication"
 COMPONENT_OTHERS = "Others"
+
+# ---------------------------------------------------------------------------
+# Category registry.
+#
+# Every modelled cost lands in a dotted category; a typo'd or invented
+# category silently mis-buckets the Table VI component splits, so the
+# legal names live here -- one source of truth that call sites import
+# and that flcheck's ledger rule validates charge sites against
+# (``python -m repro lint --rule ledger-category``).
+#
+# Closed families enumerate their suffixes; open families (``comm.*``,
+# ``model.*``) accept any non-empty suffix because their tails come
+# from protocol message tags and per-model step names.
+# ---------------------------------------------------------------------------
+
+#: HE primitive costs (the paper's "HE operations" component).
+CAT_HE_ENCRYPT = "he.encrypt"
+CAT_HE_DECRYPT = "he.decrypt"
+CAT_HE_ADD = "he.add"
+CAT_HE_SCALAR_MUL = "he.scalar_mul"
+CAT_HE_PSI_SIGN = "he.psi_sign"
+
+#: GPU kernel-launch bookkeeping (zero-cost counter category).
+CAT_GPU_LAUNCH = "gpu.launch"
+
+#: Plaintext model computation (the "Others" component).
+CAT_MODEL_COMPUTE = "model.compute"
+
+#: Encode/pack (and mirror) pipeline stages (Fig. 4).
+CAT_PIPELINE_ENCODE_PACK = "pipeline.encode_pack"
+CAT_PIPELINE_UNPACK_DECODE = "pipeline.unpack_decode"
+
+#: Fault events (see :mod:`repro.federation.faults` for semantics).
+CAT_FAULT_CORRUPT = "fault.corrupt"
+CAT_FAULT_RETRANSMIT = "fault.retransmit"
+CAT_FAULT_GIVEUP = "fault.giveup"
+
+#: Family -> allowed suffixes; ``None`` marks an open family whose
+#: suffix is dynamic (message tags, per-model step names).
+CATEGORY_FAMILIES: Dict[str, Optional[frozenset]] = {
+    "he": frozenset({"encrypt", "decrypt", "add", "scalar_mul",
+                     "psi_sign"}),
+    "gpu": frozenset({"launch"}),
+    "pipeline": frozenset({"encode_pack", "unpack_decode"}),
+    "fault": frozenset({"crash", "dropout", "straggler", "deadline",
+                        "lost_update", "retransmit", "corrupt", "giveup",
+                        "coordinator_crash", "failover"}),
+    "comm": None,
+    "model": None,
+}
+
+#: Families whose suffix may be built dynamically (f-strings, helpers).
+OPEN_FAMILIES = frozenset(
+    family for family, suffixes in CATEGORY_FAMILIES.items()
+    if suffixes is None)
+
+
+def is_known_category(category: str) -> bool:
+    """Whether a dotted category is legal under the registry."""
+    if not category or "." not in category:
+        return False
+    family, suffix = category.split(".", 1)
+    allowed = CATEGORY_FAMILIES.get(family)
+    if allowed is None:
+        return family in CATEGORY_FAMILIES and bool(suffix)
+    return suffix in allowed
+
+
+def validate_category(category: str) -> str:
+    """Return ``category``, raising ``ValueError`` when unregistered."""
+    if not is_known_category(category):
+        raise ValueError(
+            f"unregistered ledger category {category!r}; declare it in "
+            f"repro.ledger.CATEGORY_FAMILIES or use a registered family "
+            f"({', '.join(sorted(CATEGORY_FAMILIES))})")
+    return category
+
+
+def fault_category(kind: str) -> str:
+    """The ``fault.*`` category for one fault kind (validated)."""
+    return validate_category(f"fault.{kind}")
+
+
+def comm_category(tag: str) -> str:
+    """The ``comm.*`` category for one message tag (validated)."""
+    return validate_category(f"comm.{tag}")
 
 
 @dataclass
@@ -43,10 +129,16 @@ class CostLedger:
     The ledger is deliberately passive: it never measures wall-clock time
     itself; callers charge the seconds their cost model derived, keeping
     scaled execution and paper-scale accounting cleanly separated.
+
+    With ``strict=True`` every charged category must be registered in
+    :data:`CATEGORY_FAMILIES`; the default stays permissive so ad-hoc
+    ledgers in tests and notebooks keep working -- repo code is held to
+    the registry statically by flcheck instead.
     """
 
     _entries: Dict[str, LedgerEntry] = field(
         default_factory=lambda: defaultdict(LedgerEntry))
+    strict: bool = False
 
     def charge(self, category: str, seconds: float, count: int = 1,
                payload_bytes: int = 0) -> None:
@@ -60,6 +152,8 @@ class CostLedger:
         """
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
+        if self.strict:
+            validate_category(category)
         entry = self._entries[category]
         entry.seconds += seconds
         entry.count += count

@@ -20,6 +20,7 @@ import numpy as np
 from repro.datasets.generators import Dataset
 from repro.federation.metrics import EpochReport
 from repro.federation.runtime import FederationRuntime
+from repro.rng import np_rng
 
 #: The paper's convergence tolerance.
 CONVERGENCE_TOLERANCE = 1e-6
@@ -72,7 +73,7 @@ class FederatedModel(ABC):
     def __init__(self, dataset: Dataset, seed: int = 0):
         self.dataset = dataset
         self.seed = seed
-        self.rng = np.random.default_rng(seed)
+        self.rng = np_rng(seed)
 
     @abstractmethod
     def run_epoch(self, runtime: FederationRuntime) -> float:

@@ -35,14 +35,44 @@ class LimbRandom:
 
     Each simulated GPU thread owns one instance seeded from the warp seed and
     its thread index, so parallel key generation is reproducible.
+
+    Two modes, split explicitly:
+
+    - :meth:`entropy` -- backed by ``random.SystemRandom`` (the OS CSPRNG).
+      This is the *only* sanctioned non-deterministic random source in the
+      library: production key generation must not be replayable, or a
+      recorded simulation transcript would leak the keypair.  flcheck's
+      determinism rule whitelists this module for exactly that reason.
+    - :meth:`reproducible` -- a ``random.Random`` stream derived from
+      ``(seed << 16) ^ thread_index``, used by tests and the simulated GPU
+      keygen so parallel prime search replays bit-for-bit.
+
+    The constructor keeps its historical signature (``seed=None`` selects
+    entropy mode) so existing call sites behave identically, but new code
+    should name the mode it wants via the classmethods.
     """
 
     def __init__(self, seed: Optional[int] = None, thread_index: int = 0):
         if seed is None:
-            self._rng = random.SystemRandom()
+            self._rng: random.Random = random.SystemRandom()
+            self.entropy_backed = True
         else:
             self._rng = random.Random((seed << 16) ^ thread_index)
+            self.entropy_backed = False
         self.thread_index = thread_index
+
+    @classmethod
+    def entropy(cls, thread_index: int = 0) -> "LimbRandom":
+        """An OS-entropy generator for production key generation."""
+        return cls(seed=None, thread_index=thread_index)
+
+    @classmethod
+    def reproducible(cls, seed: int, thread_index: int = 0) -> "LimbRandom":
+        """A seeded, replayable generator for tests and simulation."""
+        if seed is None:
+            raise ValueError("reproducible mode requires an explicit seed; "
+                             "use LimbRandom.entropy() for OS entropy")
+        return cls(seed=seed, thread_index=thread_index)
 
     def randbits(self, bits: int) -> int:
         """Uniform random integer with at most ``bits`` bits."""

@@ -1,0 +1,72 @@
+"""Master-seed RNG routing: the ``REPRO_TEST_SEED`` stream scheme.
+
+Every deterministic random stream in the library derives from one master
+seed, read from the ``REPRO_TEST_SEED`` environment variable (default 0).
+A consumer asks for a *stream* -- typically its caller-supplied seed --
+and receives ``master * 1_000_003 + stream``, the same derivation
+``tests/conftest.py`` and ``benchmarks.common`` use.  Two properties
+follow:
+
+- shifting the one environment variable reseeds every stream in the
+  repo at once (the simulator's replayability sweep), and
+- the default master of 0 keeps every derived seed equal to the
+  historical hardcoded one, so existing golden values stay valid.
+
+This module is the whitelisted home of RNG construction for flcheck's
+determinism rule: library code must not draw from the global
+``random`` / ``numpy.random`` state or construct unseeded generators --
+it asks here for a routed stream instead.  The only sanctioned sources
+of *real* entropy are ``random.SystemRandom`` in
+:mod:`repro.mpint.primes` (production key generation) and nothing else.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+
+#: Stream combinator; primes the master seed so distinct masters never
+#: produce overlapping stream families.
+STREAM_MULTIPLIER = 1_000_003
+
+#: Offset reserving a stream family for channel retry jitter, so jitter
+#: streams never collide with loss streams derived from the same seed.
+JITTER_STREAM_OFFSET = 7919
+
+
+def master_test_seed() -> int:
+    """The suite-wide master seed (``REPRO_TEST_SEED``, default 0)."""
+    return int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def derive_seed(stream: int) -> int:
+    """Combine the master seed with a per-consumer stream id.
+
+    With the default master of 0 this is the identity, so callers that
+    pass their historical hardcoded seeds keep their historical draws.
+    """
+    return master_test_seed() * STREAM_MULTIPLIER + stream
+
+
+def jitter_seed(channel_seed: int) -> int:
+    """Derive the retry-jitter stream for one channel.
+
+    Jitter used to share the channel's loss RNG, so enabling jitter
+    perturbed which attempts were dropped.  Giving jitter its own
+    stream -- derived from the master seed plus the channel seed --
+    keeps loss draws identical whether or not a policy jitters, and
+    routes all backoff randomness through ``REPRO_TEST_SEED``.
+    """
+    return derive_seed(JITTER_STREAM_OFFSET + channel_seed)
+
+
+def np_rng(stream: int) -> np.random.Generator:
+    """A numpy generator on the routed stream ``stream``."""
+    return np.random.default_rng(derive_seed(stream))
+
+
+def py_rng(stream: int) -> random.Random:
+    """A stdlib ``random.Random`` on the routed stream ``stream``."""
+    return random.Random(derive_seed(stream))

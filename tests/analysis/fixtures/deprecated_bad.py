@@ -1,0 +1,25 @@
+"""Known-bad corpus for the deprecated-api rule.
+
+Never imported (gmpy2 does not exist in the environment); only parsed.
+"""
+
+import gmpy2
+
+from repro.federation import send_encrypted  # flagged: shim import
+
+
+def encrypt_vector(values):                  # flagged: shim redefinition
+    return values
+
+
+def decrypt_vector(values):                  # flagged: shim redefinition
+    return values
+
+
+def call_the_shims(channel, values):
+    send_encrypted(channel, encrypt_vector(values))   # flagged twice
+    return values
+
+
+def bigint_backend(a, b, n):
+    return gmpy2.powmod(a, b, n)             # flagged: gmpy call

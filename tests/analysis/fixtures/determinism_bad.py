@@ -1,0 +1,54 @@
+"""Known-bad corpus for the determinism rule."""
+
+import datetime
+import os
+import random
+import secrets
+import time
+import uuid
+
+import numpy as np
+
+
+def global_rng():
+    return random.random()                   # flagged: global Mersenne
+
+
+def argless_random():
+    return random.Random()                   # flagged: self-seeds
+
+
+def system_random():
+    return random.SystemRandom()             # flagged: OS entropy
+
+
+def argless_numpy():
+    return np.random.default_rng()           # flagged: self-seeds
+
+
+def legacy_numpy():
+    return np.random.rand(3)                 # flagged: global numpy RNG
+
+
+def wall_clock():
+    return time.time()                       # flagged: wall-clock call
+
+
+def clock_reference(run):
+    return run(clock=time.monotonic)         # flagged: bare reference
+
+
+def timestamp():
+    return datetime.datetime.now()           # flagged: wall clock
+
+
+def entropy_bytes():
+    return os.urandom(16)                    # flagged: OS entropy
+
+
+def token():
+    return secrets.token_hex(8)              # flagged: OS entropy
+
+
+def identifier():
+    return uuid.uuid4()                      # flagged: OS entropy

@@ -1,0 +1,28 @@
+"""Known-good corpus for the determinism rule."""
+
+import random
+
+import numpy as np
+
+from repro.rng import np_rng, py_rng
+
+
+def seeded_random(seed):
+    return random.Random(seed)               # seeded: fine anywhere
+
+
+def seeded_numpy(seed):
+    return np.random.default_rng(seed)       # seeded: fine
+
+
+def routed_streams(stream):
+    return np_rng(stream), py_rng(stream)    # the sanctioned route
+
+
+def local_methods(rng):
+    # Methods on an injected generator are not the global module.
+    return rng.random() + rng.randint(0, 5)
+
+
+def injected_clock(clock):
+    return clock()                           # injected callables are fine

@@ -1,0 +1,46 @@
+"""Known-bad corpus for the kernel-budget rule.
+
+Shapes mirror ``repro/gpu/kernels.py``; values are chosen to violate one
+device limit each.  ``KernelBudget`` is deliberately undefined here --
+the rule matches the declaration shape, it never imports the module.
+"""
+
+SHARED_KIB = 1024
+
+
+def KernelBudget(**kwargs):
+    return kwargs
+
+
+KERNEL_BUDGETS = {
+    "regs_per_thread_over": KernelBudget(
+        registers_per_thread=300,            # > 255 ceiling
+        shared_memory_per_block=16 * 1024,
+        block_size=128,
+    ),
+    "block_not_warp_multiple": KernelBudget(
+        registers_per_thread=32,
+        shared_memory_per_block=16 * 1024,
+        block_size=100,                      # not a multiple of 32
+    ),
+    "block_too_wide": KernelBudget(
+        registers_per_thread=32,
+        shared_memory_per_block=16 * 1024,
+        block_size=2048,                     # > 1024 and > threads/SM
+    ),
+    "register_file_blown": KernelBudget(
+        registers_per_thread=128,
+        shared_memory_per_block=16 * 1024,
+        block_size=1024,                     # 128 * 1024 > 65536 regs/SM
+    ),
+    "shared_memory_over": KernelBudget(
+        registers_per_thread=32,
+        shared_memory_per_block=128 * SHARED_KIB,   # > 100 KiB/SM
+        block_size=128,
+    ),
+    "unanalyzable": KernelBudget(
+        registers_per_thread=UNKNOWN_TUNABLE,       # noqa: F821 -- the point
+        shared_memory_per_block=16 * 1024,
+        block_size=128,
+    ),
+}

@@ -1,0 +1,22 @@
+"""Known-good corpus for the kernel-budget rule."""
+
+BASE_REGISTERS = 16
+REGISTERS_PER_LIMB = 10
+
+
+def KernelBudget(**kwargs):
+    return kwargs
+
+
+KERNEL_BUDGETS = {
+    "mod_mul": KernelBudget(
+        registers_per_thread=4 * (BASE_REGISTERS + REGISTERS_PER_LIMB * 2),
+        shared_memory_per_block=32 * 1024,
+        block_size=256,
+    ),
+    "mod_pow": KernelBudget(
+        registers_per_thread=144,
+        shared_memory_per_block=48 * 1024,
+        block_size=448,                      # 144 * 448 = 64512 <= 65536
+    ),
+}

@@ -1,0 +1,33 @@
+"""Known-bad corpus for the ledger-category rule."""
+
+
+def typo_suffix(ledger, seconds):
+    ledger.charge("he.encrpyt", seconds)     # flagged: typo'd suffix
+
+
+def unknown_family(ledger, seconds):
+    ledger.charge("hardware.dma", seconds)   # flagged: unknown family
+
+
+def bare_suffix(ledger, seconds):
+    ledger.charge("encrypt", seconds)        # flagged: no family dot
+
+
+def closed_family_fstring(ledger, kind, seconds):
+    ledger.charge(f"fault.{kind}", seconds)  # flagged: closed family
+
+def dynamic_name(ledger, category, seconds):
+    ledger.charge(category, seconds)         # flagged: not a forwarder
+
+
+def unknown_constant(ledger, seconds):
+    CAT_HE_SQUARE = "he.square"
+    ledger.charge(CAT_HE_SQUARE, seconds)    # flagged: not in registry
+
+
+def unvalidated_builder(ledger, make_category, seconds):
+    ledger.charge(make_category("x"), seconds)   # flagged: unknown call
+
+
+def tag_function_literal(charge_model_compute, ledger, flops):
+    charge_model_compute(ledger, flops, tag="mode.compute")  # flagged

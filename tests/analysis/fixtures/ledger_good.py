@@ -1,0 +1,44 @@
+"""Known-good corpus for the ledger-category rule."""
+
+from repro.ledger import (
+    CAT_HE_ENCRYPT,
+    CAT_MODEL_COMPUTE,
+    comm_category,
+    fault_category,
+)
+
+
+def registered_literal(ledger, seconds):
+    ledger.charge("he.encrypt", seconds)             # in the registry
+
+
+def open_family_literal(ledger, seconds):
+    ledger.charge("model.sbt.histograms", seconds)   # open family
+
+
+def registry_constant(ledger, seconds):
+    ledger.charge(CAT_HE_ENCRYPT, seconds)           # constant
+
+
+def validated_builders(ledger, kind, tag, seconds):
+    ledger.charge(fault_category(kind), seconds)     # runtime-validated
+    ledger.charge(comm_category(tag), seconds)
+
+
+def open_family_fstring(ledger, tag, seconds):
+    ledger.charge(f"comm.{tag}", seconds)            # open-family prefix
+
+
+def charge(ledger, category, seconds):
+    ledger.charge(category, seconds)                 # forwarder parameter
+
+
+def tag_function_constant(charge_model_compute, ledger, flops):
+    charge_model_compute(ledger, flops, tag=CAT_MODEL_COMPUTE)
+
+
+def _charging(engine, category, ops):
+    class _Charger:
+        def __exit__(self, *exc):
+            engine.ledger.charge(category, ops)      # closure forwarder
+    return _Charger()

@@ -1,0 +1,30 @@
+"""Known-bad corpus for the plaintext-wire rule: direct leaks.
+
+Parsed by the tests, never imported or executed.
+"""
+
+
+def leak_via_send(channel, engine, ciphertext):
+    plain = engine.decrypt_tensor(ciphertext)
+    channel.send(plain)                      # flagged
+
+
+def leak_via_serialize(serialize_tensor, engine, ciphertext):
+    plain = engine.decrypt_tensor(ciphertext)
+    return serialize_tensor(plain)           # flagged
+
+
+def leak_via_wal(wal, engine, ciphertext):
+    decoded = engine.decrypt_tensor(ciphertext).decode()
+    wal._log("commit", 0, result=decoded)    # flagged
+
+
+def leak_via_broadcast(channel, np, engine, ciphertext):
+    plain = engine.decrypt_tensor(ciphertext)
+    reshaped = np.asarray(plain).ravel()
+    channel.broadcast(list(reshaped), ["a"])  # flagged
+
+
+def leak_plain_tensor(channel, PlainTensor, values, packer):
+    plain = PlainTensor.encode(values, packer)
+    channel.send(plain)                      # flagged

@@ -1,0 +1,44 @@
+"""Known-bad corpus for the plaintext-wire rule: dataflow edge cases."""
+
+
+def leak_tuple_unpacking(channel, engine, ciphertext):
+    plain, count = engine.decrypt_tensor(ciphertext), 3
+    channel.send(plain)                      # flagged: left element tainted
+    return count
+
+
+def leak_augmented_assignment(channel, engine, ciphertext):
+    total = 0.0
+    total += engine.decrypt_tensor(ciphertext)
+    channel.send(total)                      # flagged: += propagates
+    return total
+
+
+def leak_ternary(channel, engine, ciphertext, fallback, ready):
+    value = engine.decrypt_tensor(ciphertext) if ready else fallback
+    channel.send(value)                      # flagged: either branch taints
+    return value
+
+
+def leak_comprehension(channel, engine, ciphertexts):
+    plains = [engine.decrypt_tensor(c) for c in ciphertexts]
+    channel.send(plains)                     # flagged: element source
+
+
+def leak_comprehension_iter(channel, engine, ciphertext):
+    rows = engine.decrypt_tensor(ciphertext)
+    scaled = [row * 2 for row in rows]
+    channel.send(scaled)                     # flagged: tainted iterable
+
+
+def leak_through_fstring(channel, engine, ciphertext):
+    plain = engine.decrypt_tensor(ciphertext)
+    channel.send(f"result={plain}")          # flagged: stringified plaintext
+
+
+def leak_loop_carried(channel, engine, ciphertexts):
+    acc = 0.0
+    for item in ciphertexts:
+        channel.send(acc)                    # flagged on the second pass
+        acc = acc + engine.decrypt_tensor(item)
+    return acc

@@ -1,0 +1,42 @@
+"""Known-good corpus for the plaintext-wire rule: clean flows."""
+
+
+def reencrypt_clears_taint(channel, engine, ciphertext):
+    plain = engine.decrypt_tensor(ciphertext)
+    plain = engine.encrypt_tensor(plain)     # sanitizer: taint cleared
+    channel.send(plain)                      # clean
+    return plain
+
+
+def encrypt_inline(channel, engine, values):
+    channel.send(engine.encrypt_tensor(values))   # clean
+    return values
+
+
+def decrypt_without_sink(engine, ciphertext):
+    plain = engine.decrypt_tensor(ciphertext)
+    return plain.decode()                    # returning locally is fine
+
+
+def untainted_send(channel, weights):
+    channel.send(weights)                    # params start clean
+    return weights
+
+
+def pragma_suppressed(channel, engine, ciphertext):
+    plain = engine.decrypt_tensor(ciphertext)
+    channel.send(plain)  # flcheck: allow[plaintext-wire]
+    return plain
+
+
+def tuple_unpacking_precision(channel, engine, ciphertext, meta):
+    plain, header = engine.decrypt_tensor(ciphertext), meta
+    channel.send(header)                     # only 'plain' is tainted
+    return plain
+
+
+def reassignment_clears(channel, engine, ciphertext, zeros):
+    value = engine.decrypt_tensor(ciphertext)
+    value = zeros                            # strong update: untainted now
+    channel.send(value)                      # clean
+    return value

@@ -1,0 +1,45 @@
+"""The deprecated-api rule against its fixture corpus."""
+
+from repro.analysis.deprecation import DeprecatedApiRule
+
+from tests.analysis.conftest import fixture_unit, live_findings
+
+
+def test_bad_corpus_findings():
+    unit = fixture_unit("deprecated_bad.py")
+    findings = live_findings(DeprecatedApiRule(), unit)
+    messages = [d.message for d in findings]
+
+    assert any("import of gmpy2" in m for m in messages)
+    assert any("send_encrypted" in m and "import" in m for m in messages)
+    assert any("encrypt_vector" in m and "re-introduction" in m
+               for m in messages)
+    assert any("decrypt_vector" in m and "re-introduction" in m
+               for m in messages)
+    assert any("gmpy2.powmod" in m for m in messages)
+    # The call site flags both shims used on one line.
+    call_hits = [d for d in findings if "call to removed" in d.message]
+    assert {("encrypt_vector" in d.message or "send_encrypted" in d.message)
+            for d in call_hits} == {True}
+    assert len(call_hits) == 2
+
+
+def test_findings_are_anchored():
+    unit = fixture_unit("deprecated_bad.py")
+    lines = unit.source.splitlines()
+    for diag in live_findings(DeprecatedApiRule(), unit):
+        assert 1 <= diag.line <= len(lines)
+        anchored = lines[diag.line - 1]
+        assert any(token in anchored
+                   for token in ("gmpy2", "encrypt_vector",
+                                 "decrypt_vector", "send_encrypted"))
+
+
+def test_repro_modules_do_not_use_deprecated_apis():
+    # The real crypto entry points must not re-grow the raw-list shims.
+    import repro.crypto.cpu_engine as cpu
+    from pathlib import Path
+
+    from repro.analysis.engine import load_module
+    unit = load_module(Path(cpu.__file__), "repro/crypto/cpu_engine.py")
+    assert live_findings(DeprecatedApiRule(), unit) == []

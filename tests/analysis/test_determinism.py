@@ -1,0 +1,71 @@
+"""The determinism rule against its fixture corpus."""
+
+import ast
+
+from repro.analysis.determinism import DeterminismRule
+from repro.analysis.engine import ModuleUnit
+
+from tests.analysis.conftest import fixture_unit, live_findings, marked_lines
+
+
+def _findings(source, display_path="repro/federation/snippet.py"):
+    unit = ModuleUnit(path=None, display_path=display_path, source=source,
+                      tree=ast.parse(source), pragmas={})
+    return live_findings(DeterminismRule(), unit)
+
+
+def test_every_marked_line_is_flagged():
+    unit = fixture_unit("determinism_bad.py")
+    findings = live_findings(DeterminismRule(), unit)
+    assert {d.line for d in findings} == marked_lines(unit)
+
+
+def test_one_finding_per_marked_line():
+    unit = fixture_unit("determinism_bad.py")
+    findings = live_findings(DeterminismRule(), unit)
+    assert len(findings) == len(marked_lines(unit))
+
+
+def test_good_corpus_is_clean():
+    unit = fixture_unit("determinism_good.py")
+    assert live_findings(DeterminismRule(), unit) == []
+
+
+def test_import_alias_resolution():
+    findings = _findings(
+        "import random as rnd\n"
+        "x = rnd.random()\n")
+    assert [d.line for d in findings] == [2]
+    assert "random.random" in findings[0].message
+
+
+def test_from_import_resolution():
+    findings = _findings(
+        "from random import Random\n"
+        "r = Random()\n")
+    assert [d.line for d in findings] == [2]
+
+
+def test_seeded_from_import_is_clean():
+    assert _findings("from random import Random\n"
+                     "r = Random(42)\n") == []
+
+
+def test_unrelated_attribute_names_are_not_flagged():
+    # A local object with a .random() method is not the random module.
+    assert _findings("def f(rng):\n"
+                     "    return rng.random()\n") == []
+
+
+def test_whitelisted_paths_are_exempt():
+    source = "import random\nx = random.random()\n"
+    for exempt in ("repro/rng.py", "repro/mpint/primes.py",
+                   "repro/testing/simulator.py",
+                   "repro/analysis/engine.py"):
+        assert _findings(source, display_path=exempt) == []
+    assert len(_findings(source, "repro/models/base.py")) == 1
+
+
+def test_clock_call_reported_once():
+    findings = _findings("import time\nnow = time.monotonic()\n")
+    assert len(findings) == 1

@@ -1,0 +1,93 @@
+"""The kernel-budget rule, its static evaluator, and runtime validation."""
+
+import pytest
+
+from repro.analysis.kernel_budget import KernelBudgetRule
+from repro.gpu.device import RTX_3090
+from repro.gpu.kernels import (
+    KERNEL_BUDGETS,
+    GpuKernels,
+    KernelBudget,
+    validate_budgets,
+)
+
+from tests.analysis.conftest import fixture_unit, live_findings
+
+
+def _messages(name):
+    unit = fixture_unit(name)
+    return [d.message for d in live_findings(KernelBudgetRule(), unit)]
+
+
+def test_bad_corpus_flags_each_violation():
+    messages = _messages("kernel_budget_bad.py")
+    assert any("regs_per_thread_over" in m and "ceiling" in m
+               for m in messages)
+    assert any("block_not_warp_multiple" in m and "warp" in m
+               for m in messages)
+    assert any("block_too_wide" in m for m in messages)
+    assert any("register_file_blown" in m and "65536" in m
+               for m in messages)
+    assert any("shared_memory_over" in m for m in messages)
+    assert any("unanalyzable" in m and "UNKNOWN_TUNABLE" in m
+               for m in messages)
+
+
+def test_bad_corpus_anchors_are_inside_the_dict():
+    unit = fixture_unit("kernel_budget_bad.py")
+    findings = live_findings(KernelBudgetRule(), unit)
+    start = unit.source.index("KERNEL_BUDGETS")
+    first_dict_line = unit.source[:start].count("\n") + 1
+    assert findings and all(d.line >= first_dict_line for d in findings)
+
+
+def test_good_corpus_is_clean():
+    assert _messages("kernel_budget_good.py") == []
+
+
+def test_module_without_budgets_is_clean():
+    assert _messages("determinism_good.py") == []
+
+
+def test_shipped_budgets_pass_both_gates():
+    # Statically: the real kernels.py must lint clean.
+    import repro.gpu.kernels as kernels_module
+    from pathlib import Path
+
+    from repro.analysis.engine import load_module
+    unit = load_module(Path(kernels_module.__file__),
+                       "repro/gpu/kernels.py")
+    assert live_findings(KernelBudgetRule(), unit) == []
+    # And at runtime: constructing kernels revalidates.
+    validate_budgets(RTX_3090)
+    GpuKernels()
+
+
+def test_runtime_validation_rejects_over_budget():
+    bad = KernelBudget(registers_per_thread=300,
+                       shared_memory_per_block=1 << 20,
+                       block_size=100)
+    problems = bad.violations(RTX_3090)
+    assert len(problems) == 3
+    with pytest.raises(ValueError, match="exceed device limits"):
+        original = dict(KERNEL_BUDGETS)
+        KERNEL_BUDGETS["bogus"] = bad
+        try:
+            validate_budgets(RTX_3090)
+        finally:
+            KERNEL_BUDGETS.clear()
+            KERNEL_BUDGETS.update(original)
+
+
+def test_declared_budgets_match_resource_model():
+    # The declared register envelope covers the unmanaged worst case the
+    # resource manager can produce for the 2-limbs-per-thread split.
+    from repro.gpu.resource_manager import (
+        BASE_REGISTERS_PER_THREAD,
+        REGISTERS_PER_LIMB,
+        UNMANAGED_BRANCH_REGISTER_FACTOR,
+    )
+    worst = UNMANAGED_BRANCH_REGISTER_FACTOR * (
+        BASE_REGISTERS_PER_THREAD + REGISTERS_PER_LIMB * 2)
+    for budget in KERNEL_BUDGETS.values():
+        assert budget.registers_per_thread >= worst

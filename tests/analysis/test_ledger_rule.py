@@ -1,0 +1,69 @@
+"""The ledger-category rule against its fixture corpus and the registry."""
+
+import pytest
+
+from repro.analysis.ledger_rule import LedgerCategoryRule
+from repro.ledger import (
+    CostLedger,
+    comm_category,
+    fault_category,
+    is_known_category,
+    validate_category,
+)
+
+from tests.analysis.conftest import fixture_unit, live_findings, marked_lines
+
+
+def test_every_marked_line_is_flagged():
+    unit = fixture_unit("ledger_bad.py")
+    findings = live_findings(LedgerCategoryRule(), unit)
+    assert {d.line for d in findings} == marked_lines(unit)
+
+
+def test_good_corpus_is_clean():
+    unit = fixture_unit("ledger_good.py")
+    assert live_findings(LedgerCategoryRule(), unit) == []
+
+
+def test_typo_message_names_the_category():
+    unit = fixture_unit("ledger_bad.py")
+    findings = live_findings(LedgerCategoryRule(), unit)
+    typo = [d for d in findings if "he.encrpyt" in d.message]
+    assert len(typo) == 1
+    assert typo[0].symbol == "typo_suffix"
+
+
+class TestRegistry:
+    def test_closed_family_suffixes(self):
+        assert is_known_category("he.encrypt")
+        assert is_known_category("fault.giveup")
+        assert not is_known_category("he.square")
+        assert not is_known_category("he")
+        assert not is_known_category("")
+
+    def test_open_families_accept_any_suffix(self):
+        assert is_known_category("comm.upload.gradients")
+        assert is_known_category("model.sbt.histograms")
+        assert not is_known_category("comm.")
+
+    def test_validate_category_raises(self):
+        assert validate_category("gpu.launch") == "gpu.launch"
+        with pytest.raises(ValueError, match="unregistered"):
+            validate_category("gpu.warp")
+
+    def test_builders(self):
+        assert fault_category("crash") == "fault.crash"
+        assert comm_category("upload.x") == "comm.upload.x"
+        with pytest.raises(ValueError):
+            fault_category("meteor_strike")
+
+    def test_strict_ledger_rejects_unknown_categories(self):
+        ledger = CostLedger(strict=True)
+        ledger.charge("he.encrypt", 1.0)
+        with pytest.raises(ValueError, match="unregistered"):
+            ledger.charge("he.encrpyt", 1.0)
+
+    def test_default_ledger_stays_permissive(self):
+        ledger = CostLedger()
+        ledger.charge("adhoc.notebook", 1.0)
+        assert ledger.seconds("adhoc") == 1.0

@@ -1,0 +1,133 @@
+"""The plaintext-wire taint rule against its fixture corpus."""
+
+import ast
+
+from repro.analysis.engine import ModuleUnit
+from repro.analysis.taint import PlaintextWireRule
+
+from tests.analysis.conftest import fixture_unit, live_findings, marked_lines
+
+
+def _unit_from(source):
+    return ModuleUnit(path=None, display_path="<snippet>", source=source,
+                      tree=ast.parse(source), pragmas={})
+
+
+def _lines(source):
+    rule = PlaintextWireRule()
+    return sorted(d.line for d in rule.check(_unit_from(source)))
+
+
+class TestBasicLeaks:
+    def test_every_marked_line_is_flagged(self):
+        unit = fixture_unit("taint_bad_basic.py")
+        findings = live_findings(PlaintextWireRule(), unit)
+        assert {d.line for d in findings} == marked_lines(unit)
+
+    def test_diagnostics_carry_anchor_and_symbol(self):
+        unit = fixture_unit("taint_bad_basic.py")
+        findings = live_findings(PlaintextWireRule(), unit)
+        by_symbol = {d.symbol: d for d in findings}
+        assert "leak_via_send" in by_symbol
+        diag = by_symbol["leak_via_send"]
+        assert diag.rule == "plaintext-wire"
+        assert diag.path == "fixtures/taint_bad_basic.py"
+        source_line = unit.source.splitlines()[diag.line - 1]
+        assert "channel.send(plain)" in source_line
+        assert "'plain'" in diag.message
+        assert "encrypt_tensor" in diag.message
+
+    def test_sink_variety(self):
+        unit = fixture_unit("taint_bad_basic.py")
+        messages = " ".join(
+            d.message for d in live_findings(PlaintextWireRule(), unit))
+        for sink in ("send()", "serialize_tensor()", "_log()",
+                     "broadcast()"):
+            assert sink in messages
+
+
+class TestEdgeCases:
+    def test_every_marked_edge_case_is_flagged(self):
+        unit = fixture_unit("taint_bad_edges.py")
+        findings = live_findings(PlaintextWireRule(), unit)
+        assert {d.line for d in findings} == marked_lines(unit)
+
+    def test_tuple_unpacking_taints_only_the_bound_element(self):
+        unit = fixture_unit("taint_good.py")
+        findings = live_findings(PlaintextWireRule(), unit)
+        assert findings == []
+
+    def test_dict_values_propagate(self):
+        lines = _lines(
+            "def f(channel, engine, c):\n"
+            "    payload = {'result': engine.decrypt_tensor(c)}\n"
+            "    channel.send(payload)\n")
+        assert lines == [3]
+
+    def test_subscript_propagates(self):
+        lines = _lines(
+            "def f(channel, engine, c):\n"
+            "    plain = engine.decrypt_tensor(c)\n"
+            "    channel.send(plain[0])\n")
+        assert lines == [3]
+
+    def test_starred_argument_propagates(self):
+        lines = _lines(
+            "def f(channel, engine, c):\n"
+            "    parts = [engine.decrypt_tensor(c)]\n"
+            "    channel.send(*parts)\n")
+        assert lines == [3]
+
+    def test_walrus_binding(self):
+        lines = _lines(
+            "def f(channel, engine, c):\n"
+            "    if (plain := engine.decrypt_tensor(c)) is not None:\n"
+            "        channel.send(plain)\n")
+        assert lines == [3]
+
+    def test_with_binding(self):
+        lines = _lines(
+            "def f(channel, engine, c):\n"
+            "    with engine.decrypt_tensor(c) as plain:\n"
+            "        channel.send(plain)\n")
+        assert lines == [3]
+
+
+class TestSanitizers:
+    def test_reencryption_clears_taint(self):
+        lines = _lines(
+            "def f(channel, engine, c):\n"
+            "    plain = engine.decrypt_tensor(c)\n"
+            "    safe = engine.encrypt_tensor(plain)\n"
+            "    channel.send(safe)\n")
+        assert lines == []
+
+    def test_encrypt_wrapping_a_tainted_argument_is_clean(self):
+        lines = _lines(
+            "def f(channel, engine, c):\n"
+            "    channel.send(engine.encrypt_tensor("
+            "engine.decrypt_tensor(c)))\n")
+        assert lines == []
+
+    def test_good_corpus_is_clean(self):
+        unit = fixture_unit("taint_good.py")
+        assert live_findings(PlaintextWireRule(), unit) == []
+
+
+class TestPragma:
+    def test_pragma_suppresses_but_rule_still_fires(self):
+        unit = fixture_unit("taint_good.py")
+        raw = list(PlaintextWireRule().check(unit))
+        suppressed = [d for d in raw if unit.allows(d.rule, d.line)]
+        assert len(suppressed) == 1
+        assert suppressed[0].symbol == "pragma_suppressed"
+
+    def test_pragma_is_rule_scoped(self):
+        source = (
+            "def f(channel, engine, c):\n"
+            "    plain = engine.decrypt_tensor(c)\n"
+            "    channel.send(plain)  # flcheck: allow[determinism]\n")
+        unit = _unit_from(source)
+        unit.pragmas = {3: {"determinism"}}
+        findings = live_findings(PlaintextWireRule(), unit)
+        assert [d.line for d in findings] == [3]
