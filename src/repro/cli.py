@@ -20,6 +20,10 @@ Commands:
 - ``failover [--sweep]``         -- durable-coordinator scenarios: one
   scheduled kill by default, or the kill-at-every-WAL-record-boundary
   crash-consistency sweep; exits non-zero on any divergence.
+- ``shard [--sweep]``            -- two-level sharded aggregation: one
+  run through the sharded service by default, or the per-node
+  crash-consistency sweep (leaf, root, and a root failover racing a
+  leaf failover); exits non-zero on any divergence.
 - ``lint [PATHS ...]``           -- run the flcheck static invariant
   rules (plaintext-wire, determinism, ledger-category, deprecated-api,
   kernel-budget) over src/repro; exits non-zero on live findings.
@@ -278,6 +282,58 @@ def _cmd_failover(args) -> int:
     return 0
 
 
+def _cmd_shard(args) -> int:
+    import json as _json
+
+    from repro.federation.faults import FaultPlan
+    from repro.testing.simulator import (
+        ShardedFederationSimulator,
+        SimulationFailure,
+        SimulationSpec,
+        shard_crash_consistency_sweep,
+    )
+
+    spec = SimulationSpec(system=args.system,
+                          num_clients=args.clients,
+                          rounds=args.rounds,
+                          key_bits=args.key_bits,
+                          physical_key_bits=args.physical_key_bits,
+                          seed=args.seed,
+                          min_quorum=args.quorum,
+                          sharded=True,
+                          num_shards=args.shards,
+                          queue_capacity=args.queue_capacity,
+                          cohort_size=args.cohort)
+    if args.sweep:
+        scenarios = (("shard-0", False), ("root", False),
+                     ("shard-0", True))
+        for node, race in scenarios:
+            try:
+                report = shard_crash_consistency_sweep(
+                    spec, node=node, race_root_failover=race)
+            except SimulationFailure as failure:
+                print(failure)
+                return 1
+            for line in report.summary_lines():
+                print(line)
+        return 0
+
+    if args.shard_crash is not None:
+        plan = (spec.fault_plan if spec.fault_plan is not None
+                else FaultPlan(seed=args.seed))
+        plan = plan.shard_crash("shard-0", 0,
+                                after_record=args.shard_crash)
+        spec = SimulationSpec.from_dict(
+            {**spec.to_dict(), "fault_plan": plan.to_dict()})
+    try:
+        result = ShardedFederationSimulator(spec).run()
+    except SimulationFailure as failure:
+        print(failure)
+        return 1
+    print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -421,6 +477,32 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--quorum", type=int, default=None)
     failover.add_argument("--seed", type=int, default=7)
     failover.set_defaults(handler=_cmd_failover)
+
+    shard = commands.add_parser(
+        "shard",
+        help="two-level sharded aggregation scenarios")
+    shard.add_argument("--sweep", action="store_true",
+                       help="kill each tree node after every WAL record "
+                            "(leaf, root, and a root/leaf failover "
+                            "race) and verify bit-identical recovery")
+    shard.add_argument("--shard-crash", type=int, default=None,
+                       metavar="RECORD",
+                       help="kill shard-0 after this WAL record in the "
+                            "single-scenario mode")
+    shard.add_argument("--system", default="FLBooster")
+    shard.add_argument("--clients", type=int, default=6)
+    shard.add_argument("--shards", type=int, default=None,
+                       help="fixed shard count "
+                            "(default ceil(sqrt(cohort)))")
+    shard.add_argument("--rounds", type=int, default=2)
+    shard.add_argument("--queue-capacity", type=int, default=64)
+    shard.add_argument("--cohort", type=int, default=None,
+                       help="sample this many clients per round")
+    shard.add_argument("--key-bits", type=int, default=256)
+    shard.add_argument("--physical-key-bits", type=int, default=128)
+    shard.add_argument("--quorum", type=int, default=None)
+    shard.add_argument("--seed", type=int, default=7)
+    shard.set_defaults(handler=_cmd_shard)
 
     lint = commands.add_parser(
         "lint", help="run the flcheck static invariant rules")

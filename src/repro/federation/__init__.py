@@ -20,6 +20,12 @@ ledger so the benchmark harness can read epoch times and component splits.
 - :mod:`repro.federation.coordinator` -- the durable round state
   machine, exactly-once upload dedupe, lease-based hot-standby
   failover.
+- :mod:`repro.federation.eventloop` -- the deterministic event loop:
+  virtual clock, bounded per-shard ingress queues, admission control,
+  deadline shedding, per-shard circuit breakers.
+- :mod:`repro.federation.shard` -- two-level sharded aggregation (leaf
+  shards combine ciphertexts, the root decrypts in capacity-bounded
+  segments) with per-node WAL + standby failover.
 """
 
 from repro.federation.channel import (
@@ -48,6 +54,26 @@ from repro.federation.coordinator import (
     StaleIncarnationError,
     StandbyCoordinator,
     recover_coordinator,
+)
+from repro.federation.eventloop import (
+    AdmissionRejected,
+    AsyncChannel,
+    CircuitBreaker,
+    DrainOutcome,
+    ShardQueueStats,
+    VirtualClock,
+)
+from repro.federation.shard import (
+    FailoverRecord,
+    HierarchicalStandby,
+    RootCoordinator,
+    ShardAggregator,
+    ShardedAggregationService,
+    ShardRoundReport,
+    cohort_sample,
+    default_num_shards,
+    plan_shards,
+    segment_partials,
 )
 from repro.federation.runtime import FederationRuntime, SystemConfig
 from repro.federation.wal import (
@@ -96,6 +122,22 @@ __all__ = [
     "StaleIncarnationError",
     "StandbyCoordinator",
     "recover_coordinator",
+    "AdmissionRejected",
+    "AsyncChannel",
+    "CircuitBreaker",
+    "DrainOutcome",
+    "ShardQueueStats",
+    "VirtualClock",
+    "FailoverRecord",
+    "HierarchicalStandby",
+    "RootCoordinator",
+    "ShardAggregator",
+    "ShardedAggregationService",
+    "ShardRoundReport",
+    "cohort_sample",
+    "default_num_shards",
+    "plan_shards",
+    "segment_partials",
     "WalError",
     "WalRecord",
     "WriteAheadLog",

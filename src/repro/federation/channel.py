@@ -321,7 +321,17 @@ class Channel:
         return message.payload
 
     def broadcast(self, message: Message, receivers: List[str]) -> Any:
-        """Send the same payload to several receivers (charged per copy)."""
+        """Send the same payload to several receivers (charged per copy).
+
+        Every receiver is attempted even when an earlier copy fails:
+        each per-receiver :meth:`send` charges its own attempts (failed
+        ones included) before raising, and the failures are re-raised
+        *after* the loop as one aggregate :class:`ChannelError` carrying
+        the total attempt count and wasted bytes.  Aborting on the first
+        failure would leave the remaining receivers both unserved and
+        uncharged -- invisible lost work, which the ledger forbids.
+        """
+        failures: List[ChannelError] = []
         for receiver in receivers:
             copy = Message(
                 sender=message.sender,
@@ -334,5 +344,15 @@ class Channel:
                 packed=message.packed,
                 checksum=message.checksum,
             )
-            self.send(copy)
+            try:
+                self.send(copy)
+            except ChannelError as error:
+                failures.append(error)
+        if failures:
+            raise ChannelError(
+                f"broadcast {message.tag!r} failed for "
+                f"{len(failures)}/{len(receivers)} receivers",
+                tag=message.tag,
+                attempts=sum(f.attempts for f in failures),
+                wasted_bytes=sum(f.wasted_bytes for f in failures))
         return message.payload

@@ -51,6 +51,7 @@ from repro.federation.serialization import (
 )
 from repro.federation.wal import (
     DECRYPT_COMMITTED,
+    PARTIAL_COMMITTED,
     QUORUM_REACHED,
     ROUND_CLOSE,
     ROUND_OPEN,
@@ -204,6 +205,7 @@ class RoundState:
     quorum_logged: bool = False
     summands: int = 0
     result: Optional[List[float]] = None
+    partial_frame: Optional[str] = None
     closed: bool = False
     aborted: Optional[str] = None
 
@@ -220,6 +222,7 @@ class RoundState:
             "quorum_logged": self.quorum_logged,
             "summands": self.summands,
             "result": self.result,
+            "partial_frame": self.partial_frame,
             "closed": self.closed,
             "aborted": self.aborted,
         }
@@ -259,6 +262,7 @@ class RoundStateMachine:
             UPLOAD_ACCEPTED: self._apply_upload,
             QUORUM_REACHED: self._apply_quorum,
             DECRYPT_COMMITTED: self._apply_commit,
+            PARTIAL_COMMITTED: self._apply_partial,
             ROUND_CLOSE: self._apply_close,
         }[record.kind]
         changed = handler(record)
@@ -328,6 +332,20 @@ class RoundStateMachine:
         if state.result is not None:
             return False
         state.result = list(record.payload["result"])
+        return True
+
+    def _apply_partial(self, record: WalRecord) -> bool:
+        state = self._require_round(record)
+        if not state.quorum_logged:
+            raise InvalidTransitionError(
+                "partial_committed before quorum_reached")
+        if state.result is not None:
+            raise InvalidTransitionError(
+                "partial_committed after decrypt_committed: a round "
+                "commits one or the other, never both")
+        if state.partial_frame is not None:
+            return False
+        state.partial_frame = record.payload["frame"]
         return True
 
     def _apply_close(self, record: WalRecord) -> bool:

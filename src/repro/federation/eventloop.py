@@ -1,0 +1,424 @@
+"""Event-loop channel: bounded ingress queues, admission control,
+deadline shedding, and per-shard circuit breaking.
+
+The in-process mailbox loop the federation grew up with delivers every
+upload synchronously and unconditionally -- fine for the paper's four
+parties, fatal for the ROADMAP's millions: one slow or sick shard stalls
+the whole round and queue memory grows without bound.  This module
+replaces that loop for the sharded aggregation tier
+(:mod:`repro.federation.shard`) with an explicitly *overload-safe*
+ingress path, driven entirely by the deterministic
+:class:`VirtualClock` (moved here from the simulator so the federation
+layer owns its own time source; the simulator re-exports it):
+
+- :class:`VirtualClock` -- monotonic modelled time, the only clock the
+  event loop knows.
+- :class:`AdmissionRejected` -- the *typed, retryable* rejection an
+  overloaded or fenced shard returns instead of accepting an upload it
+  cannot serve.  Every rejection is charged to the ledger
+  (``comm.admission.reject``), so refused work is never invisible.
+- :class:`CircuitBreaker` -- per-shard failure fencing: after
+  ``failure_threshold`` consecutive delivery failures the breaker opens
+  for ``cooldown_seconds`` of modelled time (charged once to
+  ``fault.circuit_open``), the shard is excluded from cohorts instead of
+  poisoning the root, and a half-open probe readmits it after the
+  cooldown.
+- :class:`AsyncChannel` -- bounded per-shard ingress queues in front of
+  the byte-counting :class:`~repro.federation.channel.Channel`.
+  ``submit`` applies admission control (accept / reject-full /
+  reject-fenced); ``drain`` delivers the backlog in FIFO order, shedding
+  entries whose modelled delivery time would blow the round deadline
+  (charged to ``fault.shed``) so the round degrades into quorum + Eq. 6
+  partial aggregation instead of stalling.
+
+Accounting invariant (asserted by the overload tests): every submitted
+upload is exactly one of *accepted-and-delivered*, *shed* (ledger
+``fault.shed``), or *rejected* (ledger ``comm.admission.reject``) --
+no silent loss, and queue memory never exceeds the configured bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.federation.channel import Channel, ChannelError, Message
+from repro.ledger import (
+    CAT_COMM_ADMISSION_ACCEPT,
+    CAT_COMM_ADMISSION_REJECT,
+    CAT_FAULT_CIRCUIT_OPEN,
+    CAT_FAULT_SHED,
+    CostLedger,
+)
+
+#: Wire size of one admission-control message (shard id, round, verdict,
+#: retry hint) -- control plane, not ciphertext.
+ADMISSION_BYTES = 48
+
+#: Modelled per-message dequeue/dispatch overhead of the event loop.
+DISPATCH_SECONDS = 1.0e-6
+
+#: Admission verdict reasons carried by :class:`AdmissionRejected`.
+REJECT_QUEUE_FULL = "queue_full"
+REJECT_CIRCUIT_OPEN = "circuit_open"
+REJECT_OVERLOAD = "overload"
+
+_REJECT_REASONS = (REJECT_QUEUE_FULL, REJECT_CIRCUIT_OPEN,
+                   REJECT_OVERLOAD)
+
+
+class VirtualClock:
+    """Monotonic modelled time; the only clock the event loop knows."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rejects negative steps."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by {seconds}")
+        self._now += seconds
+        return self._now
+
+
+class AdmissionRejected(RuntimeError):
+    """A shard refused an upload; the sender may retry after a delay.
+
+    This is *backpressure*, not failure: the payload was never accepted,
+    so nothing is lost -- the client retries after
+    :attr:`retry_after_seconds` (or gives up and the round proceeds
+    without it under quorum semantics).  The rejection itself is already
+    charged to ``comm.admission.reject`` when this is raised.
+
+    Attributes:
+        shard: Name of the rejecting shard.
+        reason: ``queue_full`` (ingress bound hit), ``circuit_open``
+            (shard fenced by its breaker), or ``overload`` (an injected
+            ``queue_overload`` fault).
+        retry_after_seconds: Modelled backoff hint for the sender.
+    """
+
+    def __init__(self, shard: str, reason: str,
+                 retry_after_seconds: float = 0.0):
+        if reason not in _REJECT_REASONS:
+            raise ValueError(f"unknown rejection reason {reason!r}; "
+                             f"choose from {_REJECT_REASONS}")
+        self.shard = shard
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(
+            f"shard {shard!r} rejected upload ({reason}); retry after "
+            f"{retry_after_seconds:.3f}s")
+
+    @property
+    def retryable(self) -> bool:
+        """Whether retrying can ever succeed (always, by design)."""
+        return True
+
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-shard failure fencing with a modelled-time cooldown.
+
+    Closed -> (``failure_threshold`` consecutive failures) -> open for
+    ``cooldown_seconds`` -> half-open (one probe admitted) -> closed on
+    success, straight back to open on failure.  A sick shard is fenced
+    out of cohorts while open, so its failures cannot poison the root
+    reduction round after round.
+
+    Args:
+        clock: The event loop's virtual clock.
+        failure_threshold: Consecutive failures that open the breaker.
+        cooldown_seconds: Modelled time the breaker stays open.
+        charge_open: Called once per open transition -- the
+            :class:`AsyncChannel` charges ``fault.circuit_open`` through
+            it against its *current* ledger (epoch rollover swaps
+            ledgers, so the breaker must not pin one).
+    """
+
+    def __init__(self, clock: VirtualClock, failure_threshold: int = 3,
+                 cooldown_seconds: float = 60.0,
+                 charge_open: Optional[Callable[[], None]] = None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_seconds <= 0:
+            raise ValueError("cooldown_seconds must be positive")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.charge_open = charge_open
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.open_count = 0
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return BREAKER_CLOSED
+        if self.clock.now >= self.opened_at + self.cooldown_seconds:
+            return BREAKER_HALF_OPEN
+        return BREAKER_OPEN
+
+    def allow(self) -> bool:
+        """Whether the shard may take traffic right now."""
+        return self.state != BREAKER_OPEN
+
+    def record_failure(self) -> bool:
+        """Count one delivery failure; returns True when it opens.
+
+        A failure during half-open re-opens immediately (the probe
+        failed), restarting the cooldown.
+        """
+        self.consecutive_failures += 1
+        was_open = self.opened_at is not None
+        half_open_probe_failed = self.state == BREAKER_HALF_OPEN
+        if (self.consecutive_failures >= self.failure_threshold
+                and not was_open) or half_open_probe_failed:
+            self.opened_at = self.clock.now
+            self.open_count += 1
+            if self.charge_open is not None:
+                self.charge_open()
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A delivery succeeded; close the breaker and reset the count."""
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+
+@dataclass
+class _QueueEntry:
+    """One upload waiting in a shard's ingress queue."""
+
+    message: Message
+    sender: str
+    submitted_at: float
+    arrival_delay: float = 0.0
+
+    @property
+    def ready_at(self) -> float:
+        """Earliest modelled time the entry can be dispatched."""
+        return self.submitted_at + self.arrival_delay
+
+
+@dataclass
+class ShardQueueStats:
+    """Admission/backpressure counters for one shard's ingress queue."""
+
+    accepted: int = 0
+    rejected_full: int = 0
+    rejected_fenced: int = 0
+    rejected_overload: int = 0
+    delivered: int = 0
+    shed: int = 0
+    failed: int = 0
+    peak_depth: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return (self.rejected_full + self.rejected_fenced
+                + self.rejected_overload)
+
+
+@dataclass
+class DrainOutcome:
+    """What one :meth:`AsyncChannel.drain` pass did.
+
+    Attributes:
+        delivered: ``(sender, payload)`` pairs, in dispatch order.
+        shed: ``(sender, reason)`` pairs dropped by the deadline.
+        failed: ``(sender, error)`` pairs whose transfer exhausted its
+            retry budget (already charged by the channel).
+    """
+
+    delivered: List[Tuple[str, Any]] = field(default_factory=list)
+    shed: List[Tuple[str, str]] = field(default_factory=list)
+    failed: List[Tuple[str, ChannelError]] = field(default_factory=list)
+
+
+class AsyncChannel:
+    """Bounded, admission-controlled ingress in front of a channel.
+
+    Composition, not inheritance: the wrapped
+    :class:`~repro.federation.channel.Channel` keeps doing all transfer
+    charging (``comm.*``, retries, corruption); this class adds the
+    event-loop concerns -- per-shard bounded queues, admission verdicts,
+    deadline shedding -- and charges only the control plane
+    (``comm.admission.*``) and the shed path (``fault.shed``).
+
+    Args:
+        channel: The byte-counting transfer channel.
+        clock: The virtual clock driving deadlines and backoff hints.
+        queue_capacity: Ingress bound per shard; the memory guarantee.
+        drain_seconds_per_message: Modelled dispatch cost per dequeue.
+        overloaded: Optional predicate ``(shard) -> bool`` consulted at
+            admission -- the hook the ``queue_overload`` fault kind uses
+            to force rejections deterministically.
+    """
+
+    def __init__(self, channel: Channel, clock: VirtualClock,
+                 queue_capacity: int = 64,
+                 drain_seconds_per_message: float = DISPATCH_SECONDS,
+                 overloaded: Optional[Callable[[str], bool]] = None):
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if drain_seconds_per_message < 0:
+            raise ValueError(
+                "drain_seconds_per_message must be non-negative")
+        self.channel = channel
+        self.clock = clock
+        self.queue_capacity = queue_capacity
+        self.drain_seconds_per_message = drain_seconds_per_message
+        self.overloaded = overloaded
+        self._queues: Dict[str, Deque[_QueueEntry]] = {}
+        self.stats: Dict[str, ShardQueueStats] = {}
+        self.breakers: Dict[str, CircuitBreaker] = {}
+
+    @property
+    def ledger(self) -> CostLedger:
+        return self.channel.ledger
+
+    # ------------------------------------------------------------------
+    # Shard registry.
+    # ------------------------------------------------------------------
+
+    def register_shard(self, shard: str,
+                       failure_threshold: int = 3,
+                       cooldown_seconds: float = 60.0) -> CircuitBreaker:
+        """Create (or return) the queue and breaker for one shard."""
+        if shard not in self._queues:
+            self._queues[shard] = deque()
+            self.stats[shard] = ShardQueueStats()
+            self.breakers[shard] = CircuitBreaker(
+                self.clock, failure_threshold=failure_threshold,
+                cooldown_seconds=cooldown_seconds,
+                charge_open=self._charge_circuit_open)
+        return self.breakers[shard]
+
+    def _charge_circuit_open(self) -> None:
+        self.ledger.charge(CAT_FAULT_CIRCUIT_OPEN, 0.0, count=1)
+
+    def queue_depth(self, shard: str) -> int:
+        """Entries currently waiting in one shard's queue."""
+        return len(self._queues.get(shard, ()))
+
+    # ------------------------------------------------------------------
+    # Admission.
+    # ------------------------------------------------------------------
+
+    def _admission_seconds(self) -> float:
+        return self.channel.profile.network_seconds(ADMISSION_BYTES,
+                                                    messages=1)
+
+    def _charge_admission_accept(self) -> None:
+        self.ledger.charge(CAT_COMM_ADMISSION_ACCEPT,
+                           self._admission_seconds(), count=1,
+                           payload_bytes=ADMISSION_BYTES)
+
+    def _charge_admission_reject(self) -> None:
+        self.ledger.charge(CAT_COMM_ADMISSION_REJECT,
+                           self._admission_seconds(), count=1,
+                           payload_bytes=ADMISSION_BYTES)
+
+    def _reject(self, shard: str, reason: str,
+                retry_after: float) -> AdmissionRejected:
+        self._charge_admission_reject()
+        stats = self.stats[shard]
+        if reason == REJECT_QUEUE_FULL:
+            stats.rejected_full += 1
+        elif reason == REJECT_CIRCUIT_OPEN:
+            stats.rejected_fenced += 1
+        else:
+            stats.rejected_overload += 1
+        return AdmissionRejected(shard, reason,
+                                 retry_after_seconds=retry_after)
+
+    def submit(self, shard: str, message: Message,
+               arrival_delay: float = 0.0) -> None:
+        """Admit one upload into a shard's ingress queue, or raise.
+
+        Raises:
+            AdmissionRejected: The shard is fenced (breaker open), its
+                queue is at capacity, or an injected overload is in
+                force.  The rejection is charged before raising.
+        """
+        self.register_shard(shard)
+        if not self.breakers[shard].allow():
+            breaker = self.breakers[shard]
+            remaining = (breaker.opened_at + breaker.cooldown_seconds
+                         - self.clock.now)
+            raise self._reject(shard, REJECT_CIRCUIT_OPEN,
+                               retry_after=max(remaining, 0.0))
+        if self.overloaded is not None and self.overloaded(shard):
+            raise self._reject(shard, REJECT_OVERLOAD,
+                               retry_after=self.drain_seconds_per_message
+                               * self.queue_capacity)
+        queue = self._queues[shard]
+        if len(queue) >= self.queue_capacity:
+            raise self._reject(
+                shard, REJECT_QUEUE_FULL,
+                retry_after=self.drain_seconds_per_message * len(queue))
+        self._charge_admission_accept()
+        queue.append(_QueueEntry(message=message, sender=message.sender,
+                                 submitted_at=self.clock.now,
+                                 arrival_delay=arrival_delay))
+        stats = self.stats[shard]
+        stats.accepted += 1
+        stats.peak_depth = max(stats.peak_depth, len(queue))
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+
+    def drain(self, shard: str,
+              deadline: Optional[float] = None) -> DrainOutcome:
+        """Deliver one shard's backlog in FIFO order.
+
+        Each dequeue advances the virtual clock by the dispatch cost.
+        An entry whose ``ready_at`` (or the current modelled time) lies
+        past ``deadline`` is *shed*: charged to ``fault.shed`` with its
+        wire bytes and reported, never silently dropped -- the round
+        degrades into quorum + Eq. 6 partial aggregation.  Transfer
+        failures (exhausted retries) are returned rather than raised so
+        one sick sender cannot abort the whole drain; the caller feeds
+        them to the shard's circuit breaker.
+        """
+        self.register_shard(shard)
+        queue = self._queues[shard]
+        stats = self.stats[shard]
+        outcome = DrainOutcome()
+        while queue:
+            entry = queue.popleft()
+            self.clock.advance(self.drain_seconds_per_message)
+            if deadline is not None and \
+                    max(entry.ready_at, self.clock.now) > deadline:
+                wire = (entry.message.ciphertext_count
+                        * self.channel.profile.wire_bytes(
+                            entry.message.ciphertext_bytes,
+                            packed=entry.message.packed)
+                        + entry.message.plaintext_bytes)
+                self.ledger.charge(CAT_FAULT_SHED, 0.0, count=1,
+                                   payload_bytes=wire)
+                stats.shed += 1
+                outcome.shed.append((entry.sender, "deadline"))
+                continue
+            try:
+                payload = self.channel.send(entry.message)
+            except ChannelError as error:
+                stats.failed += 1
+                outcome.failed.append((entry.sender, error))
+                continue
+            stats.delivered += 1
+            outcome.delivered.append((entry.sender, payload))
+        return outcome

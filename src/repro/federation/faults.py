@@ -33,7 +33,12 @@ component, and summarized by
 - ``fault.coordinator_crash`` -- coordinator killed and recovered from
   its write-ahead log (see :mod:`repro.federation.coordinator`);
 - ``fault.failover``   -- standby takeover of a dead coordinator's
-  in-flight round.
+  in-flight round;
+- ``fault.shard_crash`` -- a leaf shard coordinator killed at a WAL
+  record boundary and failed over to its shard standby (see
+  :mod:`repro.federation.shard`);
+- ``fault.queue_overload`` -- a shard's admission control forced into
+  rejecting every upload for a round (backpressure drill).
 
 Determinism: every stochastic decision draws from one ``random.Random``
 seeded by ``plan.seed + incarnation``.  The *incarnation* increments on
@@ -64,9 +69,18 @@ STRAGGLER = "straggler"
 #: standby via the lease protocol.
 COORDINATOR_CRASH = "coordinator_crash"
 FAILOVER = "failover"
+#: Sharded-service kinds (see :mod:`repro.federation.shard`):
+#: ``shard_crash`` kills one *leaf* shard coordinator after it appends
+#: WAL record ``after_record`` to its own log (the shard's standby takes
+#: over); ``queue_overload`` forces a shard's admission control to
+#: reject every upload for one round, exercising the backpressure path.
+SHARD_CRASH = "shard_crash"
+QUEUE_OVERLOAD = "queue_overload"
 
-_EVENT_KINDS = (CRASH, DROPOUT, STRAGGLER, COORDINATOR_CRASH, FAILOVER)
+_EVENT_KINDS = (CRASH, DROPOUT, STRAGGLER, COORDINATOR_CRASH, FAILOVER,
+                SHARD_CRASH, QUEUE_OVERLOAD)
 COORDINATOR_KINDS = (COORDINATOR_CRASH, FAILOVER)
+SHARD_KINDS = (SHARD_CRASH, QUEUE_OVERLOAD)
 
 
 class QuorumError(RuntimeError):
@@ -129,7 +143,7 @@ class FaultEvent:
                 raise ValueError("dropout needs rejoin_round > round_index")
         if self.kind == STRAGGLER and self.delay_seconds <= 0:
             raise ValueError("straggler needs a positive delay")
-        if self.kind in COORDINATOR_KINDS:
+        if self.kind in COORDINATOR_KINDS or self.kind == SHARD_CRASH:
             if self.after_record is None or self.after_record < 0:
                 raise ValueError(
                     f"{self.kind} needs a non-negative after_record "
@@ -204,6 +218,21 @@ class FaultPlan:
         return self._with_event(FaultEvent(
             FAILOVER, party, round_index, after_record=after_record))
 
+    def shard_crash(self, shard: str, round_index: int,
+                    after_record: int) -> "FaultPlan":
+        """Kill leaf shard ``shard`` after it appends record
+        ``after_record`` to *its own* WAL; the shard's standby takes
+        over under the lease protocol."""
+        return self._with_event(FaultEvent(
+            SHARD_CRASH, shard, round_index, after_record=after_record))
+
+    def queue_overload(self, shard: str, round_index: int) -> "FaultPlan":
+        """Force shard ``shard``'s admission control to reject every
+        upload in one round (typed ``AdmissionRejected``, never a
+        silent drop)."""
+        return self._with_event(FaultEvent(
+            QUEUE_OVERLOAD, shard, round_index))
+
     def with_message_loss(self, probability: float) -> "FaultPlan":
         """Set the per-attempt message loss probability."""
         return replace(self, loss_probability=probability)
@@ -221,6 +250,10 @@ class FaultPlan:
         return sorted(
             (e for e in self.events if e.kind in COORDINATOR_KINDS),
             key=lambda e: e.after_record)
+
+    def shard_events(self) -> List[FaultEvent]:
+        """The scheduled shard-level faults, in schedule order."""
+        return [e for e in self.events if e.kind in SHARD_KINDS]
 
     # ------------------------------------------------------------------
     # Wire form (consumed by the deterministic simulator's trace).
@@ -418,6 +451,25 @@ class FaultInjector:
                         party: str = "coordinator") -> None:
         """Charge a standby takeover of a dead coordinator's round."""
         self._record(FAILOVER, party, round_index)
+
+    def charge_shard_crash(self, shard: str, round_index: int) -> None:
+        """Charge a leaf shard kill-and-failover cycle."""
+        self._record(SHARD_CRASH, shard, round_index)
+
+    def queue_overloaded(self, shard: str, round_index: int) -> bool:
+        """Whether an injected overload is in force for a shard/round.
+
+        Pure query (the :class:`~repro.federation.eventloop.AsyncChannel`
+        consults it at admission); the triggered rejection itself is
+        charged once per round via :meth:`charge_queue_overload`.
+        """
+        return any(e.kind == QUEUE_OVERLOAD and e.party == shard
+                   and e.round_index == round_index
+                   for e in self.plan.events)
+
+    def charge_queue_overload(self, shard: str, round_index: int) -> None:
+        """Charge an injected admission-control overload."""
+        self._record(QUEUE_OVERLOAD, shard, round_index)
 
     # ------------------------------------------------------------------
     # Per-message stochastic processes (consumed by the channel).

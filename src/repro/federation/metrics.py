@@ -147,6 +147,14 @@ class FaultReport:
         coordinator_crashes: Coordinator kill-and-recover cycles
             (recovered from the write-ahead log).
         failovers: Standby takeovers of a dead coordinator's round.
+        shard_crashes: Leaf shard coordinators killed and failed over
+            (see :mod:`repro.federation.shard`).
+        queue_overloads: Injected admission-control overloads.
+        shed: Uploads shed by the event loop's round deadline (each
+            degraded the round into partial aggregation, never lost
+            silently).
+        circuit_opens: Per-shard circuit-breaker open transitions
+            (a sick shard fenced out of the cohort).
         wasted_bytes: Wire bytes consumed by failed attempts and
             abandoned transfers.
         fault_seconds: Total modelled time across all ``fault.*``
@@ -165,6 +173,10 @@ class FaultReport:
     giveups: int = 0
     coordinator_crashes: int = 0
     failovers: int = 0
+    shard_crashes: int = 0
+    queue_overloads: int = 0
+    shed: int = 0
+    circuit_opens: int = 0
     wasted_bytes: int = 0
     fault_seconds: float = 0.0
 
@@ -184,9 +196,14 @@ class FaultReport:
             giveups=ledger.count("fault.giveup"),
             coordinator_crashes=ledger.count("fault.coordinator_crash"),
             failovers=ledger.count("fault.failover"),
+            shard_crashes=ledger.count("fault.shard_crash"),
+            queue_overloads=ledger.count("fault.queue_overload"),
+            shed=ledger.count("fault.shed"),
+            circuit_opens=ledger.count("fault.circuit_open"),
             wasted_bytes=(ledger.payload_bytes("fault.retransmit")
                           + ledger.payload_bytes("fault.giveup")
-                          + ledger.payload_bytes("fault.lost_update")),
+                          + ledger.payload_bytes("fault.lost_update")
+                          + ledger.payload_bytes("fault.shed")),
             fault_seconds=ledger.seconds("fault"),
         )
 
@@ -196,7 +213,9 @@ class FaultReport:
         return (self.crashes + self.dropouts + self.stragglers
                 + self.deadline_misses + self.lost_updates
                 + self.retransmissions + self.corrupted + self.giveups
-                + self.coordinator_crashes + self.failovers)
+                + self.coordinator_crashes + self.failovers
+                + self.shard_crashes + self.queue_overloads
+                + self.shed + self.circuit_opens)
 
     @property
     def has_faults(self) -> bool:
@@ -220,6 +239,10 @@ class FaultReport:
             coordinator_crashes=self.coordinator_crashes
             + other.coordinator_crashes,
             failovers=self.failovers + other.failovers,
+            shard_crashes=self.shard_crashes + other.shard_crashes,
+            queue_overloads=self.queue_overloads + other.queue_overloads,
+            shed=self.shed + other.shed,
+            circuit_opens=self.circuit_opens + other.circuit_opens,
             wasted_bytes=self.wasted_bytes + other.wasted_bytes,
             fault_seconds=self.fault_seconds + other.fault_seconds,
         )
@@ -239,6 +262,10 @@ class FaultReport:
             f"abandoned transfers   {self.giveups}",
             f"coordinator crashes   {self.coordinator_crashes}",
             f"standby failovers     {self.failovers}",
+            f"shard crashes         {self.shard_crashes}",
+            f"queue overloads       {self.queue_overloads}",
+            f"uploads shed          {self.shed}",
+            f"circuit opens         {self.circuit_opens}",
             f"wasted wire bytes     {self.wasted_bytes}",
             f"total fault seconds   {self.fault_seconds:.2f}",
         ]

@@ -196,6 +196,7 @@ class FederationRuntime:
                                   if physical_key_bits is not None
                                   else key_bits)
         self.profile = profile
+        self.seed = seed
         self.alpha = alpha
         self.randomizer_pool_size = randomizer_pool_size
         self.keypair = cached_keypair(self.physical_key_bits, seed=seed)
@@ -312,6 +313,27 @@ class FederationRuntime:
 
         return StandbyCoordinator(self.aggregator,
                                   lease_manager=lease_manager, name=name)
+
+    def sharded_service(self, clock=None, num_shards=None,
+                        queue_capacity: int = 64,
+                        seed: Optional[int] = None):
+        """The two-level sharded aggregation service over this runtime.
+
+        Args:
+            clock: A :class:`~repro.federation.eventloop.VirtualClock`
+                shared with the caller's timeline; fresh by default.
+            num_shards: Fixed shard count; ``ceil(sqrt(cohort))`` per
+                round by default.
+            queue_capacity: Per-shard ingress queue bound.
+            seed: Cohort-sampling master seed; the runtime's seed by
+                default.
+        """
+        from repro.federation.shard import ShardedAggregationService
+
+        return ShardedAggregationService(
+            self.aggregator, clock=clock, num_shards=num_shards,
+            queue_capacity=queue_capacity,
+            seed=self.seed if seed is None else seed)
 
     # ------------------------------------------------------------------
     # Epoch lifecycle.

@@ -1,0 +1,822 @@
+"""Two-level sharded aggregation: leaf shards, a root, and failover.
+
+The flat :class:`~repro.federation.aggregator.SecureAggregator` and even
+the durable coordinator of PR 4 funnel every client upload through one
+process -- the topology the paper evaluates at a handful of parties and
+the ROADMAP's million-client north star cannot share.  This module adds
+the hierarchical tier in between:
+
+- :func:`plan_shards` / :func:`cohort_sample` -- deterministic cohort
+  selection per round (master-seed RNG streams) and capacity-aware shard
+  sizing: no shard's cohort may exceed the packer's safe summand count,
+  because the :class:`~repro.tensor.meta.TensorMeta` algebra accumulates
+  summands additively and ``decode_sum`` overflows past
+  ``2**overflow_bits``.
+- :class:`ShardAggregator` -- a *leaf* coordinator: write-ahead-logs its
+  shard's uploads exactly like the durable coordinator, but instead of
+  decrypting it commits the homomorphically combined ciphertext
+  (``partial_committed``) -- leaves never hold the key.
+- :class:`RootCoordinator` -- accepts leaf partials as its uploads,
+  journals them, and decrypts in *capacity-bounded segments*: partials
+  are greedily grouped so each segment's summand total fits the packer's
+  capacity, each segment is decrypted separately, and the decoded sums
+  are added in plaintext.  The Eq. 6 offset correction rides the
+  metadata per segment, so the segmented result is exactly the flat sum.
+- :class:`HierarchicalStandby` -- the PR 4 hot-standby protocol,
+  parameterized over the coordinator class so *every leaf* and the root
+  each get their own WAL + standby; failover composes hierarchically and
+  the crash-consistency sweep holds at both layers.
+- :class:`ShardedAggregationService` -- the orchestrator: samples the
+  cohort, plans shards, pushes encrypted uploads through the event
+  loop's admission control (:mod:`repro.federation.eventloop`), runs the
+  leaf rounds (catching kills and failing over per shard), forwards
+  partials to the root over the charged channel, and runs the root round
+  (same kill handling).  Overload, shedding, and circuit-breaker fencing
+  all degrade the round into quorum + Eq. 6 partial aggregation; nothing
+  is ever lost silently.
+
+Capacity invariant (property-tested): for any cohort the reduction tree
+never combines more summands than ``packer.max_safe_summands()`` in one
+ciphertext, and within one segment the sharded sum is bit-identical to
+the flat aggregator's sum -- Paillier addition is exact modular
+arithmetic, so regrouping cannot change the decoded plaintext.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.federation.aggregator import AggregationRound, SecureAggregator
+from repro.federation.channel import ChannelError, Message
+from repro.federation.coordinator import (
+    CoordinatorError,
+    CoordinatorKilled,
+    DurableCoordinator,
+    LeaseManager,
+)
+from repro.federation.eventloop import (
+    REJECT_OVERLOAD,
+    REJECT_QUEUE_FULL,
+    AdmissionRejected,
+    AsyncChannel,
+    VirtualClock,
+)
+from repro.federation.faults import (
+    COORDINATOR_KINDS,
+    SHARD_CRASH,
+    QuorumError,
+)
+from repro.federation.serialization import deserialize_tensor, serialize_tensor
+from repro.federation.wal import (
+    DECRYPT_COMMITTED,
+    PARTIAL_COMMITTED,
+    QUORUM_REACHED,
+    ROUND_CLOSE,
+    ROUND_OPEN,
+    WriteAheadLog,
+)
+from repro.ledger import fault_category
+from repro.rng import STREAM_MULTIPLIER
+from repro.tensor.cipher import CipherTensor
+
+#: Default shard count: ``ceil(sqrt(P))`` balances leaf fan-in against
+#: root fan-in, making the root's per-round work grow as ``sqrt(P)``.
+def default_num_shards(num_parties: int) -> int:
+    """The square-root shard count for ``num_parties`` participants."""
+    if num_parties < 1:
+        raise ValueError("num_parties must be positive")
+    return int(math.ceil(math.sqrt(num_parties)))
+
+
+def cohort_sample(num_parties: int, cohort_size: int, seed: int,
+                  round_index: int) -> List[int]:
+    """Sample one round's cohort, deterministically per (seed, round).
+
+    The stream is derived exactly like every other per-round stream in
+    the repo (``seed * STREAM_MULTIPLIER + round_index``), so cohorts
+    reproduce bit-for-bit across runs and across recovered coordinators.
+    Returns sorted party indices.
+    """
+    if not 1 <= cohort_size <= num_parties:
+        raise ValueError(
+            f"cohort of {cohort_size} impossible with {num_parties} parties")
+    rng = np.random.default_rng(seed * STREAM_MULTIPLIER + round_index)
+    chosen = rng.choice(num_parties, size=cohort_size, replace=False)
+    return sorted(int(i) for i in chosen)
+
+
+def plan_shards(cohort: Sequence[int], num_shards: Optional[int] = None,
+                max_summands: Optional[int] = None) -> List[List[int]]:
+    """Partition a cohort into capacity-respecting shard groups.
+
+    Contiguous, near-equal groups (deterministic: no hashing).  When
+    ``max_summands`` is given, the shard count is raised until every
+    group fits the ciphertext summand capacity -- the "split the
+    reduction" rule the TensorMeta algebra demands.
+    """
+    parties = list(cohort)
+    if not parties:
+        raise ValueError("cannot shard an empty cohort")
+    count = num_shards if num_shards is not None \
+        else default_num_shards(len(parties))
+    if count < 1:
+        raise ValueError("num_shards must be positive")
+    count = min(count, len(parties))
+    if max_summands is not None:
+        if max_summands < 1:
+            raise ValueError("max_summands must be positive")
+        needed = int(math.ceil(len(parties) / max_summands))
+        count = max(count, needed)
+    base, extra = divmod(len(parties), count)
+    groups: List[List[int]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        groups.append(parties[start:start + size])
+        start += size
+    return [group for group in groups if group]
+
+
+def segment_partials(partials: Sequence[CipherTensor],
+                     max_summands: int) -> List[List[CipherTensor]]:
+    """Greedily group partials so each segment fits the summand capacity.
+
+    Every partial must fit on its own (leaf planning guarantees it);
+    segments preserve input order so the reduction stays deterministic.
+    """
+    if max_summands < 1:
+        raise ValueError("max_summands must be positive")
+    segments: List[List[CipherTensor]] = []
+    current: List[CipherTensor] = []
+    current_summands = 0
+    for tensor in partials:
+        summands = tensor.meta.summands
+        if summands > max_summands:
+            raise OverflowError(
+                f"one partial already carries {summands} summands, over "
+                f"the {max_summands} capacity -- the leaf plan is broken")
+        if current and current_summands + summands > max_summands:
+            segments.append(current)
+            current = []
+            current_summands = 0
+        current.append(tensor)
+        current_summands += summands
+    if current:
+        segments.append(current)
+    return segments
+
+
+class ShardAggregator(DurableCoordinator):
+    """A leaf shard's coordinator: combines ciphertexts, never decrypts.
+
+    Shares the durable coordinator's whole journaling stack -- WAL,
+    state machine, digest trail, incarnation fencing, ``kill_after_lsn``
+    -- and replaces the decrypting round with :meth:`combine_round`,
+    which commits the homomorphically combined ciphertext frame
+    (``partial_committed``) instead of a plaintext result.  A leaf
+    killed at any record boundary is recovered (or failed over) with the
+    exact accepted ciphertexts replayed from its own log.
+    """
+
+    def combine_round(self, uploads: Sequence[Tuple[str, CipherTensor]],
+                      round_index: int, tag: str = "gradients",
+                      quorum: int = 1) -> CipherTensor:
+        """One write-ahead-logged leaf round; returns the partial.
+
+        Args:
+            uploads: ``(client, tensor)`` pairs the event loop delivered
+                to this shard, in delivery order.
+            quorum: Minimum accepted uploads for the shard to produce a
+                partial (1 by default -- overall quorum is the service's
+                concern, per Eq. 6 partial-aggregation semantics).
+        """
+        agg = self.aggregator
+        if quorum < 1:
+            raise ValueError("quorum must be at least 1")
+
+        state = self.machine.round
+        if state is not None and state.closed \
+                and state.round_index == round_index:
+            if state.aborted == "quorum":
+                raise QuorumError(round_index, state.survivors, quorum,
+                                  state.num_clients)
+            return self._partial_tensor(state.partial_frame)
+        resuming = (state is not None and not state.closed
+                    and state.round_index == round_index)
+        if not resuming:
+            self._log(ROUND_OPEN, round_index, tag=f"shard.{tag}",
+                      num_clients=len(uploads), quorum=quorum)
+        state = self.machine.round
+
+        if not state.quorum_logged:
+            for client, tensor in uploads:
+                if self.machine.has_upload(round_index, client):
+                    continue  # journaled before a crash: reuse verbatim
+                agg.validate_ciphertexts(tensor)
+                self.accept_upload(round_index, client, tensor)
+            if len(state.survivors) < quorum:
+                self._log(ROUND_CLOSE, round_index, aborted="quorum")
+                raise QuorumError(round_index, state.survivors, quorum,
+                                  len(uploads))
+            accepted = self.machine.upload_tensors()
+            summands = sum(t.meta.summands for t in accepted)
+            capacity = agg.packer.max_safe_summands()
+            if summands > capacity:
+                raise OverflowError(
+                    f"shard cohort carries {summands} summands, over the "
+                    f"{capacity} capacity -- plan_shards must split it")
+            self._log(QUORUM_REACHED, round_index,
+                      survivors=list(state.survivors), summands=summands)
+
+        if state.partial_frame is None:
+            tensors = self.machine.upload_tensors(
+                engine=agg.server_engine)
+            partial = agg._server_sum(tensors)
+            self._log(PARTIAL_COMMITTED, round_index,
+                      frame=serialize_tensor(partial.materialize()).hex())
+        if not state.closed:
+            self._log(ROUND_CLOSE, round_index)
+        return self._partial_tensor(state.partial_frame)
+
+    def _partial_tensor(self, frame: Optional[str]) -> CipherTensor:
+        """The committed partial, rebound to the server engine.
+
+        Always rebuilt from the journaled frame, so an uninterrupted
+        run and a recovered one return byte-identical partials.
+        """
+        if frame is None:
+            raise CoordinatorError(
+                "round closed without a committed partial")
+        tensor = deserialize_tensor(bytes.fromhex(frame))
+        return CipherTensor(tensor.meta, words=list(tensor.words),
+                            engine=self.aggregator.server_engine)
+
+
+class RootCoordinator(DurableCoordinator):
+    """The root of the reduction tree: combines and decrypts partials.
+
+    Leaf partials are its uploads (dedupe key ``r{round}:{shard}``, same
+    exactly-once machinery).  Decryption is *segmented*: partials are
+    grouped under the summand capacity, each segment homomorphically
+    summed and decrypted separately, and the decoded sums added in
+    plaintext -- the only way a cohort larger than one ciphertext's
+    capacity can be reduced at all.
+    """
+
+    def reduce_round(self, partials: Sequence[Tuple[str, CipherTensor]],
+                     round_index: int, tag: str = "gradients",
+                     quorum: int = 1) -> np.ndarray:
+        """One write-ahead-logged root round; returns the decoded sum."""
+        agg = self.aggregator
+        if quorum < 1:
+            raise ValueError("quorum must be at least 1")
+
+        state = self.machine.round
+        if state is not None and state.closed \
+                and state.round_index == round_index:
+            if state.aborted == "quorum":
+                raise QuorumError(round_index, state.survivors, quorum,
+                                  state.num_clients)
+            return np.asarray(state.result, dtype=np.float64)
+        resuming = (state is not None and not state.closed
+                    and state.round_index == round_index)
+        if not resuming:
+            self._log(ROUND_OPEN, round_index, tag=f"root.{tag}",
+                      num_clients=len(partials), quorum=quorum)
+        state = self.machine.round
+
+        if not state.quorum_logged:
+            for shard, tensor in partials:
+                if self.machine.has_upload(round_index, shard):
+                    continue
+                agg.validate_ciphertexts(tensor)
+                self.accept_upload(round_index, shard, tensor)
+            if len(state.survivors) < quorum:
+                self._log(ROUND_CLOSE, round_index, aborted="quorum")
+                raise QuorumError(round_index, state.survivors, quorum,
+                                  len(partials))
+            accepted = self.machine.upload_tensors()
+            summands = sum(t.meta.summands for t in accepted)
+            self._log(QUORUM_REACHED, round_index,
+                      survivors=list(state.survivors), summands=summands)
+
+        if state.result is None:
+            tensors = self.machine.upload_tensors(
+                engine=agg.server_engine)
+            decoded = self._segmented_decrypt(tensors)
+            # Journaling the decoded aggregate is the WAL's purpose: a
+            # successor serves the round without re-decrypting.
+            self._log(DECRYPT_COMMITTED, round_index,  # flcheck: allow[plaintext-wire]
+                      result=list(np.asarray(decoded).ravel()),
+                      summands=state.summands)
+        if not state.closed:
+            self._log(ROUND_CLOSE, round_index)
+        return np.asarray(state.result, dtype=np.float64)
+
+    def _segmented_decrypt(self,
+                           tensors: Sequence[CipherTensor]) -> np.ndarray:
+        """Capacity-bounded reduction: sum within segments, add decoded."""
+        agg = self.aggregator
+        segments = segment_partials(tensors,
+                                    agg.packer.max_safe_summands())
+        total: Optional[np.ndarray] = None
+        for segment in segments:
+            combined = agg._server_sum(list(segment))
+            decoded = agg.decrypt_tensor(combined, charged=True)
+            total = decoded if total is None else total + decoded
+        if total is None:
+            raise CoordinatorError("no partials to decrypt")
+        return total
+
+
+class HierarchicalStandby:
+    """A hot standby for one node of the reduction tree (leaf or root).
+
+    The PR 4 standby protocol, parameterized over the coordinator class:
+    tails the node's WAL into a shadow state machine and, once the lease
+    lapses, acquires a bumped incarnation and resumes from the log.
+    Takeover asserts the shadow digest matches a fresh replay -- the
+    standby really was hot.
+
+    Args:
+        aggregator: The data path the successor will drive.
+        lease_manager: Arbitration shared with the node's primary.
+        name: Standby identity.
+        coordinator_cls: :class:`ShardAggregator` for a leaf,
+            :class:`RootCoordinator` for the root.
+    """
+
+    def __init__(self, aggregator: SecureAggregator,
+                 lease_manager: LeaseManager, name: str,
+                 coordinator_cls: Type[DurableCoordinator]):
+        from repro.federation.coordinator import RoundStateMachine
+
+        self.aggregator = aggregator
+        self.lease_manager = lease_manager
+        self.name = name
+        self.coordinator_cls = coordinator_cls
+        self.machine = RoundStateMachine()
+        self._tail_lsn = 0
+
+    def tail(self, image: bytes) -> int:
+        """Apply records appended since the last tail; returns how many."""
+        log = WriteAheadLog.from_bytes(image)
+        fresh = log.records_since(self._tail_lsn)
+        for record in fresh:
+            self.machine.apply(record)
+        self._tail_lsn += len(fresh)
+        return len(fresh)
+
+    def take_over(self, image: bytes) -> DurableCoordinator:
+        """Acquire the lapsed lease and resume from the log."""
+        self.tail(image)
+        lease = self.lease_manager.acquire(self.name)
+        wal = WriteAheadLog.from_bytes(image)
+        successor = self.coordinator_cls(
+            self.aggregator, wal=wal, name=self.name,
+            incarnation=lease.incarnation,
+            lease_manager=self.lease_manager)
+        if successor.machine.digest() != self.machine.digest():
+            raise CoordinatorError(
+                "standby shadow state diverged from the log at takeover")
+        return successor
+
+
+@dataclass
+class FailoverRecord:
+    """One node death the service failed over.
+
+    Attributes:
+        node: ``shard-<i>`` for a leaf, ``root`` for the root.
+        round_index: Round in flight when the kill fired.
+        lsn: Last WAL record the dead node durably appended.
+        incarnation: The successor's fencing incarnation.
+        recovered_digest: The successor's state digest right after
+            replaying the dead node's log -- compared against the
+            uninterrupted run's digest at the same ``lsn`` by the
+            sharded crash-consistency sweep.
+    """
+
+    node: str
+    round_index: int
+    lsn: int
+    incarnation: int
+    recovered_digest: int
+
+
+@dataclass
+class ShardRoundReport:
+    """Outcome of one sharded aggregation round.
+
+    Every party in the cohort lands in exactly one bucket: a shard's
+    survivor list, or :attr:`dropped` with a reason (``offline``,
+    ``deadline``, ``fenced``, ``rejected``, ``shed``, ``lost``) -- the
+    no-silent-loss invariant, asserted by the overload tests.
+    """
+
+    round_index: int
+    cohort: List[str] = field(default_factory=list)
+    shard_groups: Dict[str, List[str]] = field(default_factory=dict)
+    shard_survivors: Dict[str, List[str]] = field(default_factory=dict)
+    dropped: List[Tuple[str, str]] = field(default_factory=list)
+    fenced_shards: List[str] = field(default_factory=list)
+    summands: int = 0
+    leaf_failovers: int = 0
+    root_failovers: int = 0
+
+    @property
+    def survivors(self) -> List[str]:
+        """Every party whose update reached the root, in shard order."""
+        names: List[str] = []
+        for shard in sorted(self.shard_survivors):
+            names.extend(self.shard_survivors[shard])
+        return names
+
+    @property
+    def partial(self) -> bool:
+        """Whether any cohort member missed the round."""
+        return bool(self.dropped)
+
+
+class ShardedAggregationService:
+    """The two-level service: event loop, leaf shards, root, failover.
+
+    Args:
+        aggregator: The flat data path (engines, packer, channel, fault
+            injector, quorum defaults) every node shares in-process.
+        clock: The virtual clock driving admission, deadlines and
+            leases; a fresh one by default.
+        num_shards: Fixed shard count; default ``ceil(sqrt(cohort))``
+            per round, always raised to respect summand capacity.
+        queue_capacity: Per-shard ingress bound (the memory guarantee).
+        seed: Master seed for cohort sampling streams.
+        lease_timeout_seconds: Leaf/root lease duration; failover
+            advances the clock past it.
+        breaker_failure_threshold / breaker_cooldown_seconds: Per-shard
+            circuit-breaker tuning.
+    """
+
+    def __init__(self, aggregator: SecureAggregator,
+                 clock: Optional[VirtualClock] = None,
+                 num_shards: Optional[int] = None,
+                 queue_capacity: int = 64, seed: int = 7,
+                 lease_timeout_seconds: float = 30.0,
+                 breaker_failure_threshold: int = 3,
+                 breaker_cooldown_seconds: float = 60.0):
+        self.aggregator = aggregator
+        self.clock = clock if clock is not None else VirtualClock()
+        self.num_shards = num_shards
+        self.queue_capacity = queue_capacity
+        self.seed = seed
+        self.lease_timeout_seconds = lease_timeout_seconds
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        self._current_round = 0
+        self.async_channel = AsyncChannel(
+            aggregator.channel, self.clock,
+            queue_capacity=queue_capacity, overloaded=self._overloaded)
+        self.leaves: Dict[str, ShardAggregator] = {}
+        self._leaf_standbys: Dict[str, HierarchicalStandby] = {}
+        self._leaf_leases: Dict[str, LeaseManager] = {}
+        self.root_name = "root"
+        self._root_lease = LeaseManager(
+            timeout_seconds=lease_timeout_seconds, clock=self._now)
+        self._root_lease.acquire(self.root_name)
+        self.root: RootCoordinator = RootCoordinator(
+            aggregator, wal=WriteAheadLog(), name=self.root_name,
+            lease_manager=self._root_lease)
+        self._root_standby = HierarchicalStandby(
+            aggregator, self._root_lease, name=f"{self.root_name}-standby",
+            coordinator_cls=RootCoordinator)
+        self.last_round: Optional[ShardRoundReport] = None
+        #: Every failover the service performed, for the crash sweeps.
+        self.failover_log: List[FailoverRecord] = []
+
+    def _now(self) -> float:
+        return self.clock.now
+
+    def _overloaded(self, shard: str) -> bool:
+        injector = self.aggregator.injector
+        return (injector is not None
+                and injector.queue_overloaded(shard, self._current_round))
+
+    # ------------------------------------------------------------------
+    # Node registry.
+    # ------------------------------------------------------------------
+
+    def leaf(self, shard: str) -> ShardAggregator:
+        """The shard's leaf coordinator (created with WAL + standby)."""
+        if shard not in self.leaves:
+            lease = LeaseManager(
+                timeout_seconds=self.lease_timeout_seconds,
+                clock=self._now)
+            lease.acquire(f"{shard}-primary")
+            self._leaf_leases[shard] = lease
+            self.leaves[shard] = ShardAggregator(
+                self.aggregator, wal=WriteAheadLog(),
+                name=f"{shard}-primary", lease_manager=lease)
+            self._leaf_standbys[shard] = HierarchicalStandby(
+                self.aggregator, lease, name=f"{shard}-standby",
+                coordinator_cls=ShardAggregator)
+        return self.leaves[shard]
+
+    def leaf_standby(self, shard: str) -> HierarchicalStandby:
+        """The shard's hot standby (tails the leaf WAL)."""
+        self.leaf(shard)
+        return self._leaf_standbys[shard]
+
+    @property
+    def root_standby(self) -> HierarchicalStandby:
+        return self._root_standby
+
+    # ------------------------------------------------------------------
+    # Failover plumbing.
+    # ------------------------------------------------------------------
+
+    def _charge_fault(self, kind: str, party: str,
+                      round_index: int) -> None:
+        injector = self.aggregator.injector
+        if injector is not None:
+            injector._record(kind, party, round_index)
+        else:
+            self.aggregator.channel.ledger.charge(
+                fault_category(kind), 0.0, count=1)
+
+    def _fail_over_leaf(self, shard: str, round_index: int,
+                        lsn: int) -> ShardAggregator:
+        """Promote the shard's standby over the dead primary's log."""
+        dead = self.leaves[shard]
+        image = dead.wal.image()
+        standby = self._leaf_standbys[shard]
+        standby.tail(image)
+        lease = self._leaf_leases[shard]
+        if not lease.expired():
+            self.clock.advance(lease.timeout_seconds)
+        successor = standby.take_over(image)
+        assert isinstance(successor, ShardAggregator)
+        self.leaves[shard] = successor
+        self._leaf_standbys[shard] = HierarchicalStandby(
+            self.aggregator, lease,
+            name=f"{shard}-standby-{successor.incarnation}",
+            coordinator_cls=ShardAggregator)
+        self._charge_fault(SHARD_CRASH, shard, round_index)
+        self.failover_log.append(FailoverRecord(
+            node=shard, round_index=round_index, lsn=lsn,
+            incarnation=successor.incarnation,
+            recovered_digest=successor.machine.digest()))
+        return successor
+
+    def _fail_over_root(self, round_index: int,
+                        lsn: int) -> RootCoordinator:
+        """Promote the root standby over the dead root's log."""
+        image = self.root.wal.image()
+        self._root_standby.tail(image)
+        if not self._root_lease.expired():
+            self.clock.advance(self._root_lease.timeout_seconds)
+        successor = self._root_standby.take_over(image)
+        assert isinstance(successor, RootCoordinator)
+        self.root = successor
+        self._root_standby = HierarchicalStandby(
+            self.aggregator, self._root_lease,
+            name=f"{self.root_name}-standby-{successor.incarnation}",
+            coordinator_cls=RootCoordinator)
+        self._charge_fault("failover", self.root_name, round_index)
+        self.failover_log.append(FailoverRecord(
+            node=self.root_name, round_index=round_index, lsn=lsn,
+            incarnation=successor.incarnation,
+            recovered_digest=successor.machine.digest()))
+        return successor
+
+    def _scheduled_kill(self, party: str, round_index: int,
+                        kinds: Tuple[str, ...]) -> Optional[int]:
+        injector = self.aggregator.injector
+        if injector is None:
+            return None
+        for event in injector.plan.events:
+            if event.kind in kinds and event.party == party \
+                    and event.round_index == round_index:
+                return event.after_record
+        return None
+
+    # ------------------------------------------------------------------
+    # The sharded round.
+    # ------------------------------------------------------------------
+
+    def run_round(self, client_vectors: Sequence[np.ndarray],
+                  tag: str = "gradients",
+                  round_index: Optional[int] = None,
+                  cohort_size: Optional[int] = None,
+                  min_quorum: Optional[int] = None) -> np.ndarray:
+        """One sharded aggregation round; returns the slot-wise sum.
+
+        Cohort sampling, shard planning, admission control, deadline
+        shedding, leaf combination, root reduction -- with per-shard and
+        root failover handled in place.  Parties lost anywhere along the
+        path degrade the round into Eq. 6 partial aggregation; the round
+        only fails (``QuorumError``) below ``min_quorum`` survivors.
+        """
+        agg = self.aggregator
+        vectors = [np.asarray(v, dtype=np.float64)
+                   for v in client_vectors]
+        if not vectors:
+            raise ValueError("run_round needs at least one client vector")
+        length = len(vectors[0])
+        for vector in vectors:
+            if len(vector) != length:
+                raise ValueError("client vectors must share a length")
+        if round_index is None:
+            round_index = agg.round_cursor
+        self._current_round = round_index
+
+        if cohort_size is not None and cohort_size < len(vectors):
+            cohort = cohort_sample(len(vectors), cohort_size, self.seed,
+                                   round_index)
+        else:
+            cohort = list(range(len(vectors)))
+        required = min_quorum if min_quorum is not None else agg.min_quorum
+        if required is None:
+            required = len(cohort)
+        if not 1 <= required <= len(cohort):
+            raise ValueError(
+                f"quorum {required} impossible with a cohort of "
+                f"{len(cohort)}")
+
+        groups = plan_shards(cohort, self.num_shards,
+                             max_summands=agg.packer.max_safe_summands())
+        report = ShardRoundReport(
+            round_index=round_index,
+            cohort=[f"client-{i}" for i in cohort])
+        report.shard_groups = {
+            f"shard-{s}": [f"client-{i}" for i in group]
+            for s, group in enumerate(groups)}
+        deadline = (self.clock.now + agg.round_deadline_seconds
+                    if agg.round_deadline_seconds is not None else None)
+        injector = agg.injector
+
+        # Phase 1: admission -- encrypt and submit through the event loop.
+        shard_uploads: Dict[str, List[Tuple[str, CipherTensor]]] = {}
+        representative_charged = False
+        active_shards: List[str] = []
+        for s_index, group in enumerate(groups):
+            shard = f"shard-{s_index}"
+            breaker = self.async_channel.register_shard(
+                shard,
+                failure_threshold=self.breaker_failure_threshold,
+                cooldown_seconds=self.breaker_cooldown_seconds)
+            if not breaker.allow():
+                report.fenced_shards.append(shard)
+                for i in group:
+                    report.dropped.append((f"client-{i}", "fenced"))
+                continue
+            active_shards.append(shard)
+            overload_charged = False
+            for i in group:
+                name = f"client-{i}"
+                delay = 0.0
+                if injector is not None:
+                    if not injector.is_alive(name, round_index):
+                        report.dropped.append((name, "offline"))
+                        continue
+                    delay = injector.straggler_delay(name, round_index)
+                    if delay > 0:
+                        if agg.round_deadline_seconds is not None and \
+                                delay > agg.round_deadline_seconds:
+                            injector.charge_deadline_miss(
+                                name, round_index,
+                                agg.round_deadline_seconds)
+                            report.dropped.append((name, "deadline"))
+                            continue
+                        injector.charge_straggler(name, round_index, delay)
+                charged = not representative_charged
+                representative_charged = True
+                tensor = agg.encrypt_tensor(vectors[i], charged=charged)
+                message = Message.for_tensor(
+                    tensor.materialize(), sender=name, receiver=shard,
+                    tag=f"upload.{tag}",
+                    ciphertext_bytes=agg.client_engine
+                    .nominal_ciphertext_bytes(),
+                    packed=agg.packed_serialization)
+                try:
+                    self.async_channel.submit(shard, message,
+                                              arrival_delay=delay)
+                except AdmissionRejected as rejection:
+                    if rejection.reason == REJECT_OVERLOAD:
+                        if injector is not None and not overload_charged:
+                            injector.charge_queue_overload(shard,
+                                                           round_index)
+                            overload_charged = True
+                        report.dropped.append((name, "rejected"))
+                        continue
+                    if rejection.reason == REJECT_QUEUE_FULL:
+                        # Backpressure: drain the backlog (delivering the
+                        # accepted entries) and retry exactly once.
+                        self._drain_shard(shard, deadline, shard_uploads,
+                                          report, round_index)
+                        try:
+                            self.async_channel.submit(
+                                shard, message, arrival_delay=delay)
+                        except AdmissionRejected:
+                            report.dropped.append((name, "rejected"))
+                        continue
+                    report.dropped.append((name, "rejected"))
+
+        # Phase 2: drain every active shard's backlog before its leaf
+        # round (entries past the deadline are shed, never lost).
+        for shard in active_shards:
+            self._drain_shard(shard, deadline, shard_uploads, report,
+                              round_index)
+
+        # Phase 3: leaf rounds -- combine per shard, failing over kills.
+        partials: List[Tuple[str, CipherTensor]] = []
+        for shard in active_shards:
+            uploads = shard_uploads.get(shard, [])
+            if not uploads:
+                continue
+            leaf = self.leaf(shard)
+            kill_at = self._scheduled_kill(shard, round_index,
+                                           (SHARD_CRASH,))
+            if kill_at is not None:
+                leaf.kill_after_lsn = kill_at
+            try:
+                partial = leaf.combine_round(uploads, round_index, tag=tag)
+            except CoordinatorKilled as killed:
+                successor = self._fail_over_leaf(shard, round_index,
+                                                 killed.lsn)
+                report.leaf_failovers += 1
+                partial = successor.combine_round(uploads, round_index,
+                                                  tag=tag)
+            finally:
+                self.leaves[shard].kill_after_lsn = None
+            breaker = self.async_channel.breakers[shard]
+            breaker.record_success()
+            report.shard_survivors[shard] = list(
+                self.leaves[shard].machine.round.survivors)
+            try:
+                sent = agg.send_tensor(partial, sender=shard,
+                                       receiver=self.root_name,
+                                       tag=f"partial.{tag}")
+            except ChannelError as error:
+                breaker.record_failure()
+                if injector is None:
+                    raise
+                injector.charge_lost_update(
+                    shard, round_index, wasted_bytes=error.wasted_bytes)
+                for name, _ in uploads:
+                    report.dropped.append((name, "lost"))
+                report.shard_survivors.pop(shard, None)
+                continue
+            partials.append((shard, sent))
+
+        survivors = report.survivors
+        report.summands = sum(t.meta.summands for _, t in partials)
+        if report.summands < required:
+            self.last_round = report
+            agg.round_cursor = round_index + 1
+            raise QuorumError(round_index, survivors, required,
+                              len(cohort))
+
+        # Phase 4: root reduction, with its own kill handling.
+        kill_at = self._scheduled_kill(self.root_name, round_index,
+                                       COORDINATOR_KINDS)
+        if kill_at is not None:
+            self.root.kill_after_lsn = kill_at
+        try:
+            result = self.root.reduce_round(partials, round_index, tag=tag)
+        except CoordinatorKilled as killed:
+            successor = self._fail_over_root(round_index, killed.lsn)
+            report.root_failovers += 1
+            result = successor.reduce_round(partials, round_index, tag=tag)
+        finally:
+            self.root.kill_after_lsn = None
+
+        agg.round_cursor = round_index + 1
+        agg.last_round = AggregationRound(
+            round_index=round_index, survivors=survivors,
+            dropped=list(report.dropped), summands=report.summands)
+        self.last_round = report
+        return result
+
+    def _drain_shard(self, shard: str, deadline: Optional[float],
+                     shard_uploads: Dict[str, List[Tuple[str,
+                                                         CipherTensor]]],
+                     report: ShardRoundReport,
+                     round_index: int) -> None:
+        """Deliver one shard's backlog into its upload buffer."""
+        injector = self.aggregator.injector
+        breaker = self.async_channel.breakers[shard]
+        outcome = self.async_channel.drain(shard, deadline=deadline)
+        buffer = shard_uploads.setdefault(shard, [])
+        for sender, payload in outcome.delivered:
+            buffer.append((sender, payload))
+        for sender, _reason in outcome.shed:
+            report.dropped.append((sender, "shed"))
+        for sender, error in outcome.failed:
+            breaker.record_failure()
+            if injector is not None:
+                injector.charge_lost_update(
+                    sender, round_index, wasted_bytes=error.wasted_bytes)
+            report.dropped.append((sender, "lost"))

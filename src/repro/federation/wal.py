@@ -53,15 +53,21 @@ RECORD_HEADER = struct.Struct(">II")
 #: uploads, well under a mebibyte at benchmark key sizes).
 MAX_PAYLOAD_BYTES = 1 << 26
 
-#: The round-lifecycle record kinds, in their only legal order.
+#: The round-lifecycle record kinds, in their only legal order.  A
+#: round commits exactly one of ``decrypt_committed`` (a decrypting
+#: coordinator: the flat path, or the sharded root) or
+#: ``partial_committed`` (a leaf shard that combines ciphertexts but
+#: never holds the key: its commit is the combined ciphertext frame,
+#: forwarded to the root).
 ROUND_OPEN = "round_open"
 UPLOAD_ACCEPTED = "upload_accepted"
 QUORUM_REACHED = "quorum_reached"
 DECRYPT_COMMITTED = "decrypt_committed"
+PARTIAL_COMMITTED = "partial_committed"
 ROUND_CLOSE = "round_close"
 
 RECORD_KINDS = (ROUND_OPEN, UPLOAD_ACCEPTED, QUORUM_REACHED,
-                DECRYPT_COMMITTED, ROUND_CLOSE)
+                DECRYPT_COMMITTED, PARTIAL_COMMITTED, ROUND_CLOSE)
 
 
 class WalError(FrameError):

@@ -61,6 +61,15 @@ CAT_PIPELINE_UNPACK_DECODE = "pipeline.unpack_decode"
 CAT_FAULT_CORRUPT = "fault.corrupt"
 CAT_FAULT_RETRANSMIT = "fault.retransmit"
 CAT_FAULT_GIVEUP = "fault.giveup"
+CAT_FAULT_SHED = "fault.shed"
+CAT_FAULT_CIRCUIT_OPEN = "fault.circuit_open"
+
+#: Admission-control plane of the sharded aggregation service
+#: (:mod:`repro.federation.eventloop`).  ``comm`` is an open family, so
+#: these are ordinary ``comm.*`` tags; the constants pin the exact
+#: spellings reports read back.
+CAT_COMM_ADMISSION_ACCEPT = "comm.admission.accept"
+CAT_COMM_ADMISSION_REJECT = "comm.admission.reject"
 
 #: Family -> allowed suffixes; ``None`` marks an open family whose
 #: suffix is dynamic (message tags, per-model step names).
@@ -71,7 +80,9 @@ CATEGORY_FAMILIES: Dict[str, Optional[frozenset]] = {
     "pipeline": frozenset({"encode_pack", "unpack_decode"}),
     "fault": frozenset({"crash", "dropout", "straggler", "deadline",
                         "lost_update", "retransmit", "corrupt", "giveup",
-                        "coordinator_crash", "failover"}),
+                        "coordinator_crash", "failover",
+                        "shard_crash", "queue_overload",
+                        "shed", "circuit_open"}),
     "comm": None,
     "model": None,
 }

@@ -25,7 +25,7 @@ import json
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,32 +36,23 @@ from repro.federation.coordinator import (
     LeaseManager,
     StandbyCoordinator,
 )
+# VirtualClock now lives with the event loop (the federation layer owns
+# its own time source); re-exported here for backward compatibility.
+from repro.federation.eventloop import VirtualClock  # noqa: F401 -- re-exported
 from repro.federation.faults import (
+    COORDINATOR_KINDS,
     FAILOVER,
+    SHARD_CRASH,
     FaultEvent,
     FaultPlan,
     QuorumError,
 )
 from repro.federation.runtime import FederationRuntime, system_by_name
+from repro.federation.shard import (
+    FailoverRecord,
+    ShardedAggregationService,
+)
 from repro.federation.wal import WriteAheadLog
-
-
-class VirtualClock:
-    """Monotonic modelled time; the only clock the simulator knows."""
-
-    def __init__(self, start: float = 0.0):
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        return self._now
-
-    def advance(self, seconds: float) -> float:
-        """Move time forward; rejects negative steps."""
-        if seconds < 0:
-            raise ValueError(f"cannot advance time by {seconds}")
-        self._now += seconds
-        return self._now
 
 
 @dataclass(order=True)
@@ -116,6 +107,12 @@ class SimulationSpec:
     incarnation: int = 0
     fault_plan: Optional[FaultPlan] = None
     durable: bool = False
+    #: Route rounds through the two-level sharded service
+    #: (:mod:`repro.federation.shard`) instead of one coordinator.
+    sharded: bool = False
+    num_shards: Optional[int] = None
+    queue_capacity: int = 64
+    cohort_size: Optional[int] = None
 
     def to_dict(self) -> dict:
         return {
@@ -132,6 +129,10 @@ class SimulationSpec:
             "fault_plan": (self.fault_plan.to_dict()
                            if self.fault_plan is not None else None),
             "durable": self.durable,
+            "sharded": self.sharded,
+            "num_shards": self.num_shards,
+            "queue_capacity": self.queue_capacity,
+            "cohort_size": self.cohort_size,
         }
 
     def to_json(self) -> str:
@@ -154,6 +155,10 @@ class SimulationSpec:
             fault_plan=(FaultPlan.from_dict(plan)
                         if plan is not None else None),
             durable=data.get("durable", False),
+            sharded=data.get("sharded", False),
+            num_shards=data.get("num_shards"),
+            queue_capacity=data.get("queue_capacity", 64),
+            cohort_size=data.get("cohort_size"),
         )
 
     @classmethod
@@ -629,19 +634,240 @@ def crash_consistency_sweep(spec: SimulationSpec,
         reference_checksum=reference.checksum())
 
 
+@dataclass
+class ShardedSimulationResult(SimulationResult):
+    """A :class:`SimulationResult` plus the sharded service's story.
+
+    One WAL and one digest trail *per node* of the reduction tree
+    (``shard-<i>`` leaves plus ``root``) -- the sharded crash sweep
+    compares a killed node's recovered digest against its own trail.
+    """
+
+    node_wal_records: Dict[str, int] = field(default_factory=dict)
+    failovers: List[FailoverRecord] = field(default_factory=list)
+    node_digest_trails: Dict[str, List[int]] = field(default_factory=dict)
+    final_weights: List[List[float]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["node_wal_records"] = dict(self.node_wal_records)
+        data["failovers"] = [
+            {"node": f.node, "round": f.round_index, "lsn": f.lsn,
+             "incarnation": f.incarnation,
+             "recovered_digest": f.recovered_digest}
+            for f in self.failovers
+        ]
+        return data
+
+
+class ShardedFederationSimulator(FederationSimulator):
+    """The simulator with the two-level sharded service in the loop.
+
+    Rounds run through :class:`~repro.federation.shard.
+    ShardedAggregationService` -- cohort sampling, admission control,
+    leaf combination, root reduction -- sharing the simulator's virtual
+    clock, so admission deadlines, lease expiry and round time all live
+    on one timeline.  The spec's fault plan may schedule ``shard_crash``
+    kills against leaves, ``failover`` kills against the ``root`` party,
+    and ``queue_overload`` drills against shard admission; every
+    scheduled kill must actually fire or :meth:`run` raises.
+    """
+
+    def __init__(self, spec: SimulationSpec):
+        super().__init__(spec)
+        self.service = ShardedAggregationService(
+            self.runtime.aggregator, clock=self.clock,
+            num_shards=spec.num_shards,
+            queue_capacity=spec.queue_capacity, seed=spec.seed,
+            lease_timeout_seconds=LEASE_TIMEOUT_SECONDS)
+        self.final_weights: List[List[float]] = []
+
+    def _aggregate_round(self, vectors: List[np.ndarray],
+                         round_index: int) -> np.ndarray:
+        total = self.service.run_round(
+            vectors, round_index=round_index,
+            cohort_size=self.spec.cohort_size)
+        self.final_weights.append(
+            [float(v) for v in np.asarray(total).ravel()])
+        return np.asarray(total)
+
+    def _scheduled_kill_count(self) -> int:
+        plan = self.spec.fault_plan
+        if plan is None:
+            return 0
+        return sum(
+            1 for e in plan.events
+            if e.kind == SHARD_CRASH
+            or (e.kind in COORDINATOR_KINDS
+                and e.party == self.service.root_name))
+
+    def run(self) -> ShardedSimulationResult:
+        base = super().run()
+        expected = self._scheduled_kill_count()
+        fired = len(self.service.failover_log)
+        if fired < expected:
+            raise SimulationFailure(
+                self.spec, self.spec.rounds - 1,
+                f"only {fired} of {expected} scheduled node kills fired")
+        trails = {name: list(leaf.digest_trail)
+                  for name, leaf in self.service.leaves.items()}
+        trails[self.service.root_name] = list(
+            self.service.root.digest_trail)
+        wal_records = {name: len(leaf.wal)
+                       for name, leaf in self.service.leaves.items()}
+        wal_records[self.service.root_name] = len(self.service.root.wal)
+        return ShardedSimulationResult(
+            spec=base.spec, rounds=base.rounds,
+            final_time=base.final_time,
+            events_processed=base.events_processed,
+            node_wal_records=wal_records,
+            failovers=list(self.service.failover_log),
+            node_digest_trails=trails,
+            final_weights=list(self.final_weights))
+
+
+def _sharded_spec_with_kill(spec: SimulationSpec, node: str,
+                            round_index: int, record_index: int,
+                            root_record_index: Optional[int] = None
+                            ) -> SimulationSpec:
+    plan = spec.fault_plan if spec.fault_plan is not None \
+        else FaultPlan(seed=spec.seed)
+    if node == "root":
+        plan = plan.failover(round_index, after_record=record_index,
+                             party="root")
+    else:
+        plan = plan.shard_crash(node, round_index,
+                                after_record=record_index)
+    if root_record_index is not None:
+        plan = plan.failover(round_index, after_record=root_record_index,
+                             party="root")
+    return SimulationSpec.from_dict(
+        {**spec.to_dict(), "fault_plan": plan.to_dict(), "sharded": True})
+
+
+def shard_crash_consistency_sweep(spec: SimulationSpec,
+                                  node: str = "shard-0",
+                                  record_indices: Optional[List[int]]
+                                  = None,
+                                  race_root_failover: bool = False
+                                  ) -> CrashSweepReport:
+    """Kill one tree node after *each* of its WAL records and verify.
+
+    The hierarchical twin of :func:`crash_consistency_sweep`: first runs
+    the spec uninterrupted through the sharded service, capturing every
+    node's per-LSN digest trail and each round's final decrypted
+    weights.  Then, for each boundary ``k`` of ``node``'s own log (or
+    only ``record_indices`` when given), re-runs with a scheduled kill
+    after that node's record ``k`` -- ``shard_crash`` for a leaf,
+    ``failover`` against the ``root`` party for the root -- and asserts:
+
+    - the successor's replayed digest equals the uninterrupted run's
+      digest for that node at record ``k``, and
+    - every round's final decrypted weights equal the uninterrupted
+      run's exactly.
+
+    With ``race_root_failover`` (leaf sweeps only) every killed run
+    *also* schedules a root failover in the same round, so a root
+    takeover races a leaf takeover and both must still converge to the
+    reference weights.
+    """
+    reference_spec = SimulationSpec.from_dict(
+        {**spec.to_dict(), "sharded": True})
+    reference_sim = ShardedFederationSimulator(reference_spec)
+    reference = reference_sim.run()
+    root_name = reference_sim.service.root_name
+    if node == root_name:
+        log = reference_sim.service.root.wal
+    elif node in reference_sim.service.leaves:
+        log = reference_sim.service.leaves[node].wal
+    else:
+        known = sorted(reference_sim.service.leaves)
+        raise ValueError(
+            f"unknown node {node!r}; the reference run has "
+            f"{known + [root_name]}")
+    trail = reference.node_digest_trails[node]
+    total_records = len(log)
+    if record_indices is None:
+        record_indices = list(range(total_records))
+    record_to_round = [record.round_index for record in log.records]
+    root_records = reference_sim.service.root.wal.records
+    racing = race_root_failover and node != root_name
+    for index in record_indices:
+        if not 0 <= index < total_records:
+            raise ValueError(
+                f"record index {index} outside {node}'s log "
+                f"(0..{total_records - 1})")
+        round_index = record_to_round[index]
+        root_kill = None
+        if racing:
+            root_kill = next(
+                (i for i, record in enumerate(root_records)
+                 if record.round_index == round_index), None)
+        killed_spec = _sharded_spec_with_kill(
+            spec, node, round_index, index, root_record_index=root_kill)
+        try:
+            result = ShardedFederationSimulator(killed_spec).run()
+        except SimulationFailure as failure:
+            raise FailoverFailure(
+                killed_spec, round_index, index,
+                f"killed run failed outright: {failure.detail}"
+            ) from failure
+        kill = next((f for f in result.failovers if f.node == node),
+                    None)
+        if kill is None:
+            raise FailoverFailure(
+                killed_spec, round_index, index,
+                f"the scheduled kill of {node} never failed over")
+        if kill.recovered_digest != trail[index]:
+            raise FailoverFailure(
+                killed_spec, round_index, index,
+                f"{node}: recovered state digest {kill.recovered_digest}"
+                f" != uninterrupted digest {trail[index]} at the same "
+                f"record")
+        if root_kill is not None and not any(
+                f.node == root_name for f in result.failovers):
+            raise FailoverFailure(
+                killed_spec, round_index, index,
+                "the racing root failover never fired")
+        if result.final_weights != reference.final_weights:
+            raise FailoverFailure(
+                killed_spec, round_index, index,
+                "final decrypted weights diverged from the "
+                "uninterrupted run")
+        if result.checksum() != reference.checksum():
+            raise FailoverFailure(
+                killed_spec, round_index, index,
+                f"round checksum {result.checksum()} != reference "
+                f"{reference.checksum()}")
+    mode = f"shard:{node}" + ("+root-race" if racing else "")
+    return CrashSweepReport(
+        spec=reference_spec, mode=mode,
+        wal_records=total_records,
+        boundaries_tested=len(record_indices),
+        reference_checksum=reference.checksum())
+
+
 def replay(trace_json: str) -> SimulationResult:
     """Rebuild and run a simulation from a failure's printed trace.
 
     ``(seed, trace)`` is the full state: this constructs a fresh
     simulator from the JSON and runs it -- the repro path named in every
-    :class:`SimulationFailure` message.  Traces whose spec is durable
-    (or whose fault plan schedules coordinator kills) replay through the
-    :class:`DurableFederationSimulator`.
+    :class:`SimulationFailure` message.  Traces whose spec is sharded
+    (or whose fault plan schedules shard faults or kills against the
+    ``root`` party) replay through the
+    :class:`ShardedFederationSimulator`; durable traces (or plans with
+    coordinator kills) through the :class:`DurableFederationSimulator`.
     """
     spec = SimulationSpec.from_json(trace_json)
+    plan = spec.fault_plan
+    sharded = spec.sharded or (plan is not None and (
+        bool(plan.shard_events())
+        or any(e.kind in COORDINATOR_KINDS and e.party == "root"
+               for e in plan.events)))
+    if sharded:
+        return ShardedFederationSimulator(spec).run()
     durable = spec.durable or (
-        spec.fault_plan is not None
-        and bool(spec.fault_plan.coordinator_events()))
+        plan is not None and bool(plan.coordinator_events()))
     if durable:
         return DurableFederationSimulator(spec).run()
     return FederationSimulator(spec).run()

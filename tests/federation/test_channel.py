@@ -99,6 +99,43 @@ class TestBroadcast:
         assert channel.stats.messages == 3
         assert channel.ledger.count("comm.down") == 3
 
+    def test_failed_receivers_charged_like_send(self):
+        """Regression: a failing broadcast must charge every receiver's
+        failed attempts exactly as per-receiver ``send`` calls would,
+        attempt the *whole* receiver list, and aggregate the failures
+        into one error instead of aborting at the first."""
+        def doomed_channel():
+            return Channel(profile=HardwareProfile(), ledger=CostLedger(),
+                           drop_probability=0.99, seed=5,
+                           retry_policy=RetryPolicy(max_retries=0))
+
+        receivers = ["c1", "c2", "c3"]
+        message = Message(sender="s", receiver="*", tag="down",
+                          payload=None, plaintext_bytes=32)
+        broadcaster = doomed_channel()
+        with pytest.raises(ChannelError) as excinfo:
+            broadcaster.broadcast(message, receivers=receivers)
+        error = excinfo.value
+
+        # Every receiver was attempted and charged, none skipped.
+        assert broadcaster.stats.failed_messages == len(receivers)
+        assert broadcaster.ledger.count("fault.giveup") == len(receivers)
+        assert error.attempts == len(receivers)
+        assert error.wasted_bytes == 32 * len(receivers)
+
+        # Byte-for-byte the same ledger story as individual sends.
+        individual = doomed_channel()
+        for receiver in receivers:
+            with pytest.raises(ChannelError):
+                individual.send(Message(
+                    sender="s", receiver=receiver, tag="down",
+                    payload=None, plaintext_bytes=32))
+        for category in ("comm.down", "fault.giveup"):
+            assert broadcaster.ledger.count(category) \
+                == individual.ledger.count(category)
+            assert broadcaster.ledger.payload_bytes(category) \
+                == individual.ledger.payload_bytes(category)
+
 
 class TestFailureInjection:
     def test_no_drops_by_default(self):

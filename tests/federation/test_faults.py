@@ -233,3 +233,48 @@ class TestCoordinatorFaultEvents:
         assert ledger.count("fault.failover") == 1
         assert ("coordinator_crash", "coordinator", 0) in injector.triggered
         assert ("failover", "coordinator", 1) in injector.triggered
+
+
+class TestShardFaultEvents:
+    def test_shard_crash_needs_after_record(self):
+        with pytest.raises(ValueError, match="after_record"):
+            FaultEvent("shard_crash", "shard-0", 0)
+        # queue_overload has no WAL boundary -- whole-round semantics.
+        FaultEvent("queue_overload", "shard-0", 0)
+
+    def test_builders_and_shard_events(self):
+        plan = (FaultPlan(seed=3)
+                .shard_crash("shard-1", 0, after_record=4)
+                .queue_overload("shard-0", 2)
+                .failover(1, after_record=9))
+        events = plan.shard_events()
+        assert [(e.kind, e.party) for e in events] \
+            == [("shard_crash", "shard-1"), ("queue_overload", "shard-0")]
+        assert plan.shard_events()[0].after_record == 4
+
+    def test_round_trip_preserves_shard_kinds(self):
+        plan = (FaultPlan(seed=5)
+                .shard_crash("shard-2", 1, after_record=7)
+                .queue_overload("shard-0", 0)
+                .crash("client-1", round_index=0))
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt == plan
+        kinds = [(e.kind, e.party, e.after_record)
+                 for e in rebuilt.shard_events()]
+        assert kinds == [("shard_crash", "shard-2", 7),
+                         ("queue_overload", "shard-0", None)]
+
+    def test_overload_query_is_pure_and_charge_is_explicit(self):
+        ledger = CostLedger()
+        plan = FaultPlan(seed=1).queue_overload("shard-0", 2)
+        injector = FaultInjector(plan, ledger)
+        assert injector.queue_overloaded("shard-0", 2)
+        assert not injector.queue_overloaded("shard-0", 1)
+        assert not injector.queue_overloaded("shard-1", 2)
+        assert ledger.count("fault.queue_overload") == 0  # query free
+        injector.charge_queue_overload("shard-0", 2)
+        injector.charge_shard_crash("shard-1", 0)
+        assert ledger.count("fault.queue_overload") == 1
+        assert ledger.count("fault.shard_crash") == 1
+        assert ("queue_overload", "shard-0", 2) in injector.triggered
+        assert ("shard_crash", "shard-1", 0) in injector.triggered

@@ -1,0 +1,77 @@
+"""Property tests: capacity algebra and sharded/flat sum identity."""
+
+from types import SimpleNamespace
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation.runtime import FLBOOSTER_SYSTEM, FederationRuntime
+from repro.federation.shard import (
+    ShardedAggregationService,
+    plan_shards,
+    segment_partials,
+)
+
+
+@st.composite
+def cohorts_and_capacities(draw):
+    cohort = draw(st.lists(st.integers(0, 10_000), min_size=1,
+                           max_size=64, unique=True))
+    capacity = draw(st.integers(min_value=1, max_value=12))
+    num_shards = draw(st.one_of(
+        st.none(), st.integers(min_value=1, max_value=16)))
+    return cohort, capacity, num_shards
+
+
+@settings(max_examples=100)
+@given(cohorts_and_capacities())
+def test_plan_shards_never_exceeds_capacity(case):
+    cohort, capacity, num_shards = case
+    groups = plan_shards(cohort, num_shards=num_shards,
+                         max_summands=capacity)
+    assert all(1 <= len(group) <= capacity for group in groups)
+    assert [i for group in groups for i in group] == cohort
+
+
+@settings(max_examples=100)
+@given(st.lists(st.integers(min_value=1, max_value=8), min_size=1,
+                max_size=40),
+       st.integers(min_value=8, max_value=20))
+def test_segment_partials_never_exceeds_capacity(summand_counts, capacity):
+    partials = [SimpleNamespace(meta=SimpleNamespace(summands=count))
+                for count in summand_counts]
+    segments = segment_partials(partials, max_summands=capacity)
+    assert all(
+        sum(p.meta.summands for p in segment) <= capacity
+        for segment in segments)
+    flattened = [p.meta.summands for seg in segments for p in seg]
+    assert flattened == summand_counts  # order-preserving partition
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=3))
+def test_sharded_sum_bit_identical_to_flat(num_clients, length,
+                                           num_shards, seed_offset):
+    seed = 11 + seed_offset
+    rng = np.random.default_rng(seed)
+    vectors = [rng.uniform(-0.5, 0.5, size=length)
+               for _ in range(num_clients)]
+
+    flat = FederationRuntime(FLBOOSTER_SYSTEM, num_clients=num_clients,
+                             key_bits=256, physical_key_bits=128,
+                             seed=seed)
+    expected = flat.aggregator.aggregate(vectors, round_index=0)
+
+    sharded = FederationRuntime(FLBOOSTER_SYSTEM,
+                                num_clients=num_clients,
+                                key_bits=256, physical_key_bits=128,
+                                seed=seed)
+    service = ShardedAggregationService(
+        sharded.aggregator, seed=seed,
+        num_shards=min(num_shards, num_clients))
+    result = service.run_round(vectors, round_index=0)
+    assert np.array_equal(np.asarray(result), np.asarray(expected))
