@@ -229,7 +229,7 @@ def _cmd_fuzz(args) -> int:
 
     seed = int(args.seed) if args.seed.lstrip("-").isdigit() \
         else args.seed
-    report = run_fuzz(cases=args.cases, seed=seed)
+    report = run_fuzz(cases=args.cases, seed=seed, corpus=args.corpus)
     print(report.summary())
     return 0 if report.passed else 1
 
@@ -455,6 +455,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--cases", type=int, default=500)
     fuzz.add_argument("--seed", default="0",
                       help="int, or a string (e.g. 'ci') hashed to one")
+    fuzz.add_argument("--corpus", choices=["all", "packing"],
+                      default="all",
+                      help="'packing' restricts to FLT2/FLT3 tensor "
+                           "frames (the codec-focused campaign)")
     fuzz.set_defaults(handler=_cmd_fuzz)
 
     failover = commands.add_parser(

@@ -352,6 +352,11 @@ class SecureAggregator:
         Returns one ciphertext per ``capacity`` inputs.
         """
         engine = self.client_engine if charged else self.silent_engine
+        codec_id = getattr(self.packer, "codec_id", "dense")
+        if codec_id == "sparse":
+            raise ValueError(
+                "cipher_pack is undefined for the sparse codec: slot "
+                "positions do not map to ciphertext order")
         capacity = self.packer.capacity
         slot_bits = self.packer.slot_bits
         if capacity == 1:
@@ -359,7 +364,18 @@ class SecureAggregator:
         packed: List[int] = []
         for start in range(0, len(ciphertexts), capacity):
             chunk = list(ciphertexts[start:start + capacity])
-            # Left-align a partial final chunk to keep slot indices fixed.
+            if codec_id == "interleave":
+                # LSB-first layout: shift each *value* into its slot;
+                # partial chunks need no padding (high slots stay zero).
+                word = chunk[0]
+                for index, value in enumerate(chunk[1:], start=1):
+                    shifted = engine.scalar_mul_batch(
+                        [value], [1 << (slot_bits * index)])
+                    word = engine.add_batch([word], shifted)[0]
+                packed.append(word)
+                continue
+            # Dense MSB-first layout (Horner's scheme); left-align a
+            # partial final chunk to keep slot indices fixed.
             pad_slots = capacity - len(chunk)
             word = chunk[0]
             for value in chunk[1:]:

@@ -166,6 +166,11 @@ class FederationRuntime:
         fused: Flush server-side aggregation through the lazy tensor
             fusion planner (default); ``False`` keeps the eager per-pair
             path for launch-count comparison benchmarks.
+        packing_codec: Session-wide packing layout: ``"dense"``
+            (default, the paper's Eq. 9 packer) or ``"interleave"``
+            (FedBit-style guard-banded layout with a higher summand
+            capacity).  The sparse codec is per-tensor (it needs a
+            support pattern), so it is not a session knob.
     """
 
     def __init__(self, config: SystemConfig, num_clients: int,
@@ -179,10 +184,16 @@ class FederationRuntime:
                  min_quorum: Optional[int] = None,
                  round_deadline_seconds: Optional[float] = None,
                  incarnation: int = 0,
-                 fused: bool = True):
+                 fused: bool = True,
+                 packing_codec: str = "dense"):
         if bc_capacity not in ("nominal", "physical"):
             raise ValueError("bc_capacity must be 'nominal' or 'physical'")
+        if packing_codec not in ("dense", "interleave"):
+            raise ValueError(
+                "packing_codec must be 'dense' or 'interleave' (the "
+                "sparse codec needs a per-tensor support pattern)")
         self.bc_capacity = bc_capacity
+        self.packing_codec = packing_codec
         if num_clients < 1:
             raise ValueError("need at least one client")
         if min_quorum is not None and not 1 <= min_quorum <= num_clients:
@@ -259,6 +270,21 @@ class FederationRuntime:
             randomizer_pool_size=self.randomizer_pool_size)
 
     def _build_plan(self) -> PackingPlan:
+        plan = self._dense_plan()
+        if self.packing_codec == "interleave":
+            # Same scheme and physical plaintext, laid out with the
+            # guard-banded interleaved codec; capacity derives from the
+            # wider stride, summand capacity from the guard band.
+            from repro.quantization.codecs import InterleavedCodec
+
+            codec = InterleavedCodec(
+                plan.scheme,
+                plaintext_bits=self.client_engine.physical_plaintext_bits)
+            plan = PackingPlan(scheme=plan.scheme, packer=codec,
+                               nominal_key_bits=plan.nominal_key_bits)
+        return plan
+
+    def _dense_plan(self) -> PackingPlan:
         if self.config.batch_compression:
             if self.bc_capacity == "physical":
                 scheme = QuantizationScheme(alpha=self.alpha,

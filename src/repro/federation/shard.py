@@ -224,7 +224,11 @@ class ShardAggregator(DurableCoordinator):
                                   len(uploads))
             accepted = self.machine.upload_tensors()
             summands = sum(t.meta.summands for t in accepted)
-            capacity = agg.packer.max_safe_summands()
+            # Honor the *uploads'* codec: an interleaved layout affords
+            # more summands than the dense default, a fact the tensors
+            # themselves carry via their TensorMeta codec identity.
+            capacity = (accepted[0].meta.summand_capacity() if accepted
+                        else agg.packer.max_safe_summands())
             if summands > capacity:
                 raise OverflowError(
                     f"shard cohort carries {summands} summands, over the "
@@ -321,8 +325,11 @@ class RootCoordinator(DurableCoordinator):
                            tensors: Sequence[CipherTensor]) -> np.ndarray:
         """Capacity-bounded reduction: sum within segments, add decoded."""
         agg = self.aggregator
-        segments = segment_partials(tensors,
-                                    agg.packer.max_safe_summands())
+        # Per-codec capacity from the partials themselves (guard-banded
+        # layouts segment less often than the dense default would).
+        capacity = (tensors[0].meta.summand_capacity() if tensors
+                    else agg.packer.max_safe_summands())
+        segments = segment_partials(tensors, capacity)
         total: Optional[np.ndarray] = None
         for segment in segments:
             combined = agg._server_sum(list(segment))

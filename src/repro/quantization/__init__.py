@@ -8,15 +8,29 @@
   ``n = floor(k / (r + ceil(log2 p)))`` quantized gradients into one
   plaintext, with the compression-ratio and plaintext-space-utilization
   formulas of Eqs. 11-12.
+- :mod:`repro.quantization.codecs` -- the pluggable codec registry
+  (dense / interleave / sparse) layered over the same protocol, so
+  PlainTensor and the wire format are parameterized by layout.
 """
 
+from repro.quantization.codecs import (
+    InterleavedCodec,
+    SparseCodec,
+    build_codec,
+    get_codec,
+    register_codec,
+    registered_codecs,
+)
 from repro.quantization.encoding import (
     QuantizationScheme,
     LegacyFloatEncoding,
     DEFAULT_QUANTIZATION_BITS,
+    overflow_bits_for,
+    slot_bits_for,
 )
 from repro.quantization.packing import (
     BatchPacker,
+    CodecCapabilities,
     PackingPlan,
     compression_ratio,
     plaintext_space_utilization,
@@ -26,8 +40,17 @@ __all__ = [
     "QuantizationScheme",
     "LegacyFloatEncoding",
     "DEFAULT_QUANTIZATION_BITS",
+    "overflow_bits_for",
+    "slot_bits_for",
     "BatchPacker",
+    "CodecCapabilities",
     "PackingPlan",
     "compression_ratio",
     "plaintext_space_utilization",
+    "InterleavedCodec",
+    "SparseCodec",
+    "build_codec",
+    "get_codec",
+    "register_codec",
+    "registered_codecs",
 ]

@@ -36,6 +36,24 @@ import numpy as np
 DEFAULT_QUANTIZATION_BITS = 30
 
 
+def overflow_bits_for(num_parties: int) -> int:
+    """Guard bits ``b = ceil(log2 p)`` reserved above each value (Eq. 8).
+
+    The single source of the overflow-bit arithmetic: the quantization
+    scheme, the Eq. 9/11/12 capacity formulas and every packing codec
+    all derive their guard width from here, so the capacity algebra
+    cannot drift between call sites.
+    """
+    if num_parties < 1:
+        raise ValueError("need at least one participant")
+    return max(1, math.ceil(math.log2(max(num_parties, 2))))
+
+
+def slot_bits_for(r_bits: int, num_parties: int) -> int:
+    """Total bits per packed slot: ``r + b`` (Eq. 8)."""
+    return r_bits + overflow_bits_for(num_parties)
+
+
 @dataclass(frozen=True)
 class QuantizationScheme:
     """The secure encoding-quantization of Eqs. 6-8.
@@ -59,14 +77,13 @@ class QuantizationScheme:
             raise ValueError("need at least 2 quantization bits")
         if self.num_parties < 1:
             raise ValueError("need at least one participant")
-        object.__setattr__(
-            self, "overflow_bits",
-            max(1, math.ceil(math.log2(max(self.num_parties, 2)))))
+        object.__setattr__(self, "overflow_bits",
+                           overflow_bits_for(self.num_parties))
 
     @property
     def slot_bits(self) -> int:
         """Total bits per encoded value: ``b + r`` (Eq. 8)."""
-        return self.r_bits + self.overflow_bits
+        return slot_bits_for(self.r_bits, self.num_parties)
 
     @property
     def scale(self) -> float:

@@ -20,15 +20,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
-from repro.quantization.encoding import QuantizationScheme
+import numpy as np
+
+from repro.quantization.encoding import QuantizationScheme, slot_bits_for
 
 
 def packing_capacity(key_bits: int, r_bits: int, num_parties: int) -> int:
     """Values per plaintext: ``n = floor(k / (r + ceil(log2 p)))``."""
-    slot = r_bits + max(1, math.ceil(math.log2(max(num_parties, 2))))
-    return max(1, key_bits // slot)
+    return max(1, key_bits // slot_bits_for(r_bits, num_parties))
 
 
 def compression_ratio(n_values: int, key_bits: int, r_bits: int,
@@ -42,10 +43,32 @@ def compression_ratio(n_values: int, key_bits: int, r_bits: int,
 def plaintext_space_utilization(n_values: int, key_bits: int, r_bits: int,
                                 num_parties: int) -> float:
     """Eq. 12: fraction of plaintext bits carrying payload."""
-    slot = r_bits + max(1, math.ceil(math.log2(max(num_parties, 2))))
+    slot = slot_bits_for(r_bits, num_parties)
     capacity = packing_capacity(key_bits, r_bits, num_parties)
     ciphertexts = math.ceil(n_values / capacity)
     return (n_values * slot) / (key_bits * ciphertexts)
+
+
+@dataclass(frozen=True)
+class CodecCapabilities:
+    """Capability descriptor every packing codec advertises.
+
+    Attributes:
+        slot_layout: Human-readable layout family (``"dense-msb"``,
+            ``"interleave-lsb"``, ``"sparse-pairs"``).
+        summand_capacity: How many packed words may be slot-wise summed
+            before a carry can cross into a neighbouring slot.
+        add_safe: Whether homomorphic addition of two *independently*
+            encoded tensors is well defined (sparse layouts additionally
+            require identical support, enforced by the TensorMeta
+            algebra's codec-parameter equality check).
+        sliceable: Whether word-aligned logical slicing is meaningful.
+    """
+
+    slot_layout: str
+    summand_capacity: int
+    add_safe: bool = True
+    sliceable: bool = True
 
 
 class BatchPacker:
@@ -61,6 +84,9 @@ class BatchPacker:
         plaintext_bits: Physical plaintext budget; packing more slots than
             fit raises at construction.
     """
+
+    #: Registry identity of the dense fixed-width layout (see codecs.py).
+    codec_id = "dense"
 
     def __init__(self, scheme: QuantizationScheme, plaintext_bits: int,
                  capacity: int | None = None):
@@ -159,6 +185,45 @@ class BatchPacker:
     def max_safe_summands(self) -> int:
         """How many packed words may be summed without cross-slot carries."""
         return 2 ** self.scheme.overflow_bits
+
+    # ------------------------------------------------------------------
+    # Codec protocol (see quantization/codecs.py).
+    # ------------------------------------------------------------------
+
+    def codec_params(self) -> Tuple[int, ...]:
+        """Wire parameters; the dense layout is fully fixed by the scheme."""
+        return ()
+
+    @classmethod
+    def from_meta(cls, meta) -> "BatchPacker":
+        """Rebuild the packer a :class:`TensorMeta` describes."""
+        if tuple(getattr(meta, "codec_params", ())):
+            raise ValueError("the dense codec takes no wire parameters")
+        return cls(meta.scheme,
+                   plaintext_bits=meta.capacity * meta.scheme.slot_bits,
+                   capacity=meta.capacity)
+
+    def pack_values(self, values: np.ndarray) -> List[int]:
+        """Quantize a flat float array and pack it into plaintext words."""
+        return self.pack(self.scheme.encode_array(np.asarray(values)))
+
+    def decode_words(self, words: Sequence[int], count: int,
+                     summands: int = 1) -> np.ndarray:
+        """Unpack words and decode slot sums of ``summands`` encodings."""
+        if self.capacity > 1 and summands > self.max_safe_summands():
+            raise OverflowError(
+                f"{summands} summands exceed the {self.scheme.overflow_bits} "
+                f"guard bits of the dense layout")
+        slots = self.unpack(words, count)
+        return self.scheme.decode_array(slots, count=summands)
+
+    def describe(self) -> CodecCapabilities:
+        """Capability descriptor for planners and the conformance matrix."""
+        return CodecCapabilities(
+            slot_layout="dense-msb",
+            summand_capacity=self.max_safe_summands(),
+            add_safe=True,
+            sliceable=True)
 
     def _check_encodings(self, encoded: Sequence[int]) -> None:
         bound = 1 << self.scheme.r_bits

@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Tuple
 
+from repro.quantization.codecs import build_codec
 from repro.quantization.encoding import QuantizationScheme
 
 
@@ -57,6 +58,13 @@ class TensorMeta:
             Eq. 6 translation-offset multiplier the decode must subtract.
         packed: Whether the words use the Eq. 9 multi-slot layout (true
             exactly when ``capacity > 1``).
+        codec: Registry id of the packing codec that laid out the words
+            (``"dense"`` / ``"interleave"`` / ``"sparse"``; see
+            :mod:`repro.quantization.codecs`).
+        codec_params: The codec's wire parameters -- together with the
+            scheme and capacity they reconstruct the exact layout on the
+            receiving side (guard width for interleave; value width and
+            support pattern for sparse).
     """
 
     key_fingerprint: bytes
@@ -68,6 +76,8 @@ class TensorMeta:
     count: int
     summands: int = 1
     packed: bool = False
+    codec: str = "dense"
+    codec_params: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if len(self.key_fingerprint) != 16:
@@ -85,6 +95,11 @@ class TensorMeta:
             raise ValueError(
                 f"shape {self.shape} holds {expected} values, not "
                 f"{self.count}")
+        object.__setattr__(self, "codec_params",
+                           tuple(int(p) for p in self.codec_params))
+        # Reject unknown codec ids and implausible parameters up front:
+        # a meta that cannot rebuild its codec cannot be decoded either.
+        build_codec(self)
 
     @property
     def scheme_id(self) -> str:
@@ -94,10 +109,22 @@ class TensorMeta:
 
     @property
     def num_words(self) -> int:
-        """Ciphertext words the payload occupies."""
+        """Ciphertext words the payload occupies (codec-dependent)."""
         if self.count == 0:
             return 0
-        return math.ceil(self.count / self.capacity)
+        if self.codec == "dense":
+            return math.ceil(self.count / self.capacity)
+        return build_codec(self).words_needed(self.count)
+
+    def summand_capacity(self) -> int:
+        """How many same-layout tensors may be slot-wise summed.
+
+        Per-codec: the Eq. 8 guard bits for dense and sparse, the
+        widened guard band for the interleaved layout.  Shard capacity
+        planning and the segmented decrypt consult this instead of
+        assuming ``2**overflow_bits``.
+        """
+        return build_codec(self).max_safe_summands()
 
     # ------------------------------------------------------------------
     # Derived metadata for the homomorphic operations.
@@ -120,6 +147,15 @@ class TensorMeta:
             raise ValueError(
                 f"layout mismatch: {self.scheme_id}/cap{self.capacity} vs "
                 f"{other.scheme_id}/cap{other.capacity}")
+        if self.codec != other.codec:
+            raise ValueError(
+                f"codec mismatch: {self.codec} vs {other.codec}")
+        if self.codec_params != other.codec_params:
+            # For the sparse layout this is the support-pattern check:
+            # adding different patterns would sum unrelated positions.
+            raise ValueError(
+                f"codec parameter mismatch for {self.codec!r} "
+                f"(patterns/widths differ)")
         if self.count != other.count or self.shape != other.shape:
             raise ValueError(
                 f"shape mismatch: {self.shape} vs {other.shape}")
@@ -138,6 +174,10 @@ class TensorMeta:
 
     def sliced(self, start: int, stop: int) -> "TensorMeta":
         """Metadata of a word-aligned logical slice ``[start:stop]``."""
+        if not build_codec(self).describe().sliceable:
+            raise ValueError(
+                f"the {self.codec!r} codec is not sliceable: word "
+                f"boundaries have no aligned meaning in index space")
         if not 0 <= start <= stop <= self.count:
             raise IndexError(
                 f"slice [{start}:{stop}] outside 0..{self.count}")
@@ -158,6 +198,10 @@ class TensorMeta:
             raise ValueError(
                 "sum() needs capacity 1: summing packed words mixes "
                 "unrelated slots")
+        if self.codec == "sparse":
+            raise ValueError(
+                "sum() over the sparse layout mixes distinct pattern "
+                "positions; decode and re-encode densely instead")
         if num_words < 1:
             raise ValueError("cannot sum an empty tensor")
         return replace(self, shape=(1,), count=1,

@@ -14,6 +14,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.quantization.codecs import build_codec
 from repro.quantization.packing import BatchPacker
 from repro.tensor.meta import TensorMeta
 
@@ -21,11 +22,15 @@ from repro.tensor.meta import TensorMeta
 PLAINTEXT_FINGERPRINT = b"\x00" * 16
 
 
-def packer_for(meta: TensorMeta) -> BatchPacker:
-    """Reconstruct the Eq. 9 packer a tensor's metadata describes."""
-    return BatchPacker(meta.scheme,
-                       plaintext_bits=meta.capacity * meta.scheme.slot_bits,
-                       capacity=meta.capacity)
+def packer_for(meta: TensorMeta):
+    """Reconstruct the packing codec a tensor's metadata describes.
+
+    Historically this always rebuilt the dense Eq. 9
+    :class:`~repro.quantization.packing.BatchPacker`; it now consults
+    the codec registry, so metas carrying ``codec="interleave"`` or
+    ``codec="sparse"`` come back as their own layouts.
+    """
+    return build_codec(meta)
 
 
 class PlainTensor:
@@ -72,14 +77,16 @@ class PlainTensor:
 
         Args:
             values: Real-valued array of any shape.
-            packer: The Eq. 9 packing plan (scheme + capacity).
+            packer: Any registered packing codec (the dense Eq. 9
+                :class:`BatchPacker`, the interleaved layout, or a
+                pattern-pinned sparse codec); its identity and wire
+                parameters are recorded in the metadata.
             nominal_bits / physical_bits: Key geometry recorded in the
                 metadata; an engine overwrites them at encryption time.
         """
         array = np.asarray(values, dtype=np.float64)
         flat = array.ravel()
-        encoded = packer.scheme.encode_array(flat)
-        words = packer.pack(encoded)
+        words = packer.pack_values(flat)
         meta = TensorMeta(
             key_fingerprint=PLAINTEXT_FINGERPRINT,
             nominal_bits=nominal_bits,
@@ -90,6 +97,8 @@ class PlainTensor:
             count=flat.size,
             summands=1,
             packed=packer.capacity > 1,
+            codec=packer.codec_id,
+            codec_params=packer.codec_params(),
         )
         return cls(words, meta)
 
@@ -98,13 +107,15 @@ class PlainTensor:
 
         The Eq. 6 translation offset is corrected with the metadata's own
         ``summands`` count, so partial aggregates and scaled tensors
-        decode exactly without the caller supplying anything.
+        decode exactly without the caller supplying anything.  The codec
+        recorded in the metadata drives the unpacking, so dense,
+        interleaved and sparse payloads all come back through the same
+        call.
         """
-        packer = packer_for(self.meta)
-        encoded = packer.unpack(list(self.words), self.meta.count)
-        decoded = self.meta.scheme.decode_array(
-            encoded, count=self.meta.summands)
-        return decoded.reshape(self.meta.shape)
+        codec = packer_for(self.meta)
+        decoded = codec.decode_words(
+            list(self.words), self.meta.count, summands=self.meta.summands)
+        return np.asarray(decoded).reshape(self.meta.shape)
 
     # ------------------------------------------------------------------
     # Views.

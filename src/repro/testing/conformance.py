@@ -36,6 +36,7 @@ from repro.testing.trace import (
     SCALAR_MUL,
     SUM,
     ConformanceTrace,
+    codec_trace_suite,
     ring_trace,
     standard_traces,
 )
@@ -103,9 +104,16 @@ def discovered_factories() -> Dict[str, Callable]:
 
 
 def full_trace_suite(key_bits: int = 128) -> List[ConformanceTrace]:
-    """The standard traces plus the symmetric-masking ring trace."""
-    return standard_traces(key_bits=key_bits) + [
-        ring_trace(3, key_bits=key_bits)]
+    """Standard traces, per-codec packing traces, and the ring trace.
+
+    The codec traces replay every registered packing codec's words
+    through real homomorphic adds, so codec x engine combinations are
+    diff-tested bit-identically for free whenever either registry
+    grows.
+    """
+    return (standard_traces(key_bits=key_bits)
+            + codec_trace_suite(key_bits=key_bits)
+            + [ring_trace(3, key_bits=key_bits)])
 
 
 def conformance_matrix(

@@ -1,9 +1,11 @@
-"""Structured fuzzer for the FLT2 / FLBP wire formats and the WAL.
+"""Structured fuzzer for the FLT2 / FLT3 / FLBP wire formats and the WAL.
 
 Seeded mutation of valid frames -- bit flips, truncation, extension,
-length-field lies, fingerprint swaps, magic/version tampering, and
-WAL-specific CRC lies and record splices -- with a strict two-sided
-oracle on every case:
+length-field lies, fingerprint swaps, magic/version tampering,
+FLT3-specific codec-block attacks (codec-id lies, codec-parameter
+corruption, sparse-pattern lies: out-of-range / duplicate / unsorted
+indices), and WAL-specific CRC lies and record splices -- with a strict
+two-sided oracle on every case:
 
 - a decoder may **reject** the mutant, but only with a *typed* error
   (:class:`~repro.federation.serialization.FrameError` or its
@@ -34,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from repro.federation.serialization import (
     FrameError,
     TENSOR_HEADER,
+    TENSOR_MAGIC,
     deserialize_packed,
     deserialize_tensor,
     serialize_packed,
@@ -64,6 +67,9 @@ MUTATIONS = (
     "slice_scramble",    # overwrite a random slice with random bytes
     "crc_lie",           # WAL: overwrite one record's CRC field
     "record_splice",     # WAL: duplicate or delete one record frame
+    "codec_id_lie",      # FLT3: rewrite the codec id / its length byte
+    "codec_param_corrupt",  # FLT3: corrupt one codec parameter or count
+    "sparse_index_lie",  # FLT3: out-of-range/duplicate/unsorted pattern
 )
 
 
@@ -126,7 +132,7 @@ class FuzzReport:
 # ----------------------------------------------------------------------
 
 def _tensor_frame(rng: random.Random) -> Tuple[str, bytes, int]:
-    """A valid FLT2 frame with random (but consistent) geometry."""
+    """A valid legacy FLT2 frame with random (but consistent) geometry."""
     capacity = rng.choice([1, 1, 3, 4])
     count = rng.randrange(0, 9)
     num_words = 0 if count == 0 else -(-count // capacity)
@@ -147,7 +153,48 @@ def _tensor_frame(rng: random.Random) -> Tuple[str, bytes, int]:
         packed=capacity > 1,
     )
     tensor = CipherTensor(meta, words=words)
-    return "tensor", serialize_tensor(tensor, ciphertext_bytes=width), width
+    frame = serialize_tensor(tensor, ciphertext_bytes=width, version=2)
+    return "tensor", frame, width
+
+
+def _tensor3_frame(rng: random.Random) -> Tuple[str, bytes, int]:
+    """A valid FLT3 frame under a random registered codec."""
+    scheme = QuantizationScheme(alpha=1.0,
+                                r_bits=rng.choice([16, 30]),
+                                num_parties=rng.randrange(1, 9))
+    capacity = rng.choice([1, 2, 3, 4])
+    codec = rng.choice(["dense", "interleave", "sparse"])
+    if codec == "dense":
+        count = rng.randrange(0, 9)
+        params: Tuple[int, ...] = ()
+    elif codec == "interleave":
+        count = rng.randrange(0, 9)
+        params = (scheme.overflow_bits + rng.choice([0, 4, 8]),)
+    else:
+        count = rng.randrange(1, 9)
+        nnz = rng.randrange(0, count + 1)
+        indices = sorted(rng.sample(range(count), nnz))
+        params = (rng.choice([4, 8, 12]), *indices)
+    width = rng.choice([8, 16, 32])
+    fingerprint = bytes(rng.getrandbits(8) for _ in range(16))
+    meta = TensorMeta(
+        key_fingerprint=fingerprint,
+        nominal_bits=rng.choice([1024, 2048]),
+        physical_bits=8 * width // 2,
+        scheme=scheme,
+        capacity=capacity,
+        shape=(count,),
+        count=count,
+        summands=rng.randrange(1, 5),
+        packed=capacity > 1,
+        codec=codec,
+        codec_params=params,
+    )
+    words = [rng.getrandbits(8 * width - 3)
+             for _ in range(meta.num_words)]
+    tensor = CipherTensor(meta, words=words)
+    frame = serialize_tensor(tensor, ciphertext_bytes=width, version=3)
+    return "tensor3", frame, width
 
 
 def _packed_frame(rng: random.Random) -> Tuple[str, bytes, int]:
@@ -187,11 +234,18 @@ def _wal_extents(blob: bytes) -> List[Tuple[int, int]]:
     return extents
 
 
-def _corpus_frame(rng: random.Random) -> Tuple[str, bytes, int]:
+def _corpus_frame(rng: random.Random,
+                  corpus: str = "all") -> Tuple[str, bytes, int]:
     draw = rng.random()
-    if draw < 0.45:
+    if corpus == "packing":
+        # The packing-focused campaign: only tensor frames, weighted
+        # toward the codec-aware v3 format.
+        return _tensor_frame(rng) if draw < 0.35 else _tensor3_frame(rng)
+    if draw < 0.25:
         return _tensor_frame(rng)
-    if draw < 0.75:
+    if draw < 0.50:
+        return _tensor3_frame(rng)
+    if draw < 0.78:
         return _packed_frame(rng)
     return _wal_frame(rng)
 
@@ -206,9 +260,22 @@ def _flip_bit(blob: bytes, index: int, bit: int) -> bytes:
     return bytes(out)
 
 
+def _codec_block_extent(blob: bytes) -> Tuple[int, int, int, int]:
+    """Locate the codec block in a *valid* FLT3 frame.
+
+    Returns ``(block_offset, id_len, params_offset, param_count)`` where
+    ``params_offset`` points at the first 8-byte parameter.
+    """
+    offset = TENSOR_HEADER.size + 4 * blob[6]  # blob[6] is ndim
+    id_len = blob[offset]
+    params_at = offset + 1 + id_len
+    param_count = int.from_bytes(blob[params_at:params_at + 4], "big")
+    return offset, id_len, params_at + 4, param_count
+
+
 def _mutate(rng: random.Random, fmt: str, blob: bytes,
             mutation: str) -> bytes:
-    if fmt == "tensor":
+    if fmt in ("tensor", "tensor3"):
         header_size = TENSOR_HEADER.size
     elif fmt == "wal":
         header_size = len(WAL_MAGIC) + RECORD_HEADER.size
@@ -227,7 +294,7 @@ def _mutate(rng: random.Random, fmt: str, blob: bytes,
         return blob + extra
     if mutation == "length_lie":
         # Overwrite one of the count / width fields with a lying value.
-        if fmt == "tensor":
+        if fmt in ("tensor", "tensor3"):
             offset = rng.choice([8, 20, 24])  # count / num_words / width
         elif fmt == "wal":
             extents = _wal_extents(blob)
@@ -239,18 +306,75 @@ def _mutate(rng: random.Random, fmt: str, blob: bytes,
         out = bytearray(blob)
         out[offset:offset + 4] = lie.to_bytes(4, "big")
         return bytes(out)
-    if mutation == "fingerprint_swap" and fmt == "tensor":
+    if mutation == "fingerprint_swap" and fmt in ("tensor", "tensor3"):
         out = bytearray(blob)
         out[48:64] = bytes(rng.getrandbits(8) for _ in range(16))
         return bytes(out)
     if mutation == "magic_swap":
-        other = rng.choice([b"FLBP", b"FLT2", b"FLT1", b"\x00\x00\x00\x00",
+        other = rng.choice([b"FLBP", b"FLT2", b"FLT3", b"FLT1",
+                            b"\x00\x00\x00\x00",
                             bytes(rng.getrandbits(8) for _ in range(4))])
         return other + blob[4:]
-    if mutation == "version_bump" and fmt == "tensor":
+    if mutation == "version_bump" and fmt in ("tensor", "tensor3"):
         out = bytearray(blob)
-        out[4] = rng.choice([0, 1, 3, 0xFF])
+        out[4] = rng.choice([0, 1, 2, 3, 0xFF])
         return bytes(out)
+    if mutation == "codec_id_lie" and fmt == "tensor3":
+        offset, id_len, _params_at, _count = _codec_block_extent(blob)
+        out = bytearray(blob)
+        if rng.random() < 0.5:
+            # Rewrite the id in place (same length, so the block still
+            # parses): random lowercase ascii, occasionally a *real*
+            # codec name that contradicts the parameters.
+            real = [c for c in (b"dense", b"sparse") if len(c) == id_len]
+            if real and rng.random() < 0.5:
+                lie = rng.choice(real)
+            else:
+                lie = bytes(rng.randrange(97, 123) for _ in range(id_len))
+            out[offset + 1:offset + 1 + id_len] = lie
+        else:
+            # Lie about the id length itself.
+            out[offset] = rng.choice([0, id_len + 1, 0xFF])
+        return bytes(out)
+    if mutation == "codec_param_corrupt" and fmt == "tensor3":
+        offset, _id_len, params_at, count = _codec_block_extent(blob)
+        out = bytearray(blob)
+        if count and rng.random() < 0.7:
+            slot = rng.randrange(count)
+            lie = rng.choice([0, 0xFF, 0xFFFFFFFF,
+                              rng.getrandbits(63)])
+            out[params_at + 8 * slot:params_at + 8 * (slot + 1)] = \
+                lie.to_bytes(8, "big")
+        else:
+            # Lie about the parameter count.
+            out[params_at - 4:params_at] = rng.choice(
+                [0, 1, count + 1, 0x7FFFFFFF]).to_bytes(4, "big")
+        return bytes(out)
+    if mutation == "sparse_index_lie" and fmt == "tensor3":
+        offset, id_len, params_at, count = _codec_block_extent(blob)
+        is_sparse = blob[offset + 1:offset + 1 + id_len] == b"sparse"
+        if is_sparse and count >= 2:  # params[0] is the width
+            out = bytearray(blob)
+            indices = count - 1
+            attack = rng.choice(["out_of_range", "duplicate", "unsorted"])
+            first = params_at + 8  # first pattern index
+            if attack == "out_of_range":
+                slot = rng.randrange(indices)
+                lie = int.from_bytes(blob[8:12], "big") + rng.randrange(
+                    1, 1 << 16)  # header count field + offset
+                out[first + 8 * slot:first + 8 * (slot + 1)] = \
+                    lie.to_bytes(8, "big")
+            elif attack == "duplicate" and indices >= 2:
+                slot = rng.randrange(indices - 1)
+                out[first + 8 * (slot + 1):first + 8 * (slot + 2)] = \
+                    blob[first + 8 * slot:first + 8 * (slot + 1)]
+            elif indices >= 2:  # unsorted: swap two adjacent indices
+                slot = rng.randrange(indices - 1)
+                a = blob[first + 8 * slot:first + 8 * (slot + 1)]
+                b = blob[first + 8 * (slot + 1):first + 8 * (slot + 2)]
+                out[first + 8 * slot:first + 8 * (slot + 1)] = b
+                out[first + 8 * (slot + 1):first + 8 * (slot + 2)] = a
+            return bytes(out)
     if mutation == "crc_lie" and fmt == "wal":
         start, _end = rng.choice(_wal_extents(blob))
         out = bytearray(blob)
@@ -283,10 +407,16 @@ def _classify(fmt: str, mutant: bytes, original: bytes,
               case_index: int, mutation: str) -> Optional[FuzzFinding]:
     """Apply the two-sided oracle to one mutant; None means clean."""
     try:
-        if fmt == "tensor":
+        if fmt in ("tensor", "tensor3"):
             tensor = deserialize_tensor(mutant)
             width = int.from_bytes(mutant[24:28], "big")
-            canonical = serialize_tensor(tensor, ciphertext_bytes=width)
+            # Canonical re-serialization must target the version the
+            # accepted mutant actually carries (a mutation may have
+            # rewritten the magic), so sniff it rather than trusting
+            # the corpus label.
+            version = 2 if mutant[:4] == TENSOR_MAGIC else 3
+            canonical = serialize_tensor(tensor, ciphertext_bytes=width,
+                                         version=version)
         elif fmt == "wal":
             replayed = replay_wal(mutant)
             # Accepted: the consumed prefix must re-encode byte-exactly
@@ -322,20 +452,24 @@ def _classify(fmt: str, mutant: bytes, original: bytes,
 
 
 def run_fuzz(cases: int = 500, seed: Union[int, str] = 0,
-             on_case: Optional[Callable[[int], None]] = None
-             ) -> FuzzReport:
-    """Run a fuzz campaign; deterministic in ``(cases, seed)``.
+             on_case: Optional[Callable[[int], None]] = None,
+             corpus: str = "all") -> FuzzReport:
+    """Run a fuzz campaign; deterministic in ``(cases, seed, corpus)``.
 
     Args:
         cases: Mutants to generate and classify.
         seed: Campaign seed; strings are hashed (``--seed ci``).
         on_case: Optional per-case progress hook.
+        corpus: ``"all"`` draws every format; ``"packing"`` restricts
+            to FLT2/FLT3 tensor frames (the codec-focused campaign).
     """
+    if corpus not in ("all", "packing"):
+        raise ValueError(f"unknown fuzz corpus {corpus!r}")
     resolved = resolve_seed(seed)
     rng = random.Random(resolved)
     report = FuzzReport(seed=resolved)
     for case_index in range(cases):
-        fmt, blob, _width = _corpus_frame(rng)
+        fmt, blob, _width = _corpus_frame(rng, corpus)
         mutation = rng.choice(MUTATIONS)
         mutant = _mutate(rng, fmt, blob, mutation)
         report.cases += 1
@@ -348,7 +482,7 @@ def run_fuzz(cases: int = 500, seed: Union[int, str] = 0,
         else:
             # Re-run the cheap accept/reject split for the tally.
             try:
-                if fmt == "tensor":
+                if fmt in ("tensor", "tensor3"):
                     deserialize_tensor(mutant)
                 elif fmt == "wal":
                     replay_wal(mutant)

@@ -248,6 +248,67 @@ def standard_traces(key_bits: int = 128) -> List[ConformanceTrace]:
     return traces
 
 
+def codec_trace_suite(key_bits: int = 128) -> List[ConformanceTrace]:
+    """Per-codec traces: packed words through real homomorphic adds.
+
+    For every registered packing codec, the same three fixed gradients
+    are quantized and packed into plaintext words *by that codec*, then
+    replayed as ciphertexts through an add chain that stays within the
+    codec's ``max_safe_summands()``.  The oracle's bit-identical word
+    comparison plus the integer shadow model then prove, per codec x
+    engine cell, that homomorphic addition of that codec's layout
+    equals plain integer addition of its words -- the property every
+    layout's guard-bit algebra rests on.
+
+    Words are packed into a 96-bit plaintext budget so they stay far
+    below any >= 128-bit plaintext modulus.  Each codec contributes a
+    decrypting trace (engines with ``decrypt``) and an add-only trace
+    (runnable by the symmetric masking path too).
+    """
+    from repro.quantization.codecs import registered_codecs
+    from repro.quantization.encoding import QuantizationScheme
+
+    scheme = QuantizationScheme(alpha=1.0, r_bits=16, num_parties=8)
+    plaintext_bits = 96
+    # Shared support {1, 4, 6}: the sparse codec pins one pattern that
+    # fits all three gradients, mirroring a pruned layer's fixed mask.
+    grads = [
+        [0.0, 0.25, 0.0, 0.0, -0.5, 0.0, 0.125, 0.0],
+        [0.0, -0.125, 0.0, 0.0, 0.375, 0.0, 0.25, 0.0],
+        [0.0, 0.5, 0.0, 0.0, -0.25, 0.0, -0.125, 0.0],
+    ]
+    envelope = [max(abs(g[i]) for g in grads) for i in range(len(grads[0]))]
+
+    traces: List[ConformanceTrace] = []
+    for seed_base, (codec_id, cls) in enumerate(
+            sorted(registered_codecs().items())):
+        if codec_id == "sparse":
+            codec = cls.for_values(envelope, scheme, plaintext_bits)
+        else:
+            codec = cls(scheme, plaintext_bits)
+        assert codec.max_safe_summands() >= len(grads)
+        word_lists = [codec.pack_values(grad) for grad in grads]
+
+        builder = TraceBuilder(f"codec_{codec_id}", seed=110 + 2 * seed_base,
+                               key_bits=key_bits)
+        for index, words in enumerate(word_lists):
+            builder.encrypt(f"r{index}", words)
+        builder.add("a1", "r0", "r1")
+        builder.add("a2", "a1", "r2")
+        builder.decrypt("out", "a2")
+        traces.append(builder.build())
+
+        add_only = TraceBuilder(f"codec_{codec_id}_addonly",
+                                seed=111 + 2 * seed_base,
+                                key_bits=key_bits)
+        for index, words in enumerate(word_lists):
+            add_only.encrypt(f"r{index}", words)
+        add_only.add("a1", "r0", "r1")
+        add_only.add("a2", "a1", "r2")
+        traces.append(add_only.build())
+    return traces
+
+
 def ring_trace(num_parties: int, key_bits: int = 128,
                seed: int = 108) -> ConformanceTrace:
     """A full-ring masking trace: every party encrypts, all sum, decrypt.

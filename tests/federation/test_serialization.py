@@ -136,10 +136,17 @@ class TestTensorFormat:
     def test_magic_and_version_checked(self, tensor_fixture):
         _, tensor, _ = tensor_fixture
         blob = serialize_tensor(tensor)
-        with pytest.raises(ValueError, match="not a v2"):
+        with pytest.raises(ValueError, match="not a tensor frame"):
             deserialize_tensor(b"XXXX" + blob[4:])
         with pytest.raises(ValueError, match="version"):
             deserialize_tensor(blob[:4] + b"\x07" + blob[5:])
+        # Magic/version cross-lies: v2 magic claiming v3 and vice versa.
+        v3 = serialize_tensor(tensor, version=3)
+        with pytest.raises(ValueError, match="version"):
+            deserialize_tensor(b"FLT2" + v3[4:])
+        v2 = serialize_tensor(tensor, version=2)
+        with pytest.raises(ValueError, match="version"):
+            deserialize_tensor(b"FLT3" + v2[4:])
 
     def test_truncated_and_oversized_raise(self, tensor_fixture):
         _, tensor, _ = tensor_fixture

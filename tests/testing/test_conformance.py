@@ -55,6 +55,33 @@ def test_add_only_trace_is_shared_by_every_engine():
     assert engines_running == set(discovered_factories())
 
 
+def test_every_codec_is_diff_tested_on_every_engine():
+    """Each registered packing codec contributes matrix rows, and its
+    add-only variant reaches every engine (including the add-only
+    symmetric masking path)."""
+    from repro.quantization.codecs import registered_codecs
+
+    engines = set(discovered_factories())
+    for codec_id in registered_codecs():
+        decrypting = {name for name, trace in MATRIX
+                      if trace.name == f"codec_{codec_id}"}
+        add_only = {name for name, trace in MATRIX
+                    if trace.name == f"codec_{codec_id}_addonly"}
+        assert add_only == engines, codec_id
+        assert decrypting == {name for name in engines
+                              if name != "symmetric-masking"}, codec_id
+
+
+def test_codec_traces_json_roundtrip():
+    """Codec traces carry big packed words; the repro currency (trace
+    JSON) must survive them exactly."""
+    from repro.testing.trace import ConformanceTrace, codec_trace_suite
+
+    for trace in codec_trace_suite():
+        rebuilt = ConformanceTrace.from_json(trace.to_json())
+        assert rebuilt == trace
+
+
 @pytest.mark.parametrize("engine_name",
                          sorted(discovered_factories()))
 def test_fused_flush_matches_eager_flush(engine_name):

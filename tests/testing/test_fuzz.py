@@ -158,7 +158,8 @@ class TestWalFuzzing:
     def test_wal_corpus_format_is_exercised(self):
         report = run_fuzz(cases=400, seed=3)
         assert report.by_format.get("wal", 0) > 0
-        assert set(report.by_format) == {"tensor", "packed", "wal"}
+        assert set(report.by_format) == {"tensor", "tensor3", "packed",
+                                         "wal"}
 
     def test_generated_wal_frames_replay_cleanly(self):
         import random
@@ -189,3 +190,47 @@ class TestWalFuzzing:
         report = run_fuzz(cases=500, seed="wal-ci")
         assert report.passed, report.summary()
         assert report.by_format.get("wal", 0) > 50
+
+
+class TestFlt3Fuzzing:
+    """The codec-aware FLT3 frame joined the corpus with its own
+    mutation strategies (codec-id lies, parameter corruption, sparse
+    pattern lies)."""
+
+    def test_generated_tensor3_frames_deserialize_cleanly(self):
+        import random
+
+        for seed in range(30):
+            fmt, blob, _width = fuzz_module._tensor3_frame(
+                random.Random(seed))
+            assert fmt == "tensor3"
+            tensor = deserialize_tensor(blob)
+            assert tensor.meta.codec in ("dense", "interleave", "sparse")
+
+    @pytest.mark.parametrize("mutation", ["codec_id_lie",
+                                          "codec_param_corrupt",
+                                          "sparse_index_lie"])
+    def test_codec_mutations_never_confuse_the_oracle(self, mutation):
+        import random
+
+        for seed in range(60):
+            rng = random.Random(seed * 17 + 3)
+            _fmt, blob, _width = fuzz_module._tensor3_frame(rng)
+            mutant = fuzz_module._mutate(rng, "tensor3", blob, mutation)
+            finding = fuzz_module._classify("tensor3", mutant, blob,
+                                            seed, mutation)
+            assert finding is None, str(finding)
+
+    def test_packing_corpus_draws_only_tensor_frames(self):
+        report = run_fuzz(cases=200, seed=13, corpus="packing")
+        assert set(report.by_format) <= {"tensor", "tensor3"}
+        assert report.by_format.get("tensor3", 0) > 0
+
+    def test_500_case_packing_campaign_clean(self):
+        """The satellite's acceptance criterion for the new corpus."""
+        report = run_fuzz(cases=500, seed="packing-ci", corpus="packing")
+        assert report.passed, report.summary()
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(ValueError, match="corpus"):
+            run_fuzz(cases=1, seed=0, corpus="bogus")
