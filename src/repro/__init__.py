@@ -16,46 +16,65 @@ Quick start::
     c = fl.paillier.encrypt(pub, [1, 2, 3])
     fl.paillier.decrypt(pri, fl.paillier.add(pub, c, c))   # [2, 4, 6]
 
+Top-level exports resolve lazily (PEP 562): importing ``repro`` -- or any
+numpy-free subpackage such as :mod:`repro.mpint` -- does not pull in the
+tensor/quantization stack, so the multiprecision substrate stays usable
+on installs without numpy.  ``from repro import FlBooster`` works exactly
+as before; it just resolves on first access.
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-versus-measured results.
 """
 
-from repro.api import FlBooster, ArrayOps, PaillierApi, RsaApi
-from repro.crypto import Paillier, Rsa
-from repro.federation.faults import (
-    FaultPlan,
-    QuorumError,
-    RetryPolicy,
-)
-from repro.federation.runtime import (
-    FederationRuntime,
-    SystemConfig,
-    FATE_SYSTEM,
-    HAFLO_SYSTEM,
-    FLBOOSTER_SYSTEM,
-)
-from repro.ledger import CostLedger
-from repro.quantization import QuantizationScheme, BatchPacker
+from typing import TYPE_CHECKING
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "FlBooster",
-    "ArrayOps",
-    "PaillierApi",
-    "RsaApi",
-    "Paillier",
-    "Rsa",
-    "FaultPlan",
-    "QuorumError",
-    "RetryPolicy",
-    "FederationRuntime",
-    "SystemConfig",
-    "FATE_SYSTEM",
-    "HAFLO_SYSTEM",
-    "FLBOOSTER_SYSTEM",
-    "CostLedger",
-    "QuantizationScheme",
-    "BatchPacker",
-    "__version__",
-]
+#: Lazy export table: public name -> defining module.
+_EXPORTS = {
+    "FlBooster": "repro.api",
+    "ArrayOps": "repro.api",
+    "PaillierApi": "repro.api",
+    "RsaApi": "repro.api",
+    "Paillier": "repro.crypto",
+    "Rsa": "repro.crypto",
+    "FaultPlan": "repro.federation.faults",
+    "QuorumError": "repro.federation.faults",
+    "RetryPolicy": "repro.federation.faults",
+    "FederationRuntime": "repro.federation.runtime",
+    "SystemConfig": "repro.federation.runtime",
+    "FATE_SYSTEM": "repro.federation.runtime",
+    "HAFLO_SYSTEM": "repro.federation.runtime",
+    "FLBOOSTER_SYSTEM": "repro.federation.runtime",
+    "CostLedger": "repro.ledger",
+    "QuantizationScheme": "repro.quantization",
+    "BatchPacker": "repro.quantization",
+}
+
+__all__ = list(_EXPORTS) + ["__version__"]
+
+if TYPE_CHECKING:  # pragma: no cover - import-time types for tooling
+    from repro.api import FlBooster, ArrayOps, PaillierApi, RsaApi
+    from repro.crypto import Paillier, Rsa
+    from repro.federation.faults import FaultPlan, QuorumError, RetryPolicy
+    from repro.federation.runtime import (
+        FederationRuntime,
+        SystemConfig,
+        FATE_SYSTEM,
+        HAFLO_SYSTEM,
+        FLBOOSTER_SYSTEM,
+    )
+    from repro.ledger import CostLedger
+    from repro.quantization import QuantizationScheme, BatchPacker
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -56,6 +56,71 @@ class EngineReport:
 _CONFORMANCE_FACTORIES: Dict[str, Callable] = {}
 
 
+class RandomizerPool:
+    """Amortized pool of precomputed ``r^n mod n^2`` obfuscators.
+
+    The pool holds no randomness of its own: every refill draws its
+    randomizers *sequentially from the owning engine's routed rng
+    stream* (never module-level or OS state), so two engines seeded
+    identically build identical pools and refills are deterministic
+    under ``REPRO_TEST_SEED``.  The sequential draw order also matches
+    the pool-free path (one draw per encrypted value), which is what
+    keeps pooled engines bit-comparable in the conformance oracle while
+    the pool has capacity.
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("pool size must be positive")
+        self.size = size
+        self._powers: List[int] = []
+        self._cursor = 0
+
+    @property
+    def filled(self) -> bool:
+        """True once the pool holds precomputed powers."""
+        return bool(self._powers)
+
+    def fill(self, rng, n: int, n_squared: int,
+             exponentiate: Optional[Callable] = None) -> None:
+        """Draw ``size`` randomizers from ``rng`` and raise them to ``n``.
+
+        Args:
+            rng: The engine's :class:`~repro.mpint.primes.LimbRandom`.
+            n: The public modulus (randomizer exponent).
+            n_squared: The ciphertext modulus.
+            exponentiate: Optional batch hook mapping the randomizer
+                list to ``[r^n mod n^2, ...]``; the vectorized engine
+                supplies its limb-plane modexp here.  Draw order is
+                identical either way.
+        """
+        randomizers = [rng.random_unit(n) for _ in range(self.size)]
+        if exponentiate is not None:
+            self._powers = [int(p) for p in exponentiate(randomizers)]
+        else:
+            self._powers = [pow(r, n, n_squared) for r in randomizers]
+        if len(self._powers) != self.size:
+            raise ValueError("exponentiate hook changed the pool size")
+        self._cursor = 0
+
+    def take(self, count: int = 1) -> List[int]:
+        """The next ``count`` pooled powers, cycling the cursor."""
+        if not self._powers:
+            raise RuntimeError("pool not filled")
+        out = []
+        for _ in range(count):
+            out.append(self._powers[self._cursor])
+            self._cursor = (self._cursor + 1) % len(self._powers)
+        return out
+
+    def snapshot(self) -> List[int]:
+        """A copy of the pooled powers (regression tests compare these)."""
+        return list(self._powers)
+
+    def __len__(self) -> int:
+        return len(self._powers)
+
+
 class HeEngine(ABC):
     """Batch-oriented Paillier engine charging a cost ledger.
 
@@ -82,8 +147,9 @@ class HeEngine(ABC):
         self.rng = rng if rng is not None else LimbRandom()
         self.report = EngineReport()
         self.randomizer_pool_size = randomizer_pool_size
-        self._randomizer_pool: list = []
-        self._pool_cursor = 0
+        self._randomizer_pool: Optional[RandomizerPool] = (
+            RandomizerPool(randomizer_pool_size)
+            if randomizer_pool_size > 0 else None)
         self._fingerprint: Optional[bytes] = None
 
     # ------------------------------------------------------------------
@@ -107,6 +173,17 @@ class HeEngine(ABC):
         if factory is not None:
             return _register(factory)
         return _register
+
+    @classmethod
+    def deregister_conformance(cls, name: str) -> bool:
+        """Remove an engine from the oracle; True when it was present.
+
+        Optional backends (the numpy limb-plane engine) call this so a
+        registration never outlives its dependency: when numpy is
+        absent the engine is simply not an execution path, and the
+        conformance matrix must not parametrize over it.
+        """
+        return _CONFORMANCE_FACTORIES.pop(name, None) is not None
 
     @classmethod
     def conformance_factories(cls) -> Dict[str, Callable]:
@@ -237,18 +314,36 @@ class HeEngine(ABC):
         """
         n = self.public_key.n
         n_squared = self.public_key.n_squared
-        if self.randomizer_pool_size <= 0:
+        if self._randomizer_pool is None:
             r = self.rng.random_unit(n)
             return pow(r, n, n_squared)
-        if not self._randomizer_pool:
-            self._randomizer_pool = [
-                pow(self.rng.random_unit(n), n, n_squared)
-                for _ in range(self.randomizer_pool_size)
-            ]
-        power = self._randomizer_pool[self._pool_cursor]
-        self._pool_cursor = (self._pool_cursor + 1) % \
-            len(self._randomizer_pool)
-        return power
+        if not self._randomizer_pool.filled:
+            self._randomizer_pool.fill(
+                self.rng, n, n_squared,
+                exponentiate=self._pool_exponentiate())
+        return self._randomizer_pool.take(1)[0]
+
+    def _pool_exponentiate(self) -> Optional[Callable]:
+        """Batch hook for pool refills; ``None`` keeps scalar ``pow``.
+
+        Engines with a vectorized modexp override this so refills run
+        batched while drawing the exact same randomizer sequence.
+        """
+        return None
+
+    def randomizer_pool_snapshot(self) -> List[int]:
+        """The pooled ``r^n`` powers, filling the pool first if needed.
+
+        Empty when pooling is disabled.  Exposed for the determinism
+        regression tests: identically seeded engines must agree.
+        """
+        if self._randomizer_pool is None:
+            return []
+        if not self._randomizer_pool.filled:
+            self._randomizer_pool.fill(
+                self.rng, self.public_key.n, self.public_key.n_squared,
+                exponentiate=self._pool_exponentiate())
+        return self._randomizer_pool.snapshot()
 
     def _verify_roundtrip(self, plaintext: int) -> bool:
         """Sanity helper: encrypt/decrypt one value outside the ledger."""

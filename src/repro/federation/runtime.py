@@ -171,6 +171,11 @@ class FederationRuntime:
             (FedBit-style guard-banded layout with a higher summand
             capacity).  The sparse codec is per-tensor (it needs a
             support pattern), so it is not a session knob.
+        he_backend: HE execution path: ``"auto"`` (default, follows
+            ``config.gpu_he``), ``"cpu"`` (scalar CPU engine), ``"gpu"``
+            (simulated GPU engine), or ``"vector"`` (batched limb-plane
+            engine; requires numpy).  All paths are bit-identical under
+            a shared seed, so this knob changes wall-clock only.
     """
 
     def __init__(self, config: SystemConfig, num_clients: int,
@@ -185,15 +190,20 @@ class FederationRuntime:
                  round_deadline_seconds: Optional[float] = None,
                  incarnation: int = 0,
                  fused: bool = True,
-                 packing_codec: str = "dense"):
+                 packing_codec: str = "dense",
+                 he_backend: str = "auto"):
         if bc_capacity not in ("nominal", "physical"):
             raise ValueError("bc_capacity must be 'nominal' or 'physical'")
+        if he_backend not in ("auto", "cpu", "gpu", "vector"):
+            raise ValueError(
+                "he_backend must be 'auto', 'cpu', 'gpu', or 'vector'")
         if packing_codec not in ("dense", "interleave"):
             raise ValueError(
                 "packing_codec must be 'dense' or 'interleave' (the "
                 "sparse codec needs a per-tensor support pattern)")
         self.bc_capacity = bc_capacity
         self.packing_codec = packing_codec
+        self.he_backend = he_backend
         if num_clients < 1:
             raise ValueError("need at least one client")
         if min_quorum is not None and not 1 <= min_quorum <= num_clients:
@@ -255,7 +265,21 @@ class FederationRuntime:
     # ------------------------------------------------------------------
 
     def _build_engine(self, ledger: CostLedger) -> HeEngine:
-        if self.config.gpu_he:
+        backend = self.he_backend
+        if backend == "auto":
+            backend = "gpu" if self.config.gpu_he else "cpu"
+        if backend == "vector":
+            from repro.mpint.limb_plane import HAVE_NUMPY
+            if not HAVE_NUMPY:
+                raise RuntimeError(
+                    "he_backend='vector' requires numpy; use 'cpu' or "
+                    "'gpu' (or 'auto') on numpy-free installs")
+            from repro.crypto.vector_engine import VectorPaillierEngine
+            return VectorPaillierEngine(
+                self.keypair, profile=self.profile,
+                nominal_bits=self.key_bits, ledger=ledger, rng=self._rng,
+                randomizer_pool_size=self.randomizer_pool_size)
+        if backend == "gpu":
             manager = ResourceManager(managed=self.config.managed_gpu)
             kernels = GpuKernels(device=SimulatedGpu(),
                                  resource_manager=manager,

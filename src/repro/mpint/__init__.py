@@ -11,6 +11,10 @@ the arithmetic the paper builds on it:
   Algorithm 2 (CIOS parallel Montgomery multiplication).
 - :mod:`repro.mpint.modexp` -- sliding-window modular exponentiation.
 - :mod:`repro.mpint.primes` -- Miller-Rabin testing and prime generation.
+- :mod:`repro.mpint.limb_plane` -- batched limb-matrix (numpy) CIOS
+  multiplication, shared/varying modexp, and fixed-base window tables;
+  optional, degrades to :data:`~repro.mpint.limb_plane.HAVE_NUMPY` =
+  ``False`` without numpy.
 """
 
 from repro.mpint.limbs import (
@@ -35,6 +39,15 @@ from repro.mpint.montgomery import (
 )
 from repro.mpint.modexp import mod_pow, sliding_window_pow
 from repro.mpint.primes import is_probable_prime, generate_prime, LimbRandom
+from repro.mpint.limb_plane import (
+    HAVE_NUMPY,
+    FixedBaseTable,
+    PlaneContext,
+    batched_cios_multiply,
+    batched_pow,
+    ints_to_plane,
+    plane_to_ints,
+)
 
 __all__ = [
     "LimbVector",
@@ -56,4 +69,11 @@ __all__ = [
     "is_probable_prime",
     "generate_prime",
     "LimbRandom",
+    "HAVE_NUMPY",
+    "PlaneContext",
+    "FixedBaseTable",
+    "batched_cios_multiply",
+    "batched_pow",
+    "ints_to_plane",
+    "plane_to_ints",
 ]

@@ -15,9 +15,10 @@ to validate kernels against a software reference.
 
 Engines join the oracle through
 :meth:`repro.crypto.engine.HeEngine.register_conformance`; importing
-:func:`discovered_factories` pulls in the four built-in execution paths
-(CPU Paillier, simulated-GPU Paillier, Damgard-Jurik, symmetric
-masking).
+:func:`discovered_factories` pulls in the five built-in execution paths
+(CPU Paillier, simulated-GPU Paillier, vectorized limb-plane Paillier,
+Damgard-Jurik, symmetric masking).  The limb-plane path only registers
+when numpy is importable; without it the matrix simply shrinks.
 """
 
 from __future__ import annotations
@@ -47,6 +48,7 @@ _BUILTIN_ENGINE_MODULES = (
     "repro.crypto.gpu_engine",
     "repro.crypto.damgard_jurik",
     "repro.crypto.symmetric_he",
+    "repro.crypto.vector_engine",
 )
 
 

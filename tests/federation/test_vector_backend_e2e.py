@@ -1,0 +1,101 @@
+"""End-to-end federation on the vectorized limb-plane HE backend.
+
+The acceptance bar for ``he_backend="vector"``: full federation rounds
+-- flat and sharded, under both session codecs -- produce results
+**byte-identical** to the scalar CPU backend.  The backend changes how
+modular arithmetic executes, never a single bit of what it computes.
+
+Reuses the harness conventions of ``test_codec_e2e.py`` (same system,
+key sizes, seeds and update rule) so the two acceptance suites stay
+comparable row for row.
+"""
+
+import numpy as np
+import pytest
+
+from repro.federation.runtime import FLBOOSTER_SYSTEM, FederationRuntime
+from repro.federation.shard import ShardedAggregationService
+from repro.mpint import limb_plane
+
+pytestmark = pytest.mark.skipif(
+    not limb_plane.HAVE_NUMPY, reason="vector backend requires numpy")
+
+
+def make_runtime(num_clients=6, seed=11, **kwargs):
+    kwargs.setdefault("key_bits", 256)
+    kwargs.setdefault("physical_key_bits", 128)
+    return FederationRuntime(FLBOOSTER_SYSTEM, num_clients=num_clients,
+                             seed=seed, **kwargs)
+
+
+def client_vectors(num_clients, length=7, seed=3):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(-0.5, 0.5, size=length)
+            for _ in range(num_clients)]
+
+
+class TestBackendSelection:
+    def test_vector_backend_builds_vector_engines(self):
+        from repro.crypto.vector_engine import VectorPaillierEngine
+        runtime = make_runtime(he_backend="vector")
+        assert isinstance(runtime.client_engine, VectorPaillierEngine)
+        assert isinstance(runtime.server_engine, VectorPaillierEngine)
+
+    def test_auto_still_follows_system_config(self):
+        from repro.crypto.gpu_engine import GpuPaillierEngine
+        runtime = make_runtime()  # FLBooster config: gpu_he=True
+        assert isinstance(runtime.client_engine, GpuPaillierEngine)
+
+
+class TestFlatRounds:
+    def test_single_round_bit_identical_to_cpu(self):
+        vectors = client_vectors(6)
+        expected = make_runtime(he_backend="cpu").aggregator.aggregate(
+            vectors, round_index=0)
+        result = make_runtime(he_backend="vector").aggregator.aggregate(
+            vectors, round_index=0)
+        assert np.array_equal(np.asarray(result), np.asarray(expected))
+
+    def test_interleave_codec_round_matches_cpu(self):
+        vectors = client_vectors(6)
+        expected = make_runtime(
+            he_backend="cpu",
+            packing_codec="interleave").aggregator.aggregate(
+                vectors, round_index=0)
+        result = make_runtime(
+            he_backend="vector",
+            packing_codec="interleave").aggregator.aggregate(
+                vectors, round_index=0)
+        assert np.array_equal(np.asarray(result), np.asarray(expected))
+
+
+class TestTrainingEquality:
+    @pytest.mark.parametrize("codec", ["dense", "interleave"])
+    def test_final_weights_byte_identical_across_backends(self, codec):
+        """Three sharded training rounds on each backend: the final
+        weight vectors must agree to the last byte."""
+        finals = {}
+        for backend in ("cpu", "vector"):
+            runtime = make_runtime(he_backend=backend,
+                                   packing_codec=codec)
+            service = ShardedAggregationService(runtime.aggregator,
+                                                seed=11)
+            weights = np.zeros(7)
+            for round_index in range(3):
+                grads = client_vectors(6, seed=100 + round_index)
+                total = service.run_round(grads,
+                                          round_index=round_index)
+                weights = weights - 0.1 * (np.asarray(total) / 6)
+            finals[backend] = weights
+        assert finals["cpu"].tobytes() == finals["vector"].tobytes()
+
+    def test_vector_backend_charges_the_same_ledger_costs(self):
+        """The modelled cost is a property of the op stream, not of the
+        executing backend."""
+        vectors = client_vectors(4)
+        totals = {}
+        for backend in ("cpu", "vector"):
+            runtime = make_runtime(num_clients=4, he_backend=backend)
+            runtime.aggregator.aggregate(vectors, round_index=0)
+            totals[backend] = runtime.ledger.total_seconds
+        assert totals["cpu"] == pytest.approx(totals["vector"])

@@ -17,6 +17,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.mpint import limb_plane
 from repro.mpint.limbs import from_int, to_int
 from repro.mpint.modexp import sliding_window_pow
 from repro.mpint.montgomery import (
@@ -27,6 +28,11 @@ from repro.mpint.montgomery import (
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 GOLDEN_BITS = (1024, 2048, 4096)
+#: The fixed_base / crt sections exist only at these sizes.
+EXTENDED_BITS = (1024, 2048)
+
+needs_numpy = pytest.mark.skipif(
+    not limb_plane.HAVE_NUMPY, reason="limb-plane backend requires numpy")
 
 
 def load_vectors(bits: int) -> dict:
@@ -37,6 +43,12 @@ def load_vectors(bits: int) -> dict:
 @pytest.fixture(scope="module", params=GOLDEN_BITS,
                 ids=[f"{b}bit" for b in GOLDEN_BITS])
 def vectors(request):
+    return load_vectors(request.param)
+
+
+@pytest.fixture(scope="module", params=EXTENDED_BITS,
+                ids=[f"{b}bit" for b in EXTENDED_BITS])
+def extended_vectors(request):
     return load_vectors(request.param)
 
 
@@ -114,3 +126,129 @@ class TestSlidingWindowModexp:
         for window_bits in (2, 4, 6):
             assert sliding_window_pow(base, exponent, ctx,
                                       window_bits=window_bits) == expected
+
+
+def _crt_keypair(crt: dict):
+    """Build a keypair from the committed CRT primes."""
+    from repro.crypto.keys import (
+        PaillierKeypair,
+        PaillierPrivateKey,
+        PaillierPublicKey,
+    )
+    p, q = int(crt["p"]), int(crt["q"])
+    n = p * q
+    public = PaillierPublicKey(n=n, g=n + 1, key_bits=n.bit_length())
+    private = PaillierPrivateKey(p=p, q=q, public_key=public)
+    return PaillierKeypair(public_key=public, private_key=private)
+
+
+class TestFixedBaseGolden:
+    """The committed fixed-base window vectors, replayed through both
+    the scalar kernels and the limb-plane table."""
+
+    def test_table_entries_match_plain_pow(self, extended_vectors):
+        modulus = int(extended_vectors["modulus"])
+        fb = extended_vectors["fixed_base"]
+        base = int(fb["base"])
+        for entry in fb["table_entries"]:
+            exponent = entry["digit"] << (entry["window"] * fb["window_bits"])
+            assert pow(base, exponent, modulus) == int(entry["expected"])
+
+    def test_scalar_sliding_window_replays_powers(self, extended_vectors):
+        modulus = int(extended_vectors["modulus"])
+        ctx = MontgomeryContext(modulus)
+        fb = extended_vectors["fixed_base"]
+        base = int(fb["base"])
+        for case in fb["powers"]:
+            assert sliding_window_pow(base, int(case["exponent"]),
+                                      ctx) == int(case["expected"])
+
+    @needs_numpy
+    def test_limb_plane_table_replays_entries(self, extended_vectors):
+        modulus = int(extended_vectors["modulus"])
+        fb = extended_vectors["fixed_base"]
+        plane = limb_plane.PlaneContext(modulus)
+        table = limb_plane.FixedBaseTable(
+            plane, int(fb["base"]),
+            max_exponent_bits=extended_vectors["bits"],
+            window_bits=fb["window_bits"])
+        assert table.num_windows >= fb["num_windows"]
+        for entry in fb["table_entries"]:
+            got = table.table_entry(entry["window"], entry["digit"])
+            assert got == int(entry["expected"])
+
+    @needs_numpy
+    def test_limb_plane_table_replays_powers(self, extended_vectors):
+        modulus = int(extended_vectors["modulus"])
+        fb = extended_vectors["fixed_base"]
+        plane = limb_plane.PlaneContext(modulus)
+        table = limb_plane.FixedBaseTable(
+            plane, int(fb["base"]),
+            max_exponent_bits=extended_vectors["bits"],
+            window_bits=fb["window_bits"])
+        exponents = [int(case["exponent"]) for case in fb["powers"]]
+        expected = [int(case["expected"]) for case in fb["powers"]]
+        assert table.pow_ints(exponents) == expected
+
+
+class TestCrtGolden:
+    """The committed CRT recombination vectors, replayed through the
+    scalar private-key path and the limb-plane CRT decryptor."""
+
+    def test_key_constants_match_fixture(self, extended_vectors):
+        crt = extended_vectors["crt"]
+        key = _crt_keypair(crt).private_key
+        assert key.hp == int(crt["hp"])
+        assert key.hq == int(crt["hq"])
+        assert key.q_inverse == int(crt["q_inverse"])
+
+    def test_ciphertexts_rederive_with_plain_pow(self, extended_vectors):
+        crt = extended_vectors["crt"]
+        n = int(crt["p"]) * int(crt["q"])
+        n_squared = n * n
+        for case in crt["cases"]:
+            m, r = int(case["plaintext"]), int(case["randomizer"])
+            c = ((1 + m * n) * pow(r, n, n_squared)) % n_squared
+            assert c == int(case["ciphertext"])
+
+    def test_scalar_crt_decrypt_replays_cases(self, extended_vectors):
+        from repro.crypto.paillier import Paillier
+        crt = extended_vectors["crt"]
+        key = _crt_keypair(crt).private_key
+        for case in crt["cases"]:
+            ciphertext = int(case["ciphertext"])
+            assert Paillier.raw_decrypt(key, ciphertext) == \
+                int(case["plaintext"])
+            assert Paillier.raw_decrypt_textbook(key, ciphertext) == \
+                int(case["plaintext"])
+
+    @needs_numpy
+    def test_limb_plane_crt_decrypt_replays_cases(self, extended_vectors):
+        from repro.crypto.vector_math import CrtDecryptor
+        crt = extended_vectors["crt"]
+        decryptor = CrtDecryptor(_crt_keypair(crt).private_key)
+        ciphertexts = [int(case["ciphertext"]) for case in crt["cases"]]
+        expected = [int(case["plaintext"]) for case in crt["cases"]]
+        assert decryptor.decrypt(ciphertexts) == expected
+
+
+@needs_numpy
+class TestLimbPlaneCiosGolden:
+    """The batched CIOS kernel against the same multiply vectors the
+    scalar kernels replay -- all committed sizes, one batch per size."""
+
+    def test_batched_cios_matches_golden(self, vectors):
+        modulus = int(vectors["modulus"])
+        ctx = MontgomeryContext(modulus)
+        a_values = [int(case["a"]) for case in vectors["multiply"]]
+        b_values = [int(case["b"]) for case in vectors["multiply"]]
+        expected = [int(case["expected"]) for case in vectors["multiply"]]
+        assert limb_plane.batched_cios_multiply(a_values, b_values,
+                                                ctx) == expected
+
+    def test_batched_pow_matches_golden(self, vectors):
+        modulus = int(vectors["modulus"])
+        for case in vectors["modexp"]:
+            got = limb_plane.batched_pow([int(case["base"])],
+                                         int(case["exponent"]), modulus)
+            assert got == [int(case["expected"])]
