@@ -37,7 +37,7 @@ _TAG_FUNCTIONS = {"charge_model_compute", "charge_pipeline_stage"}
 _FORWARDERS = _CHARGE_METHODS | _TAG_FUNCTIONS
 #: Builder helpers that validate at runtime.
 _VALIDATED_BUILDERS = {"fault_category", "comm_category",
-                       "validate_category"}
+                       "admission_category", "validate_category"}
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 

@@ -334,6 +334,91 @@ def _cmd_shard(args) -> int:
     return 0
 
 
+def _build_tenancy_spec(args) -> "object":
+    from repro.federation.faults import FaultPlan
+    from repro.testing.simulator import TenancySpec, TenantSpec
+
+    noisy_plan = (FaultPlan(seed=args.seed)
+                  .tenant_flood("tenant-a", 0,
+                                intensity=args.flood_intensity)
+                  .tenant_crash("tenant-a", 1))
+    return TenancySpec(
+        system=args.system,
+        rounds=args.rounds,
+        key_bits=args.key_bits,
+        physical_key_bits=args.physical_key_bits,
+        queue_capacity=args.queue_capacity,
+        tenants=(
+            TenantSpec("tenant-a", num_clients=args.clients,
+                       seed=args.seed + 4,
+                       quota_rate=args.quota_rate,
+                       quota_burst=args.quota_burst,
+                       min_quorum=1,
+                       fault_plan=noisy_plan),
+            TenantSpec("tenant-b", num_clients=args.clients,
+                       weight=2.0, seed=args.seed + 16),
+        ))
+
+
+def _cmd_tenants(args) -> int:
+    from repro.testing.simulator import (
+        MultiTenantSimulator,
+        TenancyFailure,
+        TenancySpec,
+        rebalance_crash_sweep,
+        tenant_isolation_check,
+    )
+
+    spec = _build_tenancy_spec(args)
+    if args.sweep:
+        # CI smoke: the isolation invariant plus the kill-at-every-
+        # topology-record rebalance sweep, on one small scenario.
+        try:
+            isolation = tenant_isolation_check(spec, "tenant-b")
+        except TenancyFailure as failure:
+            print(failure)
+            return 1
+        for line in isolation.summary_lines():
+            print(line)
+        sweep_spec = TenancySpec.from_dict({
+            **spec.to_dict(),
+            "rebalance_targets": [3, 1, 2],
+            "tenants": [{**t.to_dict(), "fault_plan": None}
+                        for t in spec.tenants],
+        })
+        try:
+            sweep = rebalance_crash_sweep(sweep_spec)
+        except TenancyFailure as failure:
+            print(failure)
+            return 1
+        for line in sweep.summary_lines():
+            print(line)
+        return 0
+
+    try:
+        result = MultiTenantSimulator(spec).run()
+    except TenancyFailure as failure:
+        print(failure)
+        return 1
+    print(f"tenants               {len(spec.tenants)}")
+    print(f"rounds                {spec.rounds}")
+    print(f"active shards         {result.active_history[-1]}")
+    print(f"rebalance operations  {result.rebalance_ops}")
+    for tenant_spec in spec.tenants:
+        tenant_id = tenant_spec.tenant_id
+        statuses = ",".join(result.statuses[tenant_id])
+        faults = result.tenant_fault_counts[tenant_id]
+        print(f"{tenant_id:<21} rounds [{statuses}] faults {faults}")
+    try:
+        isolation = tenant_isolation_check(spec, "tenant-b")
+    except TenancyFailure as failure:
+        print(failure)
+        return 1
+    for line in isolation.summary_lines():
+        print(line)
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -507,6 +592,30 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--quorum", type=int, default=None)
     shard.add_argument("--seed", type=int, default=7)
     shard.set_defaults(handler=_cmd_shard)
+
+    tenants = commands.add_parser(
+        "tenants",
+        help="multi-tenant isolation scenarios on the shared pool")
+    tenants.add_argument("--sweep", action="store_true",
+                         help="assert the tenant-isolation invariant "
+                              "and kill the shard pool at every "
+                              "topology record (bit-identical "
+                              "recovery)")
+    tenants.add_argument("--system", default="FLBooster")
+    tenants.add_argument("--clients", type=int, default=4,
+                         help="clients per tenant")
+    tenants.add_argument("--rounds", type=int, default=3)
+    tenants.add_argument("--queue-capacity", type=int, default=64)
+    tenants.add_argument("--flood-intensity", type=int, default=3,
+                         help="duplicate uploads per client in "
+                              "tenant-a's injected flood round")
+    tenants.add_argument("--quota-rate", type=float, default=2.0,
+                         help="tenant-a's token-bucket refill rate")
+    tenants.add_argument("--quota-burst", type=int, default=8)
+    tenants.add_argument("--key-bits", type=int, default=256)
+    tenants.add_argument("--physical-key-bits", type=int, default=128)
+    tenants.add_argument("--seed", type=int, default=7)
+    tenants.set_defaults(handler=_cmd_tenants)
 
     lint = commands.add_parser(
         "lint", help="run the flcheck static invariant rules")

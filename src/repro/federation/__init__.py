@@ -25,7 +25,11 @@ ledger so the benchmark harness can read epoch times and component splits.
   deadline shedding, per-shard circuit breakers.
 - :mod:`repro.federation.shard` -- two-level sharded aggregation (leaf
   shards combine ciphertexts, the root decrypts in capacity-bounded
-  segments) with per-node WAL + standby failover.
+  segments) with per-node WAL + standby failover, the WAL-journaled
+  elastic :class:`~repro.federation.shard.ShardPool`, and the
+  multi-tenant orchestrator multiplexing many federations over it.
+- :mod:`repro.federation.tenancy` -- tenant registry, token-bucket
+  quotas, and weighted-fair scheduling primitives.
 """
 
 from repro.federation.channel import (
@@ -60,20 +64,34 @@ from repro.federation.eventloop import (
     AsyncChannel,
     CircuitBreaker,
     DrainOutcome,
+    QuotaExceeded,
     ShardQueueStats,
+    TenantQueueStats,
     VirtualClock,
 )
 from repro.federation.shard import (
     FailoverRecord,
     HierarchicalStandby,
+    MultiTenantAggregationService,
+    MultiTenantRoundReport,
     RootCoordinator,
     ShardAggregator,
     ShardedAggregationService,
+    ShardPool,
     ShardRoundReport,
+    TenantRoundOutcome,
     cohort_sample,
     default_num_shards,
     plan_shards,
     segment_partials,
+)
+from repro.federation.tenancy import (
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+    UnknownTenantError,
+    tenant_key_fingerprint,
+    weighted_fair_order,
 )
 from repro.federation.runtime import FederationRuntime, SystemConfig
 from repro.federation.wal import (
@@ -126,14 +144,26 @@ __all__ = [
     "AsyncChannel",
     "CircuitBreaker",
     "DrainOutcome",
+    "QuotaExceeded",
     "ShardQueueStats",
+    "TenantQueueStats",
     "VirtualClock",
     "FailoverRecord",
     "HierarchicalStandby",
+    "MultiTenantAggregationService",
+    "MultiTenantRoundReport",
     "RootCoordinator",
     "ShardAggregator",
     "ShardedAggregationService",
+    "ShardPool",
     "ShardRoundReport",
+    "TenantRoundOutcome",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+    "UnknownTenantError",
+    "tenant_key_fingerprint",
+    "weighted_fair_order",
     "cohort_sample",
     "default_num_shards",
     "plan_shards",

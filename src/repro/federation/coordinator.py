@@ -53,6 +53,7 @@ from repro.federation.wal import (
     DECRYPT_COMMITTED,
     PARTIAL_COMMITTED,
     QUORUM_REACHED,
+    REBALANCE_KINDS,
     ROUND_CLOSE,
     ROUND_OPEN,
     UPLOAD_ACCEPTED,
@@ -257,6 +258,10 @@ class RoundStateMachine:
                 f"record from incarnation {record.incarnation} after "
                 f"incarnation {self.max_incarnation} acted")
         self.max_incarnation = record.incarnation
+        if record.kind in REBALANCE_KINDS:
+            raise InvalidTransitionError(
+                f"{record.kind} records belong to the shard pool's "
+                f"topology journal, not a round coordinator's log")
         handler = {
             ROUND_OPEN: self._apply_open,
             UPLOAD_ACCEPTED: self._apply_upload,

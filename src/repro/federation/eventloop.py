@@ -31,10 +31,27 @@ layer owns its own time source; the simulator re-exports it):
   (charged to ``fault.shed``) so the round degrades into quorum + Eq. 6
   partial aggregation instead of stalling.
 
-Accounting invariant (asserted by the overload tests): every submitted
-upload is exactly one of *accepted-and-delivered*, *shed* (ledger
-``fault.shed``), or *rejected* (ledger ``comm.admission.reject``) --
-no silent loss, and queue memory never exceeds the configured bound.
+Multi-tenancy (PR 9): when an :class:`AsyncChannel` is built over a
+:class:`~repro.federation.tenancy.TenantRegistry`, admission becomes
+*tenant-scoped*.  Each tenant submits through its own registered
+:class:`~repro.federation.channel.Channel` (so charges land in that
+tenant's ledger, under tenant-prefixed ``comm.admission.*`` categories),
+holds a weighted slice of every shard queue (``capacity * weight /
+total_weight``, floored, at least one slot -- one tenant's flood can
+never occupy another's slots), spends a token-bucket quota per upload
+(:class:`QuotaExceeded`, a retryable :class:`AdmissionRejected` with
+reason ``quota``), and fails against its *own* per-(shard, tenant)
+circuit breaker -- a sick tenant fences only itself.
+
+Accounting invariant (asserted by the overload and tenancy tests):
+every submitted upload is exactly one of *accepted-and-delivered*,
+*shed* (ledger ``fault.shed``), or *rejected* (ledger
+``comm.admission.reject`` / ``comm.admission.quota``) -- no silent
+loss, and queue memory never exceeds the configured bound.  Across an
+elastic shard split or merge (:meth:`AsyncChannel.migrate`), migrated
+in-flight entries carry their acceptance with them: per shard and per
+tenant, ``accepted + migrated_in - migrated_out == delivered + shed +
+failed + queued`` at every point.
 """
 
 from __future__ import annotations
@@ -50,6 +67,7 @@ from repro.ledger import (
     CAT_FAULT_CIRCUIT_OPEN,
     CAT_FAULT_SHED,
     CostLedger,
+    admission_category,
 )
 
 #: Wire size of one admission-control message (shard id, round, verdict,
@@ -63,9 +81,10 @@ DISPATCH_SECONDS = 1.0e-6
 REJECT_QUEUE_FULL = "queue_full"
 REJECT_CIRCUIT_OPEN = "circuit_open"
 REJECT_OVERLOAD = "overload"
+REJECT_QUOTA = "quota"
 
 _REJECT_REASONS = (REJECT_QUEUE_FULL, REJECT_CIRCUIT_OPEN,
-                   REJECT_OVERLOAD)
+                   REJECT_OVERLOAD, REJECT_QUOTA)
 
 
 class VirtualClock:
@@ -98,8 +117,9 @@ class AdmissionRejected(RuntimeError):
     Attributes:
         shard: Name of the rejecting shard.
         reason: ``queue_full`` (ingress bound hit), ``circuit_open``
-            (shard fenced by its breaker), or ``overload`` (an injected
-            ``queue_overload`` fault).
+            (shard fenced by its breaker), ``overload`` (an injected
+            ``queue_overload`` fault), or ``quota`` (the submitting
+            tenant's token bucket ran dry -- see :class:`QuotaExceeded`).
         retry_after_seconds: Modelled backoff hint for the sender.
     """
 
@@ -119,6 +139,27 @@ class AdmissionRejected(RuntimeError):
     def retryable(self) -> bool:
         """Whether retrying can ever succeed (always, by design)."""
         return True
+
+
+class QuotaExceeded(AdmissionRejected):
+    """A tenant's token-bucket quota ran dry at admission.
+
+    The tenant-scoped flavour of backpressure: the shard itself is
+    healthy, this *tenant* is over its contracted rate.  Retrying after
+    :attr:`retry_after_seconds` (the bucket's refill horizon) can
+    succeed, so the exception stays retryable; the rejection is charged
+    to the tenant-prefixed ``comm.admission.quota.<tenant>`` category
+    against the tenant's own ledger before this is raised.
+
+    Attributes:
+        tenant: The tenant whose bucket ran dry.
+    """
+
+    def __init__(self, shard: str, tenant: str,
+                 retry_after_seconds: float = 0.0):
+        super().__init__(shard, REJECT_QUOTA,
+                         retry_after_seconds=retry_after_seconds)
+        self.tenant = tenant
 
 
 #: Circuit-breaker states.
@@ -205,6 +246,7 @@ class _QueueEntry:
     sender: str
     submitted_at: float
     arrival_delay: float = 0.0
+    tenant: Optional[str] = None
 
     @property
     def ready_at(self) -> float:
@@ -214,21 +256,55 @@ class _QueueEntry:
 
 @dataclass
 class ShardQueueStats:
-    """Admission/backpressure counters for one shard's ingress queue."""
+    """Admission/backpressure counters for one shard's ingress queue.
+
+    ``migrated_in`` / ``migrated_out`` count in-flight entries handed
+    between queues by an elastic shard split or merge
+    (:meth:`AsyncChannel.migrate`); acceptance travels with the entry,
+    so ``accepted + migrated_in - migrated_out == delivered + shed +
+    failed + queued`` holds per shard through any rebalance.
+    """
 
     accepted: int = 0
     rejected_full: int = 0
     rejected_fenced: int = 0
     rejected_overload: int = 0
+    rejected_quota: int = 0
     delivered: int = 0
     shed: int = 0
     failed: int = 0
+    migrated_in: int = 0
+    migrated_out: int = 0
     peak_depth: int = 0
 
     @property
     def rejected(self) -> int:
         return (self.rejected_full + self.rejected_fenced
-                + self.rejected_overload)
+                + self.rejected_overload + self.rejected_quota)
+
+
+@dataclass
+class TenantQueueStats:
+    """Per-(shard, tenant) admission counters -- :class:`ShardQueueStats`
+    restricted to one tenant's traffic, so the accounting invariant can
+    be asserted *per tenant* across floods, shedding, and rebalances."""
+
+    accepted: int = 0
+    rejected_full: int = 0
+    rejected_fenced: int = 0
+    rejected_overload: int = 0
+    rejected_quota: int = 0
+    delivered: int = 0
+    shed: int = 0
+    failed: int = 0
+    migrated_in: int = 0
+    migrated_out: int = 0
+    peak_depth: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return (self.rejected_full + self.rejected_fenced
+                + self.rejected_overload + self.rejected_quota)
 
 
 @dataclass
@@ -265,12 +341,18 @@ class AsyncChannel:
         overloaded: Optional predicate ``(shard) -> bool`` consulted at
             admission -- the hook the ``queue_overload`` fault kind uses
             to force rejections deterministically.
+        tenants: Optional :class:`~repro.federation.tenancy.TenantRegistry`
+            turning admission tenant-scoped: weighted queue slices,
+            token-bucket quotas, per-(shard, tenant) breakers and
+            tenant-prefixed control-plane charges.  Tenant-tagged
+            submissions require a prior :meth:`register_tenant`.
     """
 
     def __init__(self, channel: Channel, clock: VirtualClock,
                  queue_capacity: int = 64,
                  drain_seconds_per_message: float = DISPATCH_SECONDS,
-                 overloaded: Optional[Callable[[str], bool]] = None):
+                 overloaded: Optional[Callable[[str], bool]] = None,
+                 tenants: Optional["TenantRegistry"] = None):
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
         if drain_seconds_per_message < 0:
@@ -281,9 +363,17 @@ class AsyncChannel:
         self.queue_capacity = queue_capacity
         self.drain_seconds_per_message = drain_seconds_per_message
         self.overloaded = overloaded
+        self.tenants = tenants
         self._queues: Dict[str, Deque[_QueueEntry]] = {}
         self.stats: Dict[str, ShardQueueStats] = {}
         self.breakers: Dict[str, CircuitBreaker] = {}
+        #: (shard, tenant) -> tenant-scoped breaker; a tenant's failures
+        #: fence only that tenant's path to the shard.
+        self.tenant_breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        #: (shard, tenant) -> tenant-restricted counters.
+        self.tenant_stats: Dict[Tuple[str, str], TenantQueueStats] = {}
+        self._tenant_channels: Dict[str, Channel] = {}
+        self._tenant_buckets: Dict[str, Any] = {}
 
     @property
     def ledger(self) -> CostLedger:
@@ -309,9 +399,72 @@ class AsyncChannel:
     def _charge_circuit_open(self) -> None:
         self.ledger.charge(CAT_FAULT_CIRCUIT_OPEN, 0.0, count=1)
 
-    def queue_depth(self, shard: str) -> int:
-        """Entries currently waiting in one shard's queue."""
-        return len(self._queues.get(shard, ()))
+    def queue_depth(self, shard: str, tenant: Optional[str] = None) -> int:
+        """Entries waiting in one shard's queue (optionally one tenant's)."""
+        entries = self._queues.get(shard, ())
+        if tenant is None:
+            return len(entries)
+        return sum(1 for e in entries if e.tenant == tenant)
+
+    # ------------------------------------------------------------------
+    # Tenant registry.
+    # ------------------------------------------------------------------
+
+    def register_tenant(self, tenant_id: str,
+                        channel: Optional[Channel] = None) -> None:
+        """Bind one tenant's transfer channel (and build its bucket).
+
+        The channel's ledger receives the tenant's control-plane and
+        shed charges, keeping per-tenant accounting separable; the base
+        channel is used when none is given (single-ledger deployments).
+        """
+        from repro.federation.tenancy import build_bucket
+
+        if self.tenants is None:
+            raise ValueError(
+                "register_tenant needs an AsyncChannel built over a "
+                "TenantRegistry")
+        tenant = self.tenants.require(tenant_id)
+        self._tenant_channels[tenant_id] = (
+            channel if channel is not None else self.channel)
+        if tenant_id not in self._tenant_buckets:
+            self._tenant_buckets[tenant_id] = build_bucket(self.clock,
+                                                           tenant)
+
+    def tenant_channel(self, tenant_id: str) -> Channel:
+        """The transfer channel a tenant's entries deliver through."""
+        try:
+            return self._tenant_channels[tenant_id]
+        except KeyError:
+            raise ValueError(
+                f"tenant {tenant_id!r} has no registered channel; call "
+                f"register_tenant first") from None
+
+    def _tenant_ledger(self, tenant_id: str) -> CostLedger:
+        return self.tenant_channel(tenant_id).ledger
+
+    def tenant_breaker(self, shard: str, tenant_id: str,
+                       failure_threshold: int = 3,
+                       cooldown_seconds: float = 60.0) -> CircuitBreaker:
+        """The (shard, tenant)-scoped breaker, created on first use."""
+        key = (shard, tenant_id)
+        if key not in self.tenant_breakers:
+            def charge_open(tenant_id: str = tenant_id) -> None:
+                self._tenant_ledger(tenant_id).charge(
+                    CAT_FAULT_CIRCUIT_OPEN, 0.0, count=1)
+
+            self.tenant_breakers[key] = CircuitBreaker(
+                self.clock, failure_threshold=failure_threshold,
+                cooldown_seconds=cooldown_seconds,
+                charge_open=charge_open)
+        return self.tenant_breakers[key]
+
+    def _tenant_stats(self, shard: str,
+                      tenant_id: str) -> TenantQueueStats:
+        key = (shard, tenant_id)
+        if key not in self.tenant_stats:
+            self.tenant_stats[key] = TenantQueueStats()
+        return self.tenant_stats[key]
 
     # ------------------------------------------------------------------
     # Admission.
@@ -321,68 +474,140 @@ class AsyncChannel:
         return self.channel.profile.network_seconds(ADMISSION_BYTES,
                                                     messages=1)
 
-    def _charge_admission_accept(self) -> None:
-        self.ledger.charge(CAT_COMM_ADMISSION_ACCEPT,
-                           self._admission_seconds(), count=1,
-                           payload_bytes=ADMISSION_BYTES)
-
-    def _charge_admission_reject(self) -> None:
-        self.ledger.charge(CAT_COMM_ADMISSION_REJECT,
-                           self._admission_seconds(), count=1,
-                           payload_bytes=ADMISSION_BYTES)
-
-    def _reject(self, shard: str, reason: str,
-                retry_after: float) -> AdmissionRejected:
-        self._charge_admission_reject()
-        stats = self.stats[shard]
-        if reason == REJECT_QUEUE_FULL:
-            stats.rejected_full += 1
-        elif reason == REJECT_CIRCUIT_OPEN:
-            stats.rejected_fenced += 1
+    def _charge_admission_accept(self,
+                                 tenant: Optional[str] = None) -> None:
+        if tenant is not None:
+            self._tenant_ledger(tenant).charge(
+                admission_category("accept", tenant),
+                self._admission_seconds(), count=1,
+                payload_bytes=ADMISSION_BYTES)
         else:
-            stats.rejected_overload += 1
+            self.ledger.charge(CAT_COMM_ADMISSION_ACCEPT,
+                               self._admission_seconds(), count=1,
+                               payload_bytes=ADMISSION_BYTES)
+
+    def _charge_admission_reject(self, tenant: Optional[str] = None,
+                                 quota: bool = False) -> None:
+        if tenant is not None:
+            self._tenant_ledger(tenant).charge(
+                admission_category("quota" if quota else "reject",
+                                   tenant),
+                self._admission_seconds(), count=1,
+                payload_bytes=ADMISSION_BYTES)
+        else:
+            self.ledger.charge(CAT_COMM_ADMISSION_REJECT,
+                               self._admission_seconds(), count=1,
+                               payload_bytes=ADMISSION_BYTES)
+
+    def _reject(self, shard: str, reason: str, retry_after: float,
+                tenant: Optional[str] = None) -> AdmissionRejected:
+        self._charge_admission_reject(tenant,
+                                      quota=reason == REJECT_QUOTA)
+        counters = [self.stats[shard]]
+        if tenant is not None:
+            counters.append(self._tenant_stats(shard, tenant))
+        for stats in counters:
+            if reason == REJECT_QUEUE_FULL:
+                stats.rejected_full += 1
+            elif reason == REJECT_CIRCUIT_OPEN:
+                stats.rejected_fenced += 1
+            elif reason == REJECT_QUOTA:
+                stats.rejected_quota += 1
+            else:
+                stats.rejected_overload += 1
+        if reason == REJECT_QUOTA:
+            return QuotaExceeded(shard, tenant,
+                                 retry_after_seconds=retry_after)
         return AdmissionRejected(shard, reason,
                                  retry_after_seconds=retry_after)
 
     def submit(self, shard: str, message: Message,
-               arrival_delay: float = 0.0) -> None:
+               arrival_delay: float = 0.0,
+               tenant: Optional[str] = None) -> None:
         """Admit one upload into a shard's ingress queue, or raise.
+
+        With a ``tenant``, admission is tenant-scoped: the tenant's
+        breaker for this shard is consulted (not the shard-wide one),
+        one quota token is spent (:class:`QuotaExceeded` when the bucket
+        is dry), and the queue-full bound is the tenant's weighted slice
+        of the shared capacity -- another tenant's backlog can never
+        consume this tenant's slots.
 
         Raises:
             AdmissionRejected: The shard is fenced (breaker open), its
-                queue is at capacity, or an injected overload is in
-                force.  The rejection is charged before raising.
+                queue (or the tenant's slice) is at capacity, or an
+                injected overload is in force.  Charged before raising.
+            QuotaExceeded: The tenant's token bucket ran dry; retry
+                after the bucket's refill horizon.
         """
         self.register_shard(shard)
-        if not self.breakers[shard].allow():
+        if tenant is None:
             breaker = self.breakers[shard]
-            remaining = (breaker.opened_at + breaker.cooldown_seconds
-                         - self.clock.now)
-            raise self._reject(shard, REJECT_CIRCUIT_OPEN,
-                               retry_after=max(remaining, 0.0))
+            if not breaker.allow():
+                remaining = (breaker.opened_at + breaker.cooldown_seconds
+                             - self.clock.now)
+                raise self._reject(shard, REJECT_CIRCUIT_OPEN,
+                                   retry_after=max(remaining, 0.0))
+        else:
+            if self.tenants is None:
+                raise ValueError(
+                    "tenant-tagged submit needs an AsyncChannel built "
+                    "over a TenantRegistry")
+            breaker = self.tenant_breaker(shard, tenant)
+            if not breaker.allow():
+                remaining = (breaker.opened_at + breaker.cooldown_seconds
+                             - self.clock.now)
+                raise self._reject(shard, REJECT_CIRCUIT_OPEN,
+                                   retry_after=max(remaining, 0.0),
+                                   tenant=tenant)
+            bucket = self._tenant_buckets.get(tenant)
+            if bucket is None:
+                raise ValueError(
+                    f"tenant {tenant!r} not registered; call "
+                    f"register_tenant first")
+            if not bucket.try_acquire():
+                raise self._reject(shard, REJECT_QUOTA,
+                                   retry_after=bucket.retry_after(),
+                                   tenant=tenant)
         if self.overloaded is not None and self.overloaded(shard):
             raise self._reject(shard, REJECT_OVERLOAD,
                                retry_after=self.drain_seconds_per_message
-                               * self.queue_capacity)
+                               * self.queue_capacity,
+                               tenant=tenant)
         queue = self._queues[shard]
+        if tenant is not None:
+            slice_bound = self.tenants.share(tenant, self.queue_capacity)
+            if self.queue_depth(shard, tenant) >= slice_bound:
+                raise self._reject(
+                    shard, REJECT_QUEUE_FULL,
+                    retry_after=self.drain_seconds_per_message
+                    * slice_bound,
+                    tenant=tenant)
         if len(queue) >= self.queue_capacity:
             raise self._reject(
                 shard, REJECT_QUEUE_FULL,
-                retry_after=self.drain_seconds_per_message * len(queue))
-        self._charge_admission_accept()
+                retry_after=self.drain_seconds_per_message * len(queue),
+                tenant=tenant)
+        self._charge_admission_accept(tenant)
         queue.append(_QueueEntry(message=message, sender=message.sender,
                                  submitted_at=self.clock.now,
-                                 arrival_delay=arrival_delay))
+                                 arrival_delay=arrival_delay,
+                                 tenant=tenant))
         stats = self.stats[shard]
         stats.accepted += 1
         stats.peak_depth = max(stats.peak_depth, len(queue))
+        if tenant is not None:
+            tstats = self._tenant_stats(shard, tenant)
+            tstats.accepted += 1
+            tstats.peak_depth = max(tstats.peak_depth,
+                                    self.queue_depth(shard, tenant))
 
     # ------------------------------------------------------------------
     # Dispatch.
     # ------------------------------------------------------------------
 
-    def drain(self, shard: str,
-              deadline: Optional[float] = None) -> DrainOutcome:
+    def drain(self, shard: str, deadline: Optional[float] = None,
+              tenant: Optional[str] = None) -> DrainOutcome:
         """Deliver one shard's backlog in FIFO order.
 
         Each dequeue advances the virtual clock by the dispatch cost.
@@ -393,32 +618,103 @@ class AsyncChannel:
         failures (exhausted retries) are returned rather than raised so
         one sick sender cannot abort the whole drain; the caller feeds
         them to the shard's circuit breaker.
+
+        With a ``tenant``, only that tenant's entries are dispatched
+        (in their own FIFO order, through the tenant's registered
+        channel, shed charges against the tenant's ledger); other
+        tenants' entries stay queued untouched.  This is what makes a
+        tenant's drain timeline independent of its neighbours' backlogs.
         """
         self.register_shard(shard)
         queue = self._queues[shard]
         stats = self.stats[shard]
         outcome = DrainOutcome()
+        kept: Deque[_QueueEntry] = deque()
         while queue:
             entry = queue.popleft()
+            if tenant is not None and entry.tenant != tenant:
+                kept.append(entry)
+                continue
+            tstats = (self._tenant_stats(shard, entry.tenant)
+                      if entry.tenant is not None else None)
+            channel = (self.tenant_channel(entry.tenant)
+                       if entry.tenant is not None else self.channel)
             self.clock.advance(self.drain_seconds_per_message)
             if deadline is not None and \
                     max(entry.ready_at, self.clock.now) > deadline:
                 wire = (entry.message.ciphertext_count
-                        * self.channel.profile.wire_bytes(
+                        * channel.profile.wire_bytes(
                             entry.message.ciphertext_bytes,
                             packed=entry.message.packed)
                         + entry.message.plaintext_bytes)
-                self.ledger.charge(CAT_FAULT_SHED, 0.0, count=1,
-                                   payload_bytes=wire)
+                channel.ledger.charge(CAT_FAULT_SHED, 0.0, count=1,
+                                      payload_bytes=wire)
                 stats.shed += 1
+                if tstats is not None:
+                    tstats.shed += 1
                 outcome.shed.append((entry.sender, "deadline"))
                 continue
             try:
-                payload = self.channel.send(entry.message)
+                payload = channel.send(entry.message)
             except ChannelError as error:
                 stats.failed += 1
+                if tstats is not None:
+                    tstats.failed += 1
                 outcome.failed.append((entry.sender, error))
                 continue
             stats.delivered += 1
+            if tstats is not None:
+                tstats.delivered += 1
             outcome.delivered.append((entry.sender, payload))
+        queue.extend(kept)
         return outcome
+
+    # ------------------------------------------------------------------
+    # Elastic rebalancing support.
+    # ------------------------------------------------------------------
+
+    def migrate(self, source: str,
+                route: Callable[[int, str], str]) -> Dict[str, int]:
+        """Hand every queued entry of ``source`` to new shard queues.
+
+        The shard pool's split/merge handoff: ``route(index, sender)``
+        names the destination shard for the ``index``-th queued entry
+        (deterministic routing is the caller's contract; the WAL-
+        journaled handoff record pins the same assignment for crash
+        recovery).  Entries keep their submission metadata and relative
+        order, and *acceptance travels with them*: ``migrated_out`` /
+        ``migrated_in`` counters keep ``accepted + migrated_in -
+        migrated_out == delivered + shed + failed + queued`` true per
+        shard and per tenant -- an in-flight upload is never dropped
+        and never double-counted across a rebalance.
+
+        Returns destination shard -> entries moved.
+        """
+        self.register_shard(source)
+        queue = self._queues[source]
+        stats = self.stats[source]
+        moved: Dict[str, int] = {}
+        entries = list(queue)
+        queue.clear()
+        for index, entry in enumerate(entries):
+            target = route(index, entry.sender)
+            if target == source:
+                queue.append(entry)
+                continue
+            self.register_shard(target)
+            target_queue = self._queues[target]
+            target_stats = self.stats[target]
+            target_queue.append(entry)
+            stats.migrated_out += 1
+            target_stats.migrated_in += 1
+            target_stats.peak_depth = max(target_stats.peak_depth,
+                                          len(target_queue))
+            if entry.tenant is not None:
+                self._tenant_stats(source, entry.tenant).migrated_out += 1
+                tstats = self._tenant_stats(target, entry.tenant)
+                tstats.migrated_in += 1
+                tstats.peak_depth = max(
+                    tstats.peak_depth,
+                    self.queue_depth(target, entry.tenant))
+            moved[target] = moved.get(target, 0) + 1
+        return moved

@@ -38,7 +38,12 @@ component, and summarized by
   record boundary and failed over to its shard standby (see
   :mod:`repro.federation.shard`);
 - ``fault.queue_overload`` -- a shard's admission control forced into
-  rejecting every upload for a round (backpressure drill).
+  rejecting every upload for a round (backpressure drill);
+- ``fault.tenant_flood`` -- a tenant-wide retry storm injected against
+  the multi-tenant ingress (noisy-neighbor drill; see
+  :mod:`repro.federation.tenancy`);
+- ``fault.tenant_crash`` -- a whole tenant taken offline, its rounds
+  skipped while every other tenant proceeds untouched.
 
 Determinism: every stochastic decision draws from one ``random.Random``
 seeded by ``plan.seed + incarnation``.  The *incarnation* increments on
@@ -76,11 +81,22 @@ FAILOVER = "failover"
 #: reject every upload for one round, exercising the backpressure path.
 SHARD_CRASH = "shard_crash"
 QUEUE_OVERLOAD = "queue_overload"
+#: Multi-tenant kinds (see :mod:`repro.federation.tenancy` and the
+#: multi-tenant service in :mod:`repro.federation.shard`):
+#: ``tenant_flood`` makes every client of one tenant retransmit its
+#: upload ``intensity`` extra times in one round -- a retry storm that
+#: burns the tenant's token-bucket quota and queue slice;
+#: ``tenant_crash`` takes a whole tenant offline from ``round_index``
+#: on.  Both degrade *only* the named tenant: the isolation invariant
+#: asserts other tenants' weights stay byte-identical.
+TENANT_FLOOD = "tenant_flood"
+TENANT_CRASH = "tenant_crash"
 
 _EVENT_KINDS = (CRASH, DROPOUT, STRAGGLER, COORDINATOR_CRASH, FAILOVER,
-                SHARD_CRASH, QUEUE_OVERLOAD)
+                SHARD_CRASH, QUEUE_OVERLOAD, TENANT_FLOOD, TENANT_CRASH)
 COORDINATOR_KINDS = (COORDINATOR_CRASH, FAILOVER)
 SHARD_KINDS = (SHARD_CRASH, QUEUE_OVERLOAD)
+TENANT_KINDS = (TENANT_FLOOD, TENANT_CRASH)
 
 
 class QuorumError(RuntimeError):
@@ -122,6 +138,8 @@ class FaultEvent:
         after_record: For ``coordinator_crash`` / ``failover``: the WAL
             log sequence number after whose append the coordinator dies
             (the kill lands exactly on a record boundary).
+        intensity: For ``tenant_flood``: extra retransmissions per
+            client of the flooding tenant in ``round_index``.
     """
 
     kind: str
@@ -130,6 +148,7 @@ class FaultEvent:
     rejoin_round: Optional[int] = None
     delay_seconds: float = 0.0
     after_record: Optional[int] = None
+    intensity: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in _EVENT_KINDS:
@@ -148,6 +167,10 @@ class FaultEvent:
                 raise ValueError(
                     f"{self.kind} needs a non-negative after_record "
                     f"(the WAL record boundary to die at)")
+        if self.kind == TENANT_FLOOD and self.intensity < 1:
+            raise ValueError(
+                "tenant_flood needs a positive intensity (extra "
+                "retransmissions per client)")
 
 
 @dataclass(frozen=True)
@@ -233,6 +256,21 @@ class FaultPlan:
         return self._with_event(FaultEvent(
             QUEUE_OVERLOAD, shard, round_index))
 
+    def tenant_flood(self, tenant: str, round_index: int,
+                     intensity: int = 4) -> "FaultPlan":
+        """Make every client of ``tenant`` retransmit its upload
+        ``intensity`` extra times in one round -- a noisy-neighbor retry
+        storm absorbed by the tenant's quota, queue slice, and the
+        leaves' exactly-once dedupe."""
+        return self._with_event(FaultEvent(
+            TENANT_FLOOD, tenant, round_index, intensity=intensity))
+
+    def tenant_crash(self, tenant: str, round_index: int) -> "FaultPlan":
+        """Take a whole tenant offline from ``round_index`` on; its
+        rounds are skipped (and charged) instead of run."""
+        return self._with_event(FaultEvent(
+            TENANT_CRASH, tenant, round_index))
+
     def with_message_loss(self, probability: float) -> "FaultPlan":
         """Set the per-attempt message loss probability."""
         return replace(self, loss_probability=probability)
@@ -255,6 +293,10 @@ class FaultPlan:
         """The scheduled shard-level faults, in schedule order."""
         return [e for e in self.events if e.kind in SHARD_KINDS]
 
+    def tenant_events(self) -> List[FaultEvent]:
+        """The scheduled tenant-level faults, in schedule order."""
+        return [e for e in self.events if e.kind in TENANT_KINDS]
+
     # ------------------------------------------------------------------
     # Wire form (consumed by the deterministic simulator's trace).
     # ------------------------------------------------------------------
@@ -270,7 +312,8 @@ class FaultPlan:
                  "round_index": e.round_index,
                  "rejoin_round": e.rejoin_round,
                  "delay_seconds": e.delay_seconds,
-                 "after_record": e.after_record}
+                 "after_record": e.after_record,
+                 "intensity": e.intensity}
                 for e in self.events
             ],
         }
@@ -283,7 +326,8 @@ class FaultPlan:
                        round_index=e["round_index"],
                        rejoin_round=e.get("rejoin_round"),
                        delay_seconds=e.get("delay_seconds", 0.0),
-                       after_record=e.get("after_record"))
+                       after_record=e.get("after_record"),
+                       intensity=e.get("intensity", 0))
             for e in data.get("events", [])
         )
         return cls(events=events,
@@ -470,6 +514,39 @@ class FaultInjector:
     def charge_queue_overload(self, shard: str, round_index: int) -> None:
         """Charge an injected admission-control overload."""
         self._record(QUEUE_OVERLOAD, shard, round_index)
+
+    # ------------------------------------------------------------------
+    # Tenant-level state (consumed by the multi-tenant service).
+    # ------------------------------------------------------------------
+
+    def tenant_flood_intensity(self, tenant: str,
+                               round_index: int) -> int:
+        """Extra retransmissions per client of ``tenant`` this round.
+
+        Pure query; the triggered storm is charged once per round via
+        :meth:`charge_tenant_flood`.
+        """
+        return sum(e.intensity for e in self.plan.events
+                   if e.kind == TENANT_FLOOD and e.party == tenant
+                   and e.round_index == round_index)
+
+    def tenant_crashed(self, tenant: str, round_index: int) -> bool:
+        """Whether ``tenant`` is offline in ``round_index``.
+
+        Pure query; the skipped round is charged via
+        :meth:`charge_tenant_crash`.
+        """
+        return any(e.kind == TENANT_CRASH and e.party == tenant
+                   and round_index >= e.round_index
+                   for e in self.plan.events)
+
+    def charge_tenant_flood(self, tenant: str, round_index: int) -> None:
+        """Charge an injected tenant retry storm (once per round)."""
+        self._record(TENANT_FLOOD, tenant, round_index)
+
+    def charge_tenant_crash(self, tenant: str, round_index: int) -> None:
+        """Charge a tenant-wide outage observed in a round."""
+        self._record(TENANT_CRASH, tenant, round_index)
 
     # ------------------------------------------------------------------
     # Per-message stochastic processes (consumed by the channel).

@@ -10,6 +10,7 @@ categories the fault-tolerance layer writes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -155,6 +156,10 @@ class FaultReport:
             silently).
         circuit_opens: Per-shard circuit-breaker open transitions
             (a sick shard fenced out of the cohort).
+        tenant_floods: Injected ``tenant_flood`` retry storms absorbed
+            by tenant-scoped admission (multi-tenant service).
+        tenant_crashes: Rounds a tenant's whole federation sat out
+            under an injected ``tenant_crash``.
         wasted_bytes: Wire bytes consumed by failed attempts and
             abandoned transfers.
         fault_seconds: Total modelled time across all ``fault.*``
@@ -177,6 +182,8 @@ class FaultReport:
     queue_overloads: int = 0
     shed: int = 0
     circuit_opens: int = 0
+    tenant_floods: int = 0
+    tenant_crashes: int = 0
     wasted_bytes: int = 0
     fault_seconds: float = 0.0
 
@@ -200,6 +207,8 @@ class FaultReport:
             queue_overloads=ledger.count("fault.queue_overload"),
             shed=ledger.count("fault.shed"),
             circuit_opens=ledger.count("fault.circuit_open"),
+            tenant_floods=ledger.count("fault.tenant_flood"),
+            tenant_crashes=ledger.count("fault.tenant_crash"),
             wasted_bytes=(ledger.payload_bytes("fault.retransmit")
                           + ledger.payload_bytes("fault.giveup")
                           + ledger.payload_bytes("fault.lost_update")
@@ -215,7 +224,8 @@ class FaultReport:
                 + self.retransmissions + self.corrupted + self.giveups
                 + self.coordinator_crashes + self.failovers
                 + self.shard_crashes + self.queue_overloads
-                + self.shed + self.circuit_opens)
+                + self.shed + self.circuit_opens
+                + self.tenant_floods + self.tenant_crashes)
 
     @property
     def has_faults(self) -> bool:
@@ -243,9 +253,30 @@ class FaultReport:
             queue_overloads=self.queue_overloads + other.queue_overloads,
             shed=self.shed + other.shed,
             circuit_opens=self.circuit_opens + other.circuit_opens,
+            tenant_floods=self.tenant_floods + other.tenant_floods,
+            tenant_crashes=self.tenant_crashes + other.tenant_crashes,
             wasted_bytes=self.wasted_bytes + other.wasted_bytes,
             fault_seconds=self.fault_seconds + other.fault_seconds,
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (bench artifacts, per-tenant fault tables).
+
+        Field-for-field with the dataclass, so
+        ``FaultReport.from_dict(report.to_dict()) == report`` holds
+        exactly -- the round-trip the tenancy tests assert.
+        """
+        return dict(dataclasses.asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultReport":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FaultReport fields: {sorted(unknown)}")
+        return cls(**data)
 
     def summary_lines(self) -> List[str]:
         """Human-readable summary (the CLI's fault table body)."""
@@ -266,6 +297,8 @@ class FaultReport:
             f"queue overloads       {self.queue_overloads}",
             f"uploads shed          {self.shed}",
             f"circuit opens         {self.circuit_opens}",
+            f"tenant floods         {self.tenant_floods}",
+            f"tenant crashes        {self.tenant_crashes}",
             f"wasted wire bytes     {self.wasted_bytes}",
             f"total fault seconds   {self.fault_seconds:.2f}",
         ]

@@ -44,9 +44,19 @@ arithmetic, so regrouping cannot change the decoded plaintext.
 
 from __future__ import annotations
 
+import json
 import math
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 import numpy as np
 
@@ -61,6 +71,7 @@ from repro.federation.coordinator import (
 from repro.federation.eventloop import (
     REJECT_OVERLOAD,
     REJECT_QUEUE_FULL,
+    REJECT_QUOTA,
     AdmissionRejected,
     AsyncChannel,
     VirtualClock,
@@ -71,15 +82,19 @@ from repro.federation.faults import (
     QuorumError,
 )
 from repro.federation.serialization import deserialize_tensor, serialize_tensor
+from repro.federation.tenancy import TenantRegistry
 from repro.federation.wal import (
     DECRYPT_COMMITTED,
     PARTIAL_COMMITTED,
     QUORUM_REACHED,
     ROUND_CLOSE,
     ROUND_OPEN,
+    SHARD_MERGE,
+    SHARD_SPLIT,
+    WalRecord,
     WriteAheadLog,
 )
-from repro.ledger import fault_category
+from repro.ledger import CostLedger, fault_category
 from repro.rng import STREAM_MULTIPLIER
 from repro.tensor.cipher import CipherTensor
 
@@ -415,14 +430,210 @@ class FailoverRecord:
     recovered_digest: int
 
 
+class ShardPool:
+    """WAL-journaled elastic shard topology: splits, merges, recovery.
+
+    The pool owns *which* shard queues exist.  Every topology change is
+    a ``shard_split`` or ``shard_merge`` record appended to the pool's
+    own topology journal **before** any queued entry moves, so a pool
+    killed at any record boundary recovers to the exact same topology
+    by replaying its log, then re-routes orphaned entries with
+    :meth:`migrate_orphans` -- the same journal-then-act discipline the
+    round coordinators follow, composed with the PR 6 standby failover.
+
+    Shard names are ``shard-<ordinal>`` with a monotonically increasing
+    ordinal: a retired name is never reused, so a stale reference to a
+    pre-split shard can always be resolved through the journaled
+    successor map instead of silently aliasing a new queue.
+
+    Determinism contract (asserted by the rebalance crash sweep): for a
+    fixed sequence of :meth:`rebalance` targets, the final topology,
+    the successor map, and the routing of every queued entry are
+    byte-identical whether or not the pool died and recovered at any
+    journal record along the way.
+    """
+
+    def __init__(self, initial_shards: int = 1,
+                 wal: Optional[WriteAheadLog] = None,
+                 incarnation: int = 0):
+        if initial_shards < 1:
+            raise ValueError("initial_shards must be at least 1")
+        self.initial_shards = initial_shards
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.incarnation = incarnation
+        #: Fault hook: raise :class:`CoordinatorKilled` once a journal
+        #: append reaches this LSN (the crash sweep's knife).
+        self.kill_after_lsn: Optional[int] = None
+        #: Active shard names, in deterministic service order.
+        self.active: List[str] = [f"shard-{i}"
+                                  for i in range(initial_shards)]
+        self._next_ordinal = initial_shards
+        #: Retired shard -> immediate successors (split children or the
+        #: merge target); resolved transitively by :meth:`resolve`.
+        self._successors: Dict[str, List[str]] = {}
+        for record in self.wal.records:
+            self._apply(record)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, initial_shards: int = 1,
+                   incarnation: int = 0) -> "ShardPool":
+        """Recover a pool from a dead pool's journal image."""
+        return cls(initial_shards=initial_shards,
+                   wal=WriteAheadLog.from_bytes(blob),
+                   incarnation=incarnation)
+
+    def digest(self) -> int:
+        """CRC32 over the canonical topology (the sweep's comparator)."""
+        blob = json.dumps(
+            {"active": self.active, "next_ordinal": self._next_ordinal,
+             "successors": self._successors},
+            sort_keys=True, separators=(",", ":")).encode("utf-8")
+        return zlib.crc32(blob)
+
+    def _ordinal(self, shard: str) -> int:
+        return int(shard.rsplit("-", 1)[1])
+
+    def _apply(self, record: WalRecord) -> None:
+        """Replay one topology record (append-time and recovery path)."""
+        if record.kind == SHARD_SPLIT:
+            parent = record.payload["parent"]
+            children = list(record.payload["children"])
+            index = self.active.index(parent)
+            self.active[index:index + 1] = children
+            self._successors[parent] = children
+            top = max(self._ordinal(c) for c in children)
+        elif record.kind == SHARD_MERGE:
+            sources = list(record.payload["sources"])
+            target = record.payload["target"]
+            index = min(self.active.index(s) for s in sources)
+            for source in sources:
+                self.active.remove(source)
+                self._successors[source] = [target]
+            self.active.insert(index, target)
+            top = self._ordinal(target)
+        else:
+            raise ValueError(
+                f"{record.kind!r} is not a shard-pool topology record")
+        self._next_ordinal = max(self._next_ordinal, top + 1)
+
+    def _log(self, kind: str, round_index: int, **payload) -> int:
+        record = WalRecord(kind=kind, round_index=round_index,
+                           incarnation=self.incarnation, payload=payload)
+        lsn = self.wal.append(record)
+        self._apply(record)
+        if self.kill_after_lsn is not None and lsn >= self.kill_after_lsn:
+            raise CoordinatorKilled(lsn)
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Topology changes (journal first, move entries second).
+    # ------------------------------------------------------------------
+
+    def split(self, parent: str, round_index: int,
+              channel: Optional[AsyncChannel] = None) -> List[str]:
+        """Split one shard into two children; returns the child names.
+
+        The handoff record journals the parent and both children before
+        any queued entry moves; queued entries then alternate between
+        the children (even index -> first child), the deterministic
+        assignment recovery reproduces via :meth:`migrate_orphans`.
+        """
+        if parent not in self.active:
+            raise ValueError(f"cannot split inactive shard {parent!r}")
+        children = [f"shard-{self._next_ordinal}",
+                    f"shard-{self._next_ordinal + 1}"]
+        self._log(SHARD_SPLIT, round_index, parent=parent,
+                  children=children)
+        if channel is not None:
+            self.migrate_orphans(channel)
+        return children
+
+    def merge(self, first: str, second: str, round_index: int,
+              channel: Optional[AsyncChannel] = None) -> str:
+        """Merge two shards into a fresh target; returns the target."""
+        for source in (first, second):
+            if source not in self.active:
+                raise ValueError(
+                    f"cannot merge inactive shard {source!r}")
+        if first == second:
+            raise ValueError("merge needs two distinct shards")
+        target = f"shard-{self._next_ordinal}"
+        self._log(SHARD_MERGE, round_index, sources=[first, second],
+                  target=target)
+        if channel is not None:
+            self.migrate_orphans(channel)
+        return target
+
+    def rebalance(self, target_count: int, round_index: int,
+                  channel: Optional[AsyncChannel] = None) -> int:
+        """Split/merge toward ``target_count`` active shards.
+
+        Deterministic and idempotent: splits always take the head of
+        the active list, merges always fold the tail pair, and a pool
+        killed mid-rebalance reaches the same topology once recovered
+        and re-asked for the same target.  Returns operations applied.
+        """
+        if target_count < 1:
+            raise ValueError("target_count must be at least 1")
+        operations = 0
+        while len(self.active) < target_count:
+            self.split(self.active[0], round_index, channel=channel)
+            operations += 1
+        while len(self.active) > target_count:
+            self.merge(self.active[-2], self.active[-1], round_index,
+                       channel=channel)
+            operations += 1
+        return operations
+
+    # ------------------------------------------------------------------
+    # Orphan routing.
+    # ------------------------------------------------------------------
+
+    def resolve(self, shard: str) -> List[str]:
+        """The active shards a (possibly retired) name resolves to."""
+        frontier = [shard]
+        resolved: List[str] = []
+        while frontier:
+            name = frontier.pop(0)
+            if name in self._successors:
+                frontier.extend(self._successors[name])
+            else:
+                resolved.append(name)
+        return resolved
+
+    def migrate_orphans(self, channel: AsyncChannel) -> int:
+        """Re-route entries queued on retired shards; returns the count.
+
+        Split children take alternating entries (even index -> first
+        child); a merge target takes everything.  Routing depends only
+        on the journaled successor map and each entry's queue position,
+        so recovery reproduces the exact assignment an uninterrupted
+        handoff would have made.
+        """
+        moved = 0
+        for retired in list(self._successors):
+            if channel.queue_depth(retired) == 0:
+                continue
+            targets = self.resolve(retired)
+
+            def route(index: int, sender: str,
+                      targets: List[str] = targets) -> str:
+                return targets[index % len(targets)]
+
+            counts = channel.migrate(retired, route)
+            moved += sum(counts.values())
+        return moved
+
+
 @dataclass
 class ShardRoundReport:
     """Outcome of one sharded aggregation round.
 
     Every party in the cohort lands in exactly one bucket: a shard's
     survivor list, or :attr:`dropped` with a reason (``offline``,
-    ``deadline``, ``fenced``, ``rejected``, ``shed``, ``lost``) -- the
-    no-silent-loss invariant, asserted by the overload tests.
+    ``deadline``, ``fenced``, ``rejected``, ``quota``, ``shed``,
+    ``lost``) -- the no-silent-loss invariant, asserted by the
+    overload tests.
     """
 
     round_index: int
@@ -465,6 +676,16 @@ class ShardedAggregationService:
             advances the clock past it.
         breaker_failure_threshold / breaker_cooldown_seconds: Per-shard
             circuit-breaker tuning.
+        async_channel: A *shared* ingress (multi-tenant deployments);
+            the service builds its own private one when omitted.
+        tenant: Tenant id every submit/drain/breaker interaction is
+            scoped to; requires ``async_channel`` built over a
+            :class:`~repro.federation.tenancy.TenantRegistry`.
+        pool: The elastic :class:`ShardPool` naming the shard queues;
+            fixed ``shard-<i>`` names per round when omitted.
+        node_prefix: Prefix for leaf/root WAL, lease, and standby names
+            (``"tenant-a/"`` keeps tenants' node identities disjoint on
+            a shared pool).
     """
 
     def __init__(self, aggregator: SecureAggregator,
@@ -473,7 +694,11 @@ class ShardedAggregationService:
                  queue_capacity: int = 64, seed: int = 7,
                  lease_timeout_seconds: float = 30.0,
                  breaker_failure_threshold: int = 3,
-                 breaker_cooldown_seconds: float = 60.0):
+                 breaker_cooldown_seconds: float = 60.0,
+                 async_channel: Optional[AsyncChannel] = None,
+                 tenant: Optional[str] = None,
+                 pool: Optional["ShardPool"] = None,
+                 node_prefix: str = ""):
         self.aggregator = aggregator
         self.clock = clock if clock is not None else VirtualClock()
         self.num_shards = num_shards
@@ -483,13 +708,31 @@ class ShardedAggregationService:
         self.breaker_failure_threshold = breaker_failure_threshold
         self.breaker_cooldown_seconds = breaker_cooldown_seconds
         self._current_round = 0
-        self.async_channel = AsyncChannel(
-            aggregator.channel, self.clock,
-            queue_capacity=queue_capacity, overloaded=self._overloaded)
+        self.tenant = tenant
+        self.pool = pool
+        self.node_prefix = node_prefix
+        if async_channel is not None:
+            if tenant is not None and async_channel.tenants is None:
+                raise ValueError(
+                    "a tenant-scoped service needs an AsyncChannel "
+                    "built over a TenantRegistry")
+            self.async_channel = async_channel
+            if tenant is not None:
+                self.async_channel.register_tenant(
+                    tenant, aggregator.channel)
+        else:
+            if tenant is not None:
+                raise ValueError(
+                    "a tenant-scoped service needs the shared "
+                    "async_channel the tenants multiplex")
+            self.async_channel = AsyncChannel(
+                aggregator.channel, self.clock,
+                queue_capacity=queue_capacity,
+                overloaded=self._overloaded)
         self.leaves: Dict[str, ShardAggregator] = {}
         self._leaf_standbys: Dict[str, HierarchicalStandby] = {}
         self._leaf_leases: Dict[str, LeaseManager] = {}
-        self.root_name = "root"
+        self.root_name = f"{node_prefix}root"
         self._root_lease = LeaseManager(
             timeout_seconds=lease_timeout_seconds, clock=self._now)
         self._root_lease.acquire(self.root_name)
@@ -511,6 +754,24 @@ class ShardedAggregationService:
         return (injector is not None
                 and injector.queue_overloaded(shard, self._current_round))
 
+    def _breaker(self, shard: str):
+        """The breaker admission consults: tenant-scoped when tenanted.
+
+        Fault containment hinges here -- a tenanted service only ever
+        reads and trips *its own* per-(shard, tenant) breaker, so one
+        tenant's failures can never fence another tenant off a shared
+        shard.
+        """
+        if self.tenant is not None:
+            return self.async_channel.tenant_breaker(
+                shard, self.tenant,
+                failure_threshold=self.breaker_failure_threshold,
+                cooldown_seconds=self.breaker_cooldown_seconds)
+        return self.async_channel.register_shard(
+            shard,
+            failure_threshold=self.breaker_failure_threshold,
+            cooldown_seconds=self.breaker_cooldown_seconds)
+
     # ------------------------------------------------------------------
     # Node registry.
     # ------------------------------------------------------------------
@@ -518,16 +779,17 @@ class ShardedAggregationService:
     def leaf(self, shard: str) -> ShardAggregator:
         """The shard's leaf coordinator (created with WAL + standby)."""
         if shard not in self.leaves:
+            node = f"{self.node_prefix}{shard}"
             lease = LeaseManager(
                 timeout_seconds=self.lease_timeout_seconds,
                 clock=self._now)
-            lease.acquire(f"{shard}-primary")
+            lease.acquire(f"{node}-primary")
             self._leaf_leases[shard] = lease
             self.leaves[shard] = ShardAggregator(
                 self.aggregator, wal=WriteAheadLog(),
-                name=f"{shard}-primary", lease_manager=lease)
+                name=f"{node}-primary", lease_manager=lease)
             self._leaf_standbys[shard] = HierarchicalStandby(
-                self.aggregator, lease, name=f"{shard}-standby",
+                self.aggregator, lease, name=f"{node}-standby",
                 coordinator_cls=ShardAggregator)
         return self.leaves[shard]
 
@@ -568,7 +830,8 @@ class ShardedAggregationService:
         self.leaves[shard] = successor
         self._leaf_standbys[shard] = HierarchicalStandby(
             self.aggregator, lease,
-            name=f"{shard}-standby-{successor.incarnation}",
+            name=f"{self.node_prefix}{shard}-standby-"
+                 f"{successor.incarnation}",
             coordinator_cls=ShardAggregator)
         self._charge_fault(SHARD_CRASH, shard, round_index)
         self.failover_log.append(FailoverRecord(
@@ -617,7 +880,8 @@ class ShardedAggregationService:
                   tag: str = "gradients",
                   round_index: Optional[int] = None,
                   cohort_size: Optional[int] = None,
-                  min_quorum: Optional[int] = None) -> np.ndarray:
+                  min_quorum: Optional[int] = None,
+                  flood_intensity: int = 0) -> np.ndarray:
         """One sharded aggregation round; returns the slot-wise sum.
 
         Cohort sampling, shard planning, admission control, deadline
@@ -625,6 +889,12 @@ class ShardedAggregationService:
         root failover handled in place.  Parties lost anywhere along the
         path degrade the round into Eq. 6 partial aggregation; the round
         only fails (``QuorumError``) below ``min_quorum`` survivors.
+
+        ``flood_intensity`` models a ``tenant_flood`` retry storm: each
+        admitted upload is re-submitted that many extra times.  The
+        duplicates spend *this* tenant's quota tokens and slice slots
+        and are absorbed by the leaf's exactly-once dedupe -- the blast
+        radius the isolation tests pin to the flooding tenant alone.
         """
         agg = self.aggregator
         vectors = [np.asarray(v, dtype=np.float64)
@@ -652,13 +922,25 @@ class ShardedAggregationService:
                 f"quorum {required} impossible with a cohort of "
                 f"{len(cohort)}")
 
-        groups = plan_shards(cohort, self.num_shards,
-                             max_summands=agg.packer.max_safe_summands())
+        if self.pool is not None:
+            groups = plan_shards(cohort, len(self.pool.active),
+                                 max_summands=agg.packer
+                                 .max_safe_summands())
+            if len(groups) > len(self.pool.active):
+                raise ValueError(
+                    f"cohort needs {len(groups)} shards but the pool "
+                    f"has {len(self.pool.active)}; rebalance first")
+            shard_names = list(self.pool.active[:len(groups)])
+        else:
+            groups = plan_shards(cohort, self.num_shards,
+                                 max_summands=agg.packer
+                                 .max_safe_summands())
+            shard_names = [f"shard-{s}" for s in range(len(groups))]
         report = ShardRoundReport(
             round_index=round_index,
             cohort=[f"client-{i}" for i in cohort])
         report.shard_groups = {
-            f"shard-{s}": [f"client-{i}" for i in group]
+            shard_names[s]: [f"client-{i}" for i in group]
             for s, group in enumerate(groups)}
         deadline = (self.clock.now + agg.round_deadline_seconds
                     if agg.round_deadline_seconds is not None else None)
@@ -669,11 +951,12 @@ class ShardedAggregationService:
         representative_charged = False
         active_shards: List[str] = []
         for s_index, group in enumerate(groups):
-            shard = f"shard-{s_index}"
-            breaker = self.async_channel.register_shard(
+            shard = shard_names[s_index]
+            self.async_channel.register_shard(
                 shard,
                 failure_threshold=self.breaker_failure_threshold,
                 cooldown_seconds=self.breaker_cooldown_seconds)
+            breaker = self._breaker(shard)
             if not breaker.allow():
                 report.fenced_shards.append(shard)
                 for i in group:
@@ -707,29 +990,41 @@ class ShardedAggregationService:
                     ciphertext_bytes=agg.client_engine
                     .nominal_ciphertext_bytes(),
                     packed=agg.packed_serialization)
+                admitted = False
                 try:
                     self.async_channel.submit(shard, message,
-                                              arrival_delay=delay)
+                                              arrival_delay=delay,
+                                              tenant=self.tenant)
+                    admitted = True
                 except AdmissionRejected as rejection:
-                    if rejection.reason == REJECT_OVERLOAD:
+                    if rejection.reason == REJECT_QUOTA:
+                        # This tenant's own token bucket ran dry (the
+                        # typed retryable QuotaExceeded, already charged
+                        # to the tenant's ledger) -- its blast radius
+                        # stays within the tenant by construction.
+                        report.dropped.append((name, "quota"))
+                    elif rejection.reason == REJECT_OVERLOAD:
                         if injector is not None and not overload_charged:
                             injector.charge_queue_overload(shard,
                                                            round_index)
                             overload_charged = True
                         report.dropped.append((name, "rejected"))
-                        continue
-                    if rejection.reason == REJECT_QUEUE_FULL:
+                    elif rejection.reason == REJECT_QUEUE_FULL:
                         # Backpressure: drain the backlog (delivering the
                         # accepted entries) and retry exactly once.
                         self._drain_shard(shard, deadline, shard_uploads,
                                           report, round_index)
                         try:
                             self.async_channel.submit(
-                                shard, message, arrival_delay=delay)
+                                shard, message, arrival_delay=delay,
+                                tenant=self.tenant)
+                            admitted = True
                         except AdmissionRejected:
                             report.dropped.append((name, "rejected"))
-                        continue
-                    report.dropped.append((name, "rejected"))
+                    else:
+                        report.dropped.append((name, "rejected"))
+                if admitted and flood_intensity > 0:
+                    self._flood(shard, message, delay, flood_intensity)
 
         # Phase 2: drain every active shard's backlog before its leaf
         # round (entries past the deadline are shed, never lost).
@@ -758,7 +1053,7 @@ class ShardedAggregationService:
                                                   tag=tag)
             finally:
                 self.leaves[shard].kill_after_lsn = None
-            breaker = self.async_channel.breakers[shard]
+            breaker = self._breaker(shard)
             breaker.record_success()
             report.shard_survivors[shard] = list(
                 self.leaves[shard].machine.round.survivors)
@@ -812,10 +1107,16 @@ class ShardedAggregationService:
                                                          CipherTensor]]],
                      report: ShardRoundReport,
                      round_index: int) -> None:
-        """Deliver one shard's backlog into its upload buffer."""
+        """Deliver one shard's backlog into its upload buffer.
+
+        Tenanted services drain only their own entries -- other
+        tenants' uploads stay queued untouched, so a noisy neighbour's
+        backlog neither delays nor consumes this drain.
+        """
         injector = self.aggregator.injector
-        breaker = self.async_channel.breakers[shard]
-        outcome = self.async_channel.drain(shard, deadline=deadline)
+        breaker = self._breaker(shard)
+        outcome = self.async_channel.drain(shard, deadline=deadline,
+                                           tenant=self.tenant)
         buffer = shard_uploads.setdefault(shard, [])
         for sender, payload in outcome.delivered:
             buffer.append((sender, payload))
@@ -827,3 +1128,288 @@ class ShardedAggregationService:
                 injector.charge_lost_update(
                     sender, round_index, wasted_bytes=error.wasted_bytes)
             report.dropped.append((sender, "lost"))
+
+    def _flood(self, shard: str, message: Message, delay: float,
+               intensity: int) -> None:
+        """Inject ``tenant_flood`` duplicates behind one admitted upload.
+
+        Each duplicate runs the full admission gauntlet under *this*
+        tenant's identity: it spends the tenant's quota tokens, fills
+        the tenant's slice slots, and any rejection is charged to the
+        tenant's own ledger.  Duplicates that do get through are
+        deduplicated by the leaf's exactly-once machinery, so a flood
+        can waste its own tenant's budget but never corrupt a sum.
+        """
+        for _ in range(intensity):
+            try:
+                self.async_channel.submit(shard, message,
+                                          arrival_delay=delay,
+                                          tenant=self.tenant)
+            except AdmissionRejected:
+                continue
+
+
+@dataclass
+class TenantRoundOutcome:
+    """One tenant's slice of a multi-tenant round.
+
+    Attributes:
+        tenant_id: Which tenant the outcome belongs to.
+        round_index: The shared round index.
+        status: ``ok`` (result present), ``crashed`` (the tenant's
+            federation was offline under an injected ``tenant_crash``),
+            or ``quorum_failed`` (the tenant's own round aborted below
+            quorum -- contained, the other tenants still ran).
+        result: The decoded aggregate when ``status == "ok"``.
+        report: The tenant service's :class:`ShardRoundReport`.
+        detail: Human-readable failure detail (quorum message).
+    """
+
+    tenant_id: str
+    round_index: int
+    status: str
+    result: Optional[np.ndarray] = None
+    report: Optional[ShardRoundReport] = None
+    detail: str = ""
+
+
+@dataclass
+class MultiTenantRoundReport:
+    """Everything one shared round did across tenants."""
+
+    round_index: int
+    outcomes: Dict[str, TenantRoundOutcome] = field(default_factory=dict)
+    active_shards: List[str] = field(default_factory=list)
+    rebalance_ops: int = 0
+
+
+class MultiTenantAggregationService:
+    """Many federations multiplexed over one shard pool.
+
+    The multi-tenant tier the ROADMAP's north star asks for: tenants
+    share the virtual clock, the elastic :class:`ShardPool`, and one
+    :class:`~repro.federation.eventloop.AsyncChannel` ingress -- and
+    share *nothing else*.  Each tenant attaches its own
+    :class:`~repro.federation.aggregator.SecureAggregator` (own keys,
+    own fault injector, own ledger) and gets a tenant-scoped
+    :class:`ShardedAggregationService` whose admission, breakers,
+    deadlines, and quorum accounting are all partitioned by tenant id.
+
+    Isolation contract (the headline invariant of the tenant tests):
+    with tenant A under injected ``tenant_flood`` / ``tenant_crash``
+    faults, tenant B's multi-round aggregates are *byte-identical* to a
+    solo run of tenant B with the same seeds -- A's faults degrade A
+    alone.
+
+    Args:
+        registry: The tenant table; iteration order fixes the
+            deterministic order tenant rounds run in.
+        clock: Shared virtual clock (fresh by default).
+        queue_capacity: Shared per-shard ingress bound; each tenant's
+            slice of it is its weighted share.
+        initial_shards: Pool size before the first rebalance.
+        elastic: Rebalance the pool toward ``ceil(sqrt(P))`` for the
+            round's total client count ``P`` before each round.
+        lease_timeout_seconds / breaker_failure_threshold /
+        breaker_cooldown_seconds: Forwarded to each tenant's service.
+    """
+
+    def __init__(self, registry: TenantRegistry,
+                 clock: Optional[VirtualClock] = None,
+                 queue_capacity: int = 64,
+                 initial_shards: int = 1,
+                 elastic: bool = True,
+                 lease_timeout_seconds: float = 30.0,
+                 breaker_failure_threshold: int = 3,
+                 breaker_cooldown_seconds: float = 60.0):
+        if len(registry) == 0:
+            raise ValueError("the registry must hold at least one tenant")
+        self.registry = registry
+        self.clock = clock if clock is not None else VirtualClock()
+        self.queue_capacity = queue_capacity
+        self.elastic = elastic
+        self.lease_timeout_seconds = lease_timeout_seconds
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        self.pool = ShardPool(initial_shards=initial_shards)
+        #: Pool-level charges (rebalance failovers) land here, not on
+        #: any tenant's ledger -- the platform pays for its own faults.
+        self.platform_ledger = CostLedger()
+        self.async_channel: Optional[AsyncChannel] = None
+        self.services: Dict[str, ShardedAggregationService] = {}
+        self._active_service: Optional[ShardedAggregationService] = None
+        self.pool_failovers = 0
+        self.round_reports: List[MultiTenantRoundReport] = []
+
+    def _overloaded(self, shard: str) -> bool:
+        """Dispatch the shared ingress' overload probe to the tenant
+        whose round is in flight (overload faults are tenant-planned)."""
+        service = self._active_service
+        if service is None:
+            return False
+        return service._overloaded(shard)
+
+    def attach(self, tenant_id: str, aggregator: SecureAggregator,
+               seed: int = 7) -> ShardedAggregationService:
+        """Bind one tenant's data path; returns its scoped service.
+
+        When the registry pins a ``key_fingerprint``, the aggregator's
+        client-engine fingerprint must match -- the guard that two
+        tenants never mix ciphertexts under each other's keys.
+        """
+        tenant = self.registry.require(tenant_id)
+        if tenant.key_fingerprint is not None:
+            actual = aggregator.client_engine.fingerprint().hex()
+            if actual != tenant.key_fingerprint:
+                raise ValueError(
+                    f"tenant {tenant_id!r} pins key fingerprint "
+                    f"{tenant.key_fingerprint} but the attached "
+                    f"aggregator's key fingerprints to {actual}")
+        if self.async_channel is None:
+            self.async_channel = AsyncChannel(
+                aggregator.channel, self.clock,
+                queue_capacity=self.queue_capacity,
+                overloaded=self._overloaded, tenants=self.registry)
+        service = ShardedAggregationService(
+            aggregator, clock=self.clock,
+            queue_capacity=self.queue_capacity, seed=seed,
+            lease_timeout_seconds=self.lease_timeout_seconds,
+            breaker_failure_threshold=self.breaker_failure_threshold,
+            breaker_cooldown_seconds=self.breaker_cooldown_seconds,
+            async_channel=self.async_channel, tenant=tenant_id,
+            pool=self.pool, node_prefix=f"{tenant_id}/")
+        self.services[tenant_id] = service
+        return service
+
+    # ------------------------------------------------------------------
+    # Elastic rebalancing (with pool crash recovery).
+    # ------------------------------------------------------------------
+
+    def _rebalance_target(self, cohort_sizes: Mapping[str, int]) -> int:
+        """Shard count for this round's total load.
+
+        The square-root policy over the *combined* client count, raised
+        so every tenant's cohort fits its own packer's summand capacity
+        across the active shards.
+        """
+        total = sum(cohort_sizes.values())
+        if total < 1:
+            return len(self.pool.active)
+        target = default_num_shards(total)
+        for tenant_id, size in cohort_sizes.items():
+            packer = self.services[tenant_id].aggregator.packer
+            needed = int(math.ceil(size / packer.max_safe_summands()))
+            target = max(target, needed)
+        return target
+
+    def rebalance(self, target_count: int, round_index: int) -> int:
+        """Drive the pool toward ``target_count``, recovering kills.
+
+        A pool killed at a journal record is recovered from its own log
+        (replay + orphan migration, exactly like coordinator failover),
+        then the same rebalance target is re-applied -- the crash sweep
+        asserts the recovered topology and entry routing are
+        byte-identical to the uninterrupted run's.
+        """
+        operations = 0
+        for _attempt in range(2):
+            try:
+                operations += self.pool.rebalance(
+                    target_count, round_index,
+                    channel=self.async_channel)
+                return operations
+            except CoordinatorKilled:
+                self._recover_pool()
+        # Two kills in one rebalance would need a second scheduled
+        # fault; the sweep schedules one, so this is unreachable there.
+        operations += self.pool.rebalance(target_count, round_index,
+                                          channel=self.async_channel)
+        return operations
+
+    def _recover_pool(self) -> None:
+        """Replay the dead pool's topology journal and adopt the heir."""
+        heir = ShardPool.from_bytes(
+            self.pool.wal.image(),
+            initial_shards=self.pool.initial_shards,
+            incarnation=self.pool.incarnation + 1)
+        if self.async_channel is not None:
+            # Route entries orphaned between the journaled handoff and
+            # the crash *before* any further topology change, so the
+            # assignment matches the uninterrupted run's.
+            heir.migrate_orphans(self.async_channel)
+        self.pool = heir
+        for service in self.services.values():
+            service.pool = heir
+        self.pool_failovers += 1
+        self.platform_ledger.charge(fault_category("failover"), 0.0,
+                                    count=1)
+
+    # ------------------------------------------------------------------
+    # The multi-tenant round.
+    # ------------------------------------------------------------------
+
+    def run_round(self,
+                  tenant_vectors: Mapping[str, Sequence[np.ndarray]],
+                  round_index: int, tag: str = "gradients",
+                  cohort_sizes: Optional[Mapping[str, int]] = None,
+                  ) -> MultiTenantRoundReport:
+        """One shared round: rebalance once, then every tenant's round.
+
+        Tenants run in registry order.  A tenant under an injected
+        ``tenant_crash`` is skipped (and charged); a tenant under
+        ``tenant_flood`` runs with the storm's intensity turned on; a
+        tenant whose own round aborts below quorum is recorded as
+        ``quorum_failed`` -- and in every case the remaining tenants'
+        rounds proceed untouched.
+        """
+        for tenant_id in tenant_vectors:
+            if tenant_id not in self.services:
+                raise ValueError(
+                    f"tenant {tenant_id!r} has no attached service")
+        report = MultiTenantRoundReport(round_index=round_index)
+        sizes = {tenant_id: ((cohort_sizes or {}).get(tenant_id)
+                             or len(vectors))
+                 for tenant_id, vectors in tenant_vectors.items()}
+        if self.elastic and sizes:
+            report.rebalance_ops = self.rebalance(
+                self._rebalance_target(sizes), round_index)
+        report.active_shards = list(self.pool.active)
+
+        for tenant in self.registry:
+            tenant_id = tenant.tenant_id
+            if tenant_id not in tenant_vectors:
+                continue
+            service = self.services[tenant_id]
+            injector = service.aggregator.injector
+            if injector is not None \
+                    and injector.tenant_crashed(tenant_id, round_index):
+                injector.charge_tenant_crash(tenant_id, round_index)
+                service.aggregator.round_cursor = round_index + 1
+                report.outcomes[tenant_id] = TenantRoundOutcome(
+                    tenant_id, round_index, "crashed",
+                    detail="tenant offline under injected tenant_crash")
+                continue
+            flood = (injector.tenant_flood_intensity(tenant_id,
+                                                     round_index)
+                     if injector is not None else 0)
+            if flood > 0:
+                injector.charge_tenant_flood(tenant_id, round_index)
+            self._active_service = service
+            try:
+                result = service.run_round(
+                    tenant_vectors[tenant_id], tag=tag,
+                    round_index=round_index,
+                    cohort_size=(cohort_sizes or {}).get(tenant_id),
+                    flood_intensity=flood)
+            except QuorumError as error:
+                report.outcomes[tenant_id] = TenantRoundOutcome(
+                    tenant_id, round_index, "quorum_failed",
+                    report=service.last_round, detail=str(error))
+            else:
+                report.outcomes[tenant_id] = TenantRoundOutcome(
+                    tenant_id, round_index, "ok", result=result,
+                    report=service.last_round)
+            finally:
+                self._active_service = None
+        self.round_reports.append(report)
+        return report

@@ -65,9 +65,22 @@ QUORUM_REACHED = "quorum_reached"
 DECRYPT_COMMITTED = "decrypt_committed"
 PARTIAL_COMMITTED = "partial_committed"
 ROUND_CLOSE = "round_close"
+#: Elastic-rebalancing handoff records (PR 9).  These belong to the
+#: *shard pool's* topology journal, never to a round coordinator's log:
+#: ``shard_split`` pins a parent shard's replacement by two children
+#: (and the deterministic assignment of its in-flight queue entries),
+#: ``shard_merge`` pins two source shards' replacement by one target.
+#: :class:`~repro.federation.coordinator.RoundStateMachine` explicitly
+#: rejects both kinds.
+SHARD_SPLIT = "shard_split"
+SHARD_MERGE = "shard_merge"
 
 RECORD_KINDS = (ROUND_OPEN, UPLOAD_ACCEPTED, QUORUM_REACHED,
-                DECRYPT_COMMITTED, PARTIAL_COMMITTED, ROUND_CLOSE)
+                DECRYPT_COMMITTED, PARTIAL_COMMITTED, ROUND_CLOSE,
+                SHARD_SPLIT, SHARD_MERGE)
+
+#: The subset legal in a shard-pool topology journal.
+REBALANCE_KINDS = (SHARD_SPLIT, SHARD_MERGE)
 
 
 class WalError(FrameError):

@@ -70,6 +70,14 @@ CAT_FAULT_CIRCUIT_OPEN = "fault.circuit_open"
 #: spellings reports read back.
 CAT_COMM_ADMISSION_ACCEPT = "comm.admission.accept"
 CAT_COMM_ADMISSION_REJECT = "comm.admission.reject"
+CAT_COMM_ADMISSION_QUOTA = "comm.admission.quota"
+
+#: Admission verdicts the multi-tenant ingress may charge.  Tenant-aware
+#: charge sites append the tenant id as a final segment
+#: (``comm.admission.accept.tenant-a``) via :func:`admission_category`,
+#: so one ledger scan with prefix ``comm.admission.accept.`` splits the
+#: control plane per tenant.
+ADMISSION_VERDICTS = frozenset({"accept", "reject", "quota"})
 
 #: Family -> allowed suffixes; ``None`` marks an open family whose
 #: suffix is dynamic (message tags, per-model step names).
@@ -82,7 +90,8 @@ CATEGORY_FAMILIES: Dict[str, Optional[frozenset]] = {
                         "lost_update", "retransmit", "corrupt", "giveup",
                         "coordinator_crash", "failover",
                         "shard_crash", "queue_overload",
-                        "shed", "circuit_open"}),
+                        "shed", "circuit_open",
+                        "tenant_flood", "tenant_crash"}),
     "comm": None,
     "model": None,
 }
@@ -122,6 +131,26 @@ def fault_category(kind: str) -> str:
 def comm_category(tag: str) -> str:
     """The ``comm.*`` category for one message tag (validated)."""
     return validate_category(f"comm.{tag}")
+
+
+def admission_category(verdict: str, tenant: Optional[str] = None) -> str:
+    """The ``comm.admission.*`` category for one admission verdict.
+
+    With a ``tenant``, the category is tenant-prefixed
+    (``comm.admission.<verdict>.<tenant>``) so per-tenant control-plane
+    charges stay separable in one shared ledger; without one it is the
+    flat single-tenant spelling the event loop has always charged.
+    """
+    if verdict not in ADMISSION_VERDICTS:
+        raise ValueError(
+            f"unknown admission verdict {verdict!r}; choose from "
+            f"{sorted(ADMISSION_VERDICTS)}")
+    if tenant is not None:
+        if not tenant or "." in tenant:
+            raise ValueError(
+                f"tenant id {tenant!r} cannot segment a dotted category")
+        return validate_category(f"comm.admission.{verdict}.{tenant}")
+    return validate_category(f"comm.admission.{verdict}")
 
 
 @dataclass

@@ -50,8 +50,10 @@ from repro.federation.faults import (
 from repro.federation.runtime import FederationRuntime, system_by_name
 from repro.federation.shard import (
     FailoverRecord,
+    MultiTenantAggregationService,
     ShardedAggregationService,
 )
+from repro.federation.tenancy import Tenant, TenantRegistry
 from repro.federation.wal import WriteAheadLog
 
 
@@ -888,3 +890,405 @@ def expect_quorum_failure(spec: SimulationSpec) -> SimulationFailure:
                 "failure trace does not round-trip to the original spec")
         return failure
     raise AssertionError("simulation unexpectedly succeeded")
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant simulation (tenant isolation + elastic rebalancing).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's slice of a multi-tenant simulation.
+
+    Each tenant is a *whole federation*: its own seed (hence its own
+    Paillier keypair and gradient draws), its own client count, and its
+    own fault plan -- the only things tenants share are the clock, the
+    shard pool, and the admission-controlled ingress.
+    """
+
+    tenant_id: str
+    num_clients: int = 4
+    weight: float = 1.0
+    quota_rate: Optional[float] = None
+    quota_burst: int = 16
+    seed: int = 7
+    min_quorum: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant_id": self.tenant_id,
+            "num_clients": self.num_clients,
+            "weight": self.weight,
+            "quota_rate": self.quota_rate,
+            "quota_burst": self.quota_burst,
+            "seed": self.seed,
+            "min_quorum": self.min_quorum,
+            "fault_plan": (self.fault_plan.to_dict()
+                           if self.fault_plan is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        plan = data.get("fault_plan")
+        return cls(
+            tenant_id=data["tenant_id"],
+            num_clients=data.get("num_clients", 4),
+            weight=data.get("weight", 1.0),
+            quota_rate=data.get("quota_rate"),
+            quota_burst=data.get("quota_burst", 16),
+            seed=data.get("seed", 7),
+            min_quorum=data.get("min_quorum"),
+            fault_plan=(FaultPlan.from_dict(plan)
+                        if plan is not None else None),
+        )
+
+
+@dataclass(frozen=True)
+class TenancySpec:
+    """The JSON-round-trippable input of one multi-tenant simulation.
+
+    ``rebalance_targets`` (when given) overrides the elastic policy:
+    round ``r`` drives the pool toward target ``targets[min(r, last)]``
+    -- the knob the rebalance crash sweep uses to force both splits
+    *and* merges into the topology journal.  ``pool_kill_after_lsn``
+    arms the pool's crash knife: the first topology record appended at
+    or past that LSN kills the pool mid-handoff.
+    """
+
+    system: str = "FLBooster"
+    rounds: int = 3
+    vector_size: int = 8
+    key_bits: int = 256
+    physical_key_bits: Optional[int] = 128
+    queue_capacity: int = 64
+    initial_shards: int = 1
+    tenants: Tuple[TenantSpec, ...] = ()
+    rebalance_targets: Optional[Tuple[int, ...]] = None
+    pool_kill_after_lsn: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "rounds": self.rounds,
+            "vector_size": self.vector_size,
+            "key_bits": self.key_bits,
+            "physical_key_bits": self.physical_key_bits,
+            "queue_capacity": self.queue_capacity,
+            "initial_shards": self.initial_shards,
+            "tenants": [t.to_dict() for t in self.tenants],
+            "rebalance_targets": (list(self.rebalance_targets)
+                                  if self.rebalance_targets is not None
+                                  else None),
+            "pool_kill_after_lsn": self.pool_kill_after_lsn,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenancySpec":
+        targets = data.get("rebalance_targets")
+        return cls(
+            system=data.get("system", "FLBooster"),
+            rounds=data.get("rounds", 3),
+            vector_size=data.get("vector_size", 8),
+            key_bits=data.get("key_bits", 256),
+            physical_key_bits=data.get("physical_key_bits"),
+            queue_capacity=data.get("queue_capacity", 64),
+            initial_shards=data.get("initial_shards", 1),
+            tenants=tuple(TenantSpec.from_dict(t)
+                          for t in data.get("tenants", [])),
+            rebalance_targets=(tuple(targets)
+                               if targets is not None else None),
+            pool_kill_after_lsn=data.get("pool_kill_after_lsn"),
+        )
+
+    @classmethod
+    def from_json(cls, blob: str) -> "TenancySpec":
+        return cls.from_dict(json.loads(blob))
+
+    def solo(self, tenant_id: str) -> "TenancySpec":
+        """The same world with only ``tenant_id`` in it -- the baseline
+        the isolation invariant compares against."""
+        keep = tuple(t for t in self.tenants
+                     if t.tenant_id == tenant_id)
+        if not keep:
+            raise ValueError(f"no tenant {tenant_id!r} in the spec")
+        return TenancySpec.from_dict(
+            {**self.to_dict(), "tenants": [t.to_dict() for t in keep]})
+
+
+class TenancyFailure(AssertionError):
+    """A multi-tenant simulation diverged; message embeds the trace."""
+
+    def __init__(self, spec: TenancySpec, detail: str):
+        self.spec = spec
+        self.detail = detail
+        super().__init__(
+            f"tenancy failure: {detail}\n"
+            f"  repro: trace={spec.to_json()}")
+
+
+@dataclass
+class TenancySimulationResult:
+    """Deterministic outcome of one multi-tenant simulation.
+
+    ``final_weights[tenant]`` lists the decoded aggregate of every
+    round the tenant completed (crashed / quorum-failed rounds record a
+    status but no weights) -- the byte-exact series the isolation
+    invariant compares between a noisy multi-tenant run and a solo run.
+    """
+
+    spec: TenancySpec
+    statuses: Dict[str, List[str]] = field(default_factory=dict)
+    final_weights: Dict[str, List[List[float]]] = field(
+        default_factory=dict)
+    active_history: List[List[str]] = field(default_factory=list)
+    rebalance_ops: int = 0
+    pool_failovers: int = 0
+    pool_records: int = 0
+    pool_digest: int = 0
+    tenant_fault_counts: Dict[str, Dict[str, int]] = field(
+        default_factory=dict)
+
+    def checksum(self) -> int:
+        """One integer over every tenant's every-round aggregate."""
+        digest = zlib.crc32(
+            json.dumps(self.active_history,
+                       sort_keys=True).encode())
+        for tenant_id in sorted(self.final_weights):
+            for weights in self.final_weights[tenant_id]:
+                digest = zlib.crc32(
+                    np.asarray(weights, dtype=np.float64).tobytes(),
+                    digest)
+        return digest
+
+
+class MultiTenantSimulator:
+    """Drives several federations over one shared shard pool.
+
+    Builds one :class:`~repro.federation.runtime.FederationRuntime` per
+    tenant (own keys, own fault injector, own ledgers), registers every
+    tenant -- with its engine's key fingerprint pinned -- in a shared
+    :class:`~repro.federation.tenancy.TenantRegistry`, and runs all
+    rounds through the
+    :class:`~repro.federation.shard.MultiTenantAggregationService`.
+    Per-round gradient draws depend only on ``(tenant seed, round)``,
+    never on co-tenants -- the precondition of the isolation invariant.
+    """
+
+    def __init__(self, spec: TenancySpec):
+        if not spec.tenants:
+            raise ValueError("a TenancySpec needs at least one tenant")
+        self.spec = spec
+        self.clock = VirtualClock()
+        self.runtimes: Dict[str, FederationRuntime] = {}
+        tenants = []
+        for tenant_spec in spec.tenants:
+            runtime = FederationRuntime(
+                config=system_by_name(spec.system),
+                num_clients=tenant_spec.num_clients,
+                key_bits=spec.key_bits,
+                physical_key_bits=spec.physical_key_bits,
+                seed=tenant_spec.seed,
+                fault_plan=tenant_spec.fault_plan,
+                min_quorum=tenant_spec.min_quorum,
+            )
+            self.runtimes[tenant_spec.tenant_id] = runtime
+            tenants.append(Tenant(
+                tenant_id=tenant_spec.tenant_id,
+                weight=tenant_spec.weight,
+                quota_rate=tenant_spec.quota_rate,
+                quota_burst=tenant_spec.quota_burst,
+                key_fingerprint=runtime.aggregator.client_engine
+                .fingerprint().hex()))
+        self.registry = TenantRegistry(tenants)
+        self.service = MultiTenantAggregationService(
+            self.registry, clock=self.clock,
+            queue_capacity=spec.queue_capacity,
+            initial_shards=spec.initial_shards,
+            elastic=spec.rebalance_targets is None,
+            lease_timeout_seconds=LEASE_TIMEOUT_SECONDS)
+        for tenant_spec in spec.tenants:
+            self.service.attach(
+                tenant_spec.tenant_id,
+                self.runtimes[tenant_spec.tenant_id].aggregator,
+                seed=tenant_spec.seed)
+        if spec.pool_kill_after_lsn is not None:
+            self.service.pool.kill_after_lsn = spec.pool_kill_after_lsn
+
+    def _tenant_vectors(self, tenant_spec: TenantSpec,
+                        round_index: int) -> List[np.ndarray]:
+        """Seeded draws; depend only on (tenant seed, round, client)."""
+        rng = np.random.default_rng(
+            tenant_spec.seed * 1_000_003 + round_index)
+        return [rng.uniform(-1.0, 1.0, size=self.spec.vector_size)
+                for _ in range(tenant_spec.num_clients)]
+
+    def run(self) -> TenancySimulationResult:
+        result = TenancySimulationResult(
+            spec=self.spec,
+            statuses={t.tenant_id: [] for t in self.spec.tenants},
+            final_weights={t.tenant_id: [] for t in self.spec.tenants})
+        targets = self.spec.rebalance_targets
+        for round_index in range(self.spec.rounds):
+            ledgers = {
+                tenant_spec.tenant_id:
+                self.runtimes[tenant_spec.tenant_id].begin_epoch()
+                for tenant_spec in self.spec.tenants}
+            if targets is not None:
+                target = targets[min(round_index, len(targets) - 1)]
+                result.rebalance_ops += self.service.rebalance(
+                    target, round_index)
+            vectors = {
+                tenant_spec.tenant_id:
+                self._tenant_vectors(tenant_spec, round_index)
+                for tenant_spec in self.spec.tenants}
+            try:
+                report = self.service.run_round(vectors, round_index)
+            except Exception as error:
+                raise TenancyFailure(
+                    self.spec,
+                    f"round {round_index}: "
+                    f"{type(error).__name__}: {error}") from error
+            result.rebalance_ops += report.rebalance_ops
+            result.active_history.append(list(report.active_shards))
+            for tenant_id, outcome in report.outcomes.items():
+                result.statuses[tenant_id].append(outcome.status)
+                if outcome.status == "ok":
+                    result.final_weights[tenant_id].append(
+                        [float(v) for v in
+                         np.asarray(outcome.result).ravel()])
+            self.clock.advance(max(
+                (ledger.total_seconds for ledger in ledgers.values()),
+                default=0.0))
+        result.pool_failovers = self.service.pool_failovers
+        result.pool_records = len(self.service.pool.wal)
+        result.pool_digest = self.service.pool.digest()
+        for tenant_spec in self.spec.tenants:
+            injector = self.runtimes[tenant_spec.tenant_id].injector
+            result.tenant_fault_counts[tenant_spec.tenant_id] = (
+                dict(injector.triggered_counts())
+                if injector is not None else {})
+        return result
+
+
+@dataclass
+class TenantIsolationReport:
+    """Verdict of one tenant-isolation check (CLI table body)."""
+
+    spec: TenancySpec
+    quiet_tenant: str
+    rounds_compared: int
+    noisy_checksum: int
+    solo_checksum: int
+
+    def summary_lines(self) -> List[str]:
+        return [
+            f"quiet tenant          {self.quiet_tenant}",
+            f"rounds compared       {self.rounds_compared}",
+            f"noisy-run checksum    {self.noisy_checksum}",
+            f"solo-run checksum     {self.solo_checksum}",
+            "verdict               quiet tenant byte-identical to its "
+            "solo run",
+        ]
+
+
+def tenant_isolation_check(spec: TenancySpec,
+                           quiet_tenant: str) -> TenantIsolationReport:
+    """Assert the headline invariant: faults degrade their tenant only.
+
+    Runs the full multi-tenant spec (noisy neighbours, floods, crashes
+    and all), then runs ``quiet_tenant`` *alone* with the same seeds,
+    and asserts the quiet tenant's per-round decoded weights are
+    **byte-identical** across the two runs -- ``==`` on the float lists,
+    not approximate.  Raises :class:`TenancyFailure` with a replayable
+    trace on any divergence.
+    """
+    noisy = MultiTenantSimulator(spec).run()
+    solo_spec = spec.solo(quiet_tenant)
+    solo = MultiTenantSimulator(solo_spec).run()
+    noisy_weights = noisy.final_weights[quiet_tenant]
+    solo_weights = solo.final_weights[quiet_tenant]
+    if noisy.statuses[quiet_tenant] != solo.statuses[quiet_tenant]:
+        raise TenancyFailure(
+            spec,
+            f"quiet tenant {quiet_tenant!r} status series diverged: "
+            f"{noisy.statuses[quiet_tenant]} (noisy) != "
+            f"{solo.statuses[quiet_tenant]} (solo)")
+    if noisy_weights != solo_weights:
+        first = next(
+            (i for i, (a, b) in enumerate(zip(noisy_weights,
+                                              solo_weights))
+             if a != b),
+            min(len(noisy_weights), len(solo_weights)))
+        raise TenancyFailure(
+            spec,
+            f"quiet tenant {quiet_tenant!r} weights diverged from its "
+            f"solo run at round {first} -- isolation is broken")
+    def weights_checksum(weights: List[List[float]]) -> int:
+        digest = 0
+        for row in weights:
+            digest = zlib.crc32(
+                np.asarray(row, dtype=np.float64).tobytes(), digest)
+        return digest
+    return TenantIsolationReport(
+        spec=spec, quiet_tenant=quiet_tenant,
+        rounds_compared=len(solo_weights),
+        noisy_checksum=weights_checksum(noisy_weights),
+        solo_checksum=weights_checksum(solo_weights))
+
+
+def rebalance_crash_sweep(spec: TenancySpec) -> CrashSweepReport:
+    """Kill the shard pool at *every* topology record and verify.
+
+    The elastic twin of the coordinator sweeps: first runs the spec
+    uninterrupted, capturing the pool's topology journal, final
+    topology digest, per-round active-shard history, and every tenant's
+    per-round weights.  Then, for each record boundary ``k`` of the
+    topology journal, re-runs with the pool's crash knife armed at
+    ``k`` and asserts the recovered run is **bit-identical**: same
+    final topology digest, same active-shard history, same per-tenant
+    weights, and the pool really did fail over.
+    """
+    if spec.pool_kill_after_lsn is not None:
+        raise ValueError("the sweep arms the kill itself; pass a spec "
+                         "without pool_kill_after_lsn")
+    reference = MultiTenantSimulator(spec).run()
+    if reference.pool_records == 0:
+        raise ValueError(
+            "the reference run journaled no topology records; give the "
+            "spec rebalance_targets (or more clients) so the pool "
+            "actually splits or merges")
+    for index in range(reference.pool_records):
+        killed_spec = TenancySpec.from_dict(
+            {**spec.to_dict(), "pool_kill_after_lsn": index})
+        result = MultiTenantSimulator(killed_spec).run()
+        if result.pool_failovers < 1:
+            raise TenancyFailure(
+                killed_spec,
+                f"the pool kill armed at record {index} never fired")
+        if result.pool_digest != reference.pool_digest:
+            raise TenancyFailure(
+                killed_spec,
+                f"kill at record {index}: recovered topology digest "
+                f"{result.pool_digest} != reference "
+                f"{reference.pool_digest}")
+        if result.active_history != reference.active_history:
+            raise TenancyFailure(
+                killed_spec,
+                f"kill at record {index}: active-shard history "
+                f"diverged from the uninterrupted run")
+        if result.final_weights != reference.final_weights:
+            raise TenancyFailure(
+                killed_spec,
+                f"kill at record {index}: tenant weights diverged "
+                f"from the uninterrupted run")
+    return CrashSweepReport(
+        spec=SimulationSpec(),  # tenancy sweeps carry their own spec
+        mode="shard-pool-rebalance",
+        wal_records=reference.pool_records,
+        boundaries_tested=reference.pool_records,
+        reference_checksum=reference.checksum())

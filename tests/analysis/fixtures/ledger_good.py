@@ -3,6 +3,7 @@
 from repro.ledger import (
     CAT_HE_ENCRYPT,
     CAT_MODEL_COMPUTE,
+    admission_category,
     comm_category,
     fault_category,
 )
@@ -23,6 +24,13 @@ def registry_constant(ledger, seconds):
 def validated_builders(ledger, kind, tag, seconds):
     ledger.charge(fault_category(kind), seconds)     # runtime-validated
     ledger.charge(comm_category(tag), seconds)
+
+
+def tenant_prefixed_builder(ledger, verdict, tenant, seconds):
+    ledger.charge(admission_category(verdict), seconds)
+    ledger.charge(admission_category(verdict, tenant), seconds)
+    ledger.charge(admission_category("quota", tenant="tenant-a"),
+                  seconds)
 
 
 def open_family_fstring(ledger, tag, seconds):

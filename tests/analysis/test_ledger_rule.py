@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.ledger_rule import LedgerCategoryRule
 from repro.ledger import (
     CostLedger,
+    admission_category,
     comm_category,
     fault_category,
     is_known_category,
@@ -56,6 +57,24 @@ class TestRegistry:
         assert comm_category("upload.x") == "comm.upload.x"
         with pytest.raises(ValueError):
             fault_category("meteor_strike")
+
+    def test_tenant_fault_kinds_are_registered(self):
+        assert fault_category("tenant_flood") == "fault.tenant_flood"
+        assert fault_category("tenant_crash") == "fault.tenant_crash"
+
+    def test_admission_builder(self):
+        assert admission_category("accept") == "comm.admission.accept"
+        assert (admission_category("quota", "tenant-a")
+                == "comm.admission.quota.tenant-a")
+        with pytest.raises(ValueError):
+            admission_category("maybe")
+        with pytest.raises(ValueError):
+            admission_category("accept", "dotted.tenant")
+
+    def test_strict_ledger_accepts_tenant_prefixed_admission(self):
+        ledger = CostLedger(strict=True)
+        ledger.charge("comm.admission.quota.tenant-a", 1.0)
+        ledger.charge("fault.tenant_flood", 0.0, count=1)
 
     def test_strict_ledger_rejects_unknown_categories(self):
         ledger = CostLedger(strict=True)

@@ -1,0 +1,123 @@
+"""Property tests for the weighted-fair scheduler and quota buckets.
+
+The fairness bound under test is the classic WFQ guarantee
+(:func:`repro.federation.tenancy.weighted_fair_order`): in any service
+prefix of length ``L``, a tenant holding at least ``floor(L * w / W)``
+backlogged entries is served at least ``floor(L * w / W) - 1`` times --
+no tenant can be starved beyond its weight, however the other backlogs
+are shaped.  The token-bucket property is the quota guarantee: over any
+schedule of acquisitions and clock advances, admitted tokens never
+exceed ``burst + rate * elapsed``.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation.eventloop import VirtualClock
+from repro.federation.tenancy import TokenBucket, weighted_fair_order
+
+TENANT_IDS = ["tenant-a", "tenant-b", "tenant-c", "tenant-d"]
+
+
+@st.composite
+def backlog_scenarios(draw):
+    """A few tenants with random backlogs and positive weights."""
+    count = draw(st.integers(min_value=1, max_value=len(TENANT_IDS)))
+    tenants = TENANT_IDS[:count]
+    backlogs = {t: draw(st.integers(min_value=0, max_value=24))
+                for t in tenants}
+    weights = {t: draw(st.floats(min_value=0.25, max_value=8.0,
+                                 allow_nan=False, allow_infinity=False))
+               for t in tenants}
+    return backlogs, weights
+
+
+@settings(max_examples=200)
+@given(backlog_scenarios())
+def test_order_is_a_permutation_of_the_backlogs(scenario):
+    backlogs, weights = scenario
+    order = weighted_fair_order(backlogs, weights)
+    assert len(order) == sum(backlogs.values())
+    for tenant, backlog in backlogs.items():
+        assert order.count(tenant) == backlog
+
+
+@settings(max_examples=200)
+@given(backlog_scenarios())
+def test_no_tenant_starved_beyond_its_weight(scenario):
+    backlogs, weights = scenario
+    order = weighted_fair_order(backlogs, weights)
+    total_weight = sum(weights[t] for t in backlogs if backlogs[t] > 0)
+    served = {t: 0 for t in backlogs}
+    for position, tenant in enumerate(order, start=1):
+        served[tenant] += 1
+        for other, backlog in backlogs.items():
+            entitled = math.floor(
+                position * weights[other] / total_weight)
+            if backlog >= entitled:
+                assert served[other] >= entitled - 1, (
+                    f"{other} served {served[other]} times in a prefix "
+                    f"of {position} despite entitlement {entitled}")
+
+
+@settings(max_examples=200)
+@given(backlog_scenarios())
+def test_order_is_deterministic(scenario):
+    backlogs, weights = scenario
+    assert (weighted_fair_order(backlogs, weights)
+            == weighted_fair_order(dict(reversed(backlogs.items())),
+                                   weights))
+
+
+@st.composite
+def bucket_schedules(draw):
+    """A bucket spec plus an interleaving of acquires and time steps."""
+    rate = draw(st.floats(min_value=0.1, max_value=50.0,
+                          allow_nan=False, allow_infinity=False))
+    burst = draw(st.integers(min_value=1, max_value=12))
+    steps = draw(st.lists(
+        st.one_of(
+            st.just(("acquire", 0.0)),
+            st.tuples(st.just("advance"),
+                      st.floats(min_value=0.0, max_value=5.0,
+                                allow_nan=False, allow_infinity=False))),
+        min_size=1, max_size=60))
+    return rate, burst, steps
+
+
+@settings(max_examples=200)
+@given(bucket_schedules())
+def test_bucket_never_over_grants(schedule):
+    rate, burst, steps = schedule
+    clock = VirtualClock()
+    bucket = TokenBucket(clock, rate=rate, burst=burst)
+    admitted = 0
+    elapsed = 0.0
+    for action, seconds in steps:
+        if action == "advance":
+            clock.advance(seconds)
+            elapsed += seconds
+        elif bucket.try_acquire():
+            admitted += 1
+        # The quota guarantee, with float slack on the refill product.
+        assert admitted <= burst + rate * elapsed + 1e-6
+        assert bucket.tokens <= burst
+
+
+@settings(max_examples=200)
+@given(bucket_schedules())
+def test_retry_after_is_sufficient(schedule):
+    """Waiting out retry_after always makes the next acquire succeed."""
+    rate, burst, steps = schedule
+    clock = VirtualClock()
+    bucket = TokenBucket(clock, rate=rate, burst=burst)
+    for action, seconds in steps:
+        if action == "advance":
+            clock.advance(seconds)
+        elif not bucket.try_acquire():
+            hint = bucket.retry_after()
+            assert hint > 0
+            clock.advance(hint + 1e-9)
+            assert bucket.try_acquire()
