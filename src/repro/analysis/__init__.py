@@ -21,7 +21,18 @@ Rules (each in its own module, all registered in :data:`ALL_RULES`):
 - ``deprecated-api``   -- resurrection of removed raw-list shims and
   gmpy-style bigint imports (:mod:`repro.analysis.deprecation`);
 - ``kernel-budget``    -- declared kernel resource envelopes evaluated
-  against device limits (:mod:`repro.analysis.kernel_budget`).
+  against device limits (:mod:`repro.analysis.kernel_budget`);
+- ``wal-discipline``   -- journal-then-act ordering on write-ahead-log
+  records, checked interprocedurally
+  (:mod:`repro.analysis.ipa.wal_rule`);
+- ``ledger-conservation`` -- admission verdicts must move the flow
+  counters the conservation law expects
+  (:mod:`repro.analysis.ipa.ledger_flow`).
+
+The last two need a whole-program view -- symbol table, class
+hierarchy, call graph, and summary fixpoints live under
+:mod:`repro.analysis.ipa`; ``plaintext-wire`` also runs an
+interprocedural pass on top of its per-module one.
 
 Run it as ``python -m repro lint``; see ``docs/analysis.md`` for the
 pragma and baseline workflow.
@@ -38,6 +49,8 @@ from repro.analysis.engine import (
     run_lint,
     write_baseline,
 )
+from repro.analysis.ipa.ledger_flow import LedgerConservationRule
+from repro.analysis.ipa.wal_rule import WalDisciplineRule
 from repro.analysis.kernel_budget import KernelBudgetRule
 from repro.analysis.ledger_rule import LedgerCategoryRule
 from repro.analysis.taint import PlaintextWireRule
@@ -49,6 +62,8 @@ ALL_RULES = (
     LedgerCategoryRule,
     DeprecatedApiRule,
     KernelBudgetRule,
+    WalDisciplineRule,
+    LedgerConservationRule,
 )
 
 __all__ = [
@@ -58,10 +73,12 @@ __all__ = [
     "DeterminismRule",
     "KernelBudgetRule",
     "LedgerCategoryRule",
+    "LedgerConservationRule",
     "LintReport",
     "ModuleUnit",
     "PlaintextWireRule",
     "Rule",
+    "WalDisciplineRule",
     "TimeBudgetExceeded",
     "load_baseline",
     "rule_names",

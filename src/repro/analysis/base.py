@@ -36,15 +36,29 @@ class Rule:
     :meth:`check`, yielding :class:`Diagnostic` instances for one parsed
     module.  Rules are stateless across files -- the engine constructs
     one instance per run and calls it once per module.
+
+    A rule that also (or only) needs the whole program sets
+    :attr:`needs_project` and implements :meth:`check_project`; the
+    engine builds one :class:`~repro.analysis.ipa.project.Project` per
+    run and calls ``check_project`` once, after the per-module pass.
+    Project findings go through the same pragma / baseline suppression,
+    keyed by each diagnostic's path.
     """
 
     #: CLI-visible rule identifier (kebab-case).
     name: str = ""
     #: One-line summary shown by ``lint --help``-adjacent docs.
     description: str = ""
+    #: Whether the engine must build a whole-program view for this rule.
+    needs_project: bool = False
 
     def check(self, unit: "ModuleUnit") -> Iterator[Diagnostic]:
-        raise NotImplementedError
+        """Per-module findings; project-only rules yield nothing here."""
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Diagnostic]:
+        """Whole-program findings (only called when ``needs_project``)."""
+        return iter(())
 
     def diagnostic(self, unit: "ModuleUnit", node: ast.AST, message: str,
                    symbol: str = "") -> Diagnostic:

@@ -3,13 +3,37 @@
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: Fingerprint identifying a finding across line-number churn: the line is
 #: deliberately excluded so an unrelated edit above a grandfathered finding
 #: does not resurrect it from the baseline.
 Fingerprint = Tuple[str, str, str]
+
+#: Quoted identifiers inside messages (``'plain'``, ``"tenant-a"``).
+_QUOTED = re.compile(r"'[^']*'|\"[^\"]*\"")
+
+#: Rendered call paths (``(path: forward -> relay -> send())``): the
+#: hop list reshuffles whenever a helper is renamed or inlined.  The
+#: hops themselves contain ``()``, so the match runs greedily to the
+#: last closing paren -- the path is always the message's tail.
+_CALL_PATH = re.compile(r"\(path: .*\)")
+
+
+def normalize_message(message: str) -> str:
+    """A message with volatile identifiers stripped, for fingerprints.
+
+    Baseline fingerprints must survive renames that do not change what
+    the finding *is*: renaming a local variable rewrites the quoted
+    identifier a taint message embeds, and renaming a helper rewrites
+    the rendered call path, but either way it is the same grandfathered
+    finding.  Both spans collapse to fixed placeholders, so only the
+    rule, file, and the message's structural text identify a finding.
+    """
+    message = _QUOTED.sub("'<id>'", message)
+    return _CALL_PATH.sub("(path: <path>)", message)
 
 
 @dataclass(frozen=True)
@@ -35,8 +59,8 @@ class Diagnostic:
 
     @property
     def fingerprint(self) -> Fingerprint:
-        """Line-independent identity used by the baseline file."""
-        return (self.rule, self.path, self.message)
+        """Line- and identifier-independent identity for the baseline."""
+        return (self.rule, self.path, normalize_message(self.message))
 
     def format(self) -> str:
         """The one-line human rendering: ``path:line:col: rule: message``."""
@@ -85,6 +109,68 @@ class LintReport:
             "suppressed": self.suppressed,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
             "findings": [d.to_json() for d in self.findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_sarif(self,
+                 rule_descriptions: Optional[Dict[str, str]] = None) -> str:
+        """The report as a SARIF 2.1.0 log (one run, tool ``flcheck``).
+
+        ``rule_descriptions`` supplies each rule's one-line description
+        for the tool metadata; missing entries fall back to the rule id
+        so the log stays schema-valid regardless.
+        """
+        descriptions = rule_descriptions or {}
+        rule_ids = sorted(self.rules_run) or \
+            sorted({d.rule for d in self.findings})
+        rule_index = {rule: i for i, rule in enumerate(rule_ids)}
+        rules = [{
+            "id": rule,
+            "name": rule,
+            "shortDescription": {"text": descriptions.get(rule, rule)},
+        } for rule in rule_ids]
+        results = []
+        for diag in self.findings:
+            result = {
+                "ruleId": diag.rule,
+                "level": "error",
+                "message": {"text": diag.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diag.path},
+                        "region": {
+                            "startLine": diag.line,
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "startColumn": diag.col + 1,
+                        },
+                    },
+                }],
+                "partialFingerprints": {
+                    "flcheck/v1": "|".join(diag.fingerprint),
+                },
+            }
+            if diag.rule in rule_index:
+                result["ruleIndex"] = rule_index[diag.rule]
+            if diag.symbol:
+                result["locations"][0]["logicalLocations"] = [{
+                    "name": diag.symbol,
+                    "kind": "function",
+                }]
+            results.append(result)
+        payload = {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "flcheck",
+                    "informationUri":
+                        "https://example.invalid/flbooster-repro/docs/"
+                        "analysis.md",
+                    "rules": rules,
+                }},
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }],
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 

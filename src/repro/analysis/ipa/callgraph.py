@@ -1,0 +1,305 @@
+"""Call-site resolution and the project call graph.
+
+Resolution is a stack of increasingly speculative strategies, each
+sound as a *join* (a call may resolve to several candidates; analyses
+merge over all of them):
+
+1. direct names -- a top-level ``def``/``class`` in the calling module,
+   or anything reachable through the module's import map;
+2. ``self.method(...)`` / ``cls.method(...)`` -- looked up on the
+   enclosing class, its bases, *and* every subclass override
+   (class-hierarchy analysis: a base-typed receiver can dispatch into
+   any override);
+3. ``ClassName.method(...)`` and ``ClassName(...)`` (the constructor
+   edge goes to ``__init__``);
+4. locally typed receivers -- ``x = ClassName(...)``, ``x = C.f(...)``
+   (classmethod-constructor convention), and parameter / assignment
+   annotations give ``x.method(...)`` a concrete class;
+5. ``self.attr.method(...)`` through class attribute types inferred
+   from ``self.attr = ClassName(...)`` anywhere in the class;
+6. duck-typed fallback -- a bare method name defined by at most three
+   classes project-wide resolves to all of them (how calls through the
+   engine/codec/rule registries are followed).
+
+Anything else stays unresolved and the analysis falls back to its
+local heuristics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.ipa.symbols import FunctionInfo, SymbolTable
+
+#: One resolved call site: the AST call and its candidate targets.
+CallSite = Tuple[ast.Call, Tuple[str, ...]]
+
+
+def own_statements(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class Resolver:
+    """Resolves call expressions to candidate function qualnames."""
+
+    def __init__(self, symbols: SymbolTable):
+        self.symbols = symbols
+        self._local_types: Dict[str, Dict[str, str]] = {}
+        self._attr_types: Dict[str, Dict[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Type environments.
+    # ------------------------------------------------------------------
+
+    def _annotation_class(self, fn: FunctionInfo,
+                          annotation: Optional[ast.expr]) -> Optional[str]:
+        if annotation is None:
+            return None
+        node = annotation
+        if isinstance(node, ast.Subscript):  # Optional[X] / List[X]
+            node = node.slice
+        if isinstance(node, ast.Constant) and \
+                isinstance(node.value, str):  # "ShardPool" forward ref
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        resolved = self.symbols.resolve_name(fn.module, node)
+        if resolved in self.symbols.classes:
+            return resolved
+        return None
+
+    def _constructed_class(self, fn: FunctionInfo,
+                           value: ast.expr) -> Optional[str]:
+        """The class a value expression constructs, when inferable."""
+        if isinstance(value, ast.IfExp):
+            # ``x if x is not None else C()``: either arm names the type.
+            return (self._constructed_class(fn, value.body)
+                    or self._constructed_class(fn, value.orelse))
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        resolved = self.symbols.resolve_name(fn.module, func)
+        if resolved in self.symbols.classes:
+            return resolved
+        # Classmethod-constructor convention: C.from_x(...) builds a C.
+        if isinstance(func, ast.Attribute):
+            owner = self.symbols.resolve_name(fn.module, func.value)
+            if owner in self.symbols.classes:
+                return owner
+        return None
+
+    def local_types(self, fn: FunctionInfo) -> Dict[str, str]:
+        """name -> class qualname for one function's locals and params.
+
+        Flow-insensitive: the last statically seen binding wins, which
+        is exact for the repo's construct-then-use style.
+        """
+        cached = self._local_types.get(fn.qualname)
+        if cached is not None:
+            return cached
+        env: Dict[str, str] = {}
+        args = fn.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            annotated = self._annotation_class(fn, arg.annotation)
+            if annotated is not None:
+                env[arg.arg] = annotated
+        for node in own_statements(fn.node):
+            if isinstance(node, ast.Assign):
+                built = self._constructed_class(fn, node.value)
+                if built is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            env[target.id] = built
+            elif isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name):
+                annotated = self._annotation_class(fn, node.annotation)
+                built = (self._constructed_class(fn, node.value)
+                         if node.value is not None else None)
+                chosen = built or annotated
+                if chosen is not None:
+                    env[node.target.id] = chosen
+        self._local_types[fn.qualname] = env
+        return env
+
+    def attr_types(self, cls: str) -> Dict[str, str]:
+        """attr -> class qualname from ``self.attr = C(...)`` sites."""
+        cached = self._attr_types.get(cls)
+        if cached is not None:
+            return cached
+        env: Dict[str, str] = {}
+        info = self.symbols.classes.get(cls)
+        if info is not None:
+            for base in info.bases:  # inherited attributes first
+                env.update(self.attr_types(base))
+            for method_qualname in info.methods.values():
+                method = self.symbols.functions[method_qualname]
+                receiver = method.self_param
+                if receiver is None:
+                    continue
+                for node in own_statements(method.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    built = self._constructed_class(method, node.value)
+                    if built is None:
+                        continue
+                    for target in node.targets:
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == receiver):
+                            env[target.attr] = built
+        self._attr_types[cls] = env
+        return env
+
+    # ------------------------------------------------------------------
+    # Call resolution.
+    # ------------------------------------------------------------------
+
+    def receiver_class(self, fn: FunctionInfo,
+                       node: ast.expr) -> Optional[str]:
+        """The class of a receiver expression, when inferable."""
+        if isinstance(node, ast.Name):
+            if node.id == fn.self_param and fn.cls is not None:
+                return fn.cls
+            local = self.local_types(fn).get(node.id)
+            if local is not None:
+                return local
+            resolved = self.symbols.resolve_name(fn.module, node)
+            if resolved in self.symbols.classes:
+                return resolved  # ClassName.method — handled by caller
+            return None
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name):
+            owner: Optional[str] = None
+            if node.value.id == fn.self_param and fn.cls is not None:
+                owner = fn.cls
+            else:
+                owner = self.local_types(fn).get(node.value.id)
+            if owner is not None:
+                return self.attr_types(owner).get(node.attr)
+        if isinstance(node, ast.Call):
+            return self._constructed_class(fn, node)
+        return None
+
+    def resolve_call(self, fn: FunctionInfo,
+                     call: ast.Call) -> Tuple[str, ...]:
+        """Candidate function qualnames for one call site."""
+        func = call.func
+        # ``cls(...)`` inside a classmethod constructs the class (or a
+        # subclass): the edge goes to every reachable ``__init__``.
+        if isinstance(func, ast.Name) and fn.binding == "class" and \
+                fn.params and func.id == fn.params[0] and \
+                fn.cls is not None:
+            return tuple(self.symbols.override_targets(fn.cls, "__init__"))
+        # Plain or dotted name through the module's scope/imports.
+        resolved = self.symbols.resolve_name(fn.module, func)
+        if resolved is not None:
+            if resolved in self.symbols.functions:
+                return (resolved,)
+            if resolved in self.symbols.classes:
+                init = self.symbols.lookup_method(resolved, "__init__")
+                return (init,) if init is not None else ()
+        if isinstance(func, ast.Attribute):
+            # ClassName.method(...): static dispatch, no overrides.
+            owner = self.symbols.resolve_name(fn.module, func.value)
+            if owner in self.symbols.classes:
+                target = self.symbols.lookup_method(owner, func.attr)
+                return (target,) if target is not None else ()
+            receiver = self.receiver_class(fn, func.value)
+            if receiver is not None:
+                targets = self.symbols.override_targets(receiver,
+                                                        func.attr)
+                if targets:
+                    return tuple(targets)
+            return tuple(self.symbols.duck_candidates(func.attr))
+        return ()
+
+
+class CallGraph:
+    """Resolved call sites per function, plus the SCC condensation."""
+
+    def __init__(self, symbols: SymbolTable, resolver: Resolver):
+        self.symbols = symbols
+        self.resolver = resolver
+        #: caller qualname -> resolved call sites in its own body.
+        self.sites: Dict[str, List[CallSite]] = {}
+        #: caller qualname -> callee qualnames (deduplicated).
+        self.edges: Dict[str, Tuple[str, ...]] = {}
+        #: callee qualname -> caller qualnames.
+        self.callers: Dict[str, List[str]] = {}
+        for qualname, fn in symbols.functions.items():
+            sites: List[CallSite] = []
+            targets: Dict[str, None] = {}
+            for node in own_statements(fn.node):
+                if isinstance(node, ast.Call):
+                    resolved = resolver.resolve_call(fn, node)
+                    sites.append((node, resolved))
+                    for target in resolved:
+                        targets[target] = None
+            self.sites[qualname] = sites
+            self.edges[qualname] = tuple(targets)
+            for target in targets:
+                self.callers.setdefault(target, []).append(qualname)
+
+    def sccs(self) -> List[List[str]]:
+        """Strongly connected components, callee-first.
+
+        Iterative Tarjan over the caller->callee edges; components pop
+        only after every reachable callee component has, so the order
+        is exactly what a summary fixpoint wants to process.
+        """
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Dict[str, bool] = {}
+        stack: List[str] = []
+        components: List[List[str]] = []
+        counter = [0]
+
+        for root in self.edges:
+            if root in index:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, edge_index = work.pop()
+                if edge_index == 0:
+                    index[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                advanced = False
+                callees = self.edges.get(node, ())
+                for position in range(edge_index, len(callees)):
+                    callee = callees[position]
+                    if callee not in self.edges:
+                        continue  # edge out of the analyzed set
+                    if callee not in index:
+                        work.append((node, position + 1))
+                        work.append((callee, 0))
+                        advanced = True
+                        break
+                    if on_stack.get(callee):
+                        lowlink[node] = min(lowlink[node], index[callee])
+                if advanced:
+                    continue
+                if lowlink[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return components

@@ -1,0 +1,79 @@
+"""The summary fixpoint: worklist over the call-graph condensation.
+
+An analysis derives from :class:`SummaryAnalysis` and implements one
+method, :meth:`SummaryAnalysis.transfer`, which recomputes a function's
+summary by reading its callees' current summaries.  The driver applies
+it callee-first over the SCC condensation; inside a component (mutual
+recursion) it iterates until no member's summary changes.  Summaries
+must be plain comparable values (``==`` decides convergence) and
+``transfer`` must be *monotone* over whatever join the analysis uses,
+or the loop guard below will stop it after a bounded number of rounds
+rather than diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.analysis.ipa.callgraph import CallGraph
+from repro.analysis.ipa.symbols import FunctionInfo
+
+#: Hard bound on fixpoint rounds inside one SCC; any monotone summary
+#: lattice in this package converges far earlier, so hitting it means a
+#: non-monotone transfer -- stop deterministically instead of spinning.
+MAX_SCC_ROUNDS = 50
+
+
+class SummaryAnalysis:
+    """Base class computing one summary per function over a call graph."""
+
+    def __init__(self, callgraph: CallGraph):
+        self.callgraph = callgraph
+        self.symbols = callgraph.symbols
+        self.summaries: Dict[str, Any] = {}
+
+    # -- analysis interface ---------------------------------------------
+
+    def bottom(self, fn: FunctionInfo) -> Any:
+        """The starting summary (the lattice bottom)."""
+        return None
+
+    def transfer(self, fn: FunctionInfo,
+                 get_summary: Callable[[str], Any]) -> Any:
+        """Recompute ``fn``'s summary; read callees via ``get_summary``."""
+        raise NotImplementedError
+
+    # -- driver ----------------------------------------------------------
+
+    def summary(self, qualname: str) -> Any:
+        """The current summary for a function (bottom when unknown)."""
+        if qualname not in self.summaries:
+            fn = self.symbols.functions.get(qualname)
+            self.summaries[qualname] = self.bottom(fn) if fn else None
+        return self.summaries[qualname]
+
+    def run(self) -> Dict[str, Any]:
+        """Compute every function's summary to a fixpoint."""
+        for qualname, fn in self.symbols.functions.items():
+            self.summaries[qualname] = self.bottom(fn)
+        for component in self.callgraph.sccs():
+            if len(component) == 1 and \
+                    component[0] not in self.callgraph.edges.get(
+                        component[0], ()):
+                # Non-recursive function: one transfer is the fixpoint
+                # (callees are already final in callee-first order).
+                fn = self.symbols.functions[component[0]]
+                self.summaries[component[0]] = self.transfer(
+                    fn, self.summary)
+                continue
+            for _ in range(MAX_SCC_ROUNDS):
+                changed = False
+                for qualname in component:
+                    fn = self.symbols.functions[qualname]
+                    updated = self.transfer(fn, self.summary)
+                    if updated != self.summaries[qualname]:
+                        self.summaries[qualname] = updated
+                        changed = True
+                if not changed:
+                    break
+        return self.summaries

@@ -1,0 +1,51 @@
+"""The :class:`Project` facade: what project-scoped rules analyze.
+
+Built once per lint run from every discovered module (even under
+``--changed-only``, where per-module rules run on a subset but the call
+graph still spans the whole tree -- a cross-function flow does not care
+which file the diff touched).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.ipa.callgraph import CallGraph, Resolver
+from repro.analysis.ipa.symbols import FunctionInfo, SymbolTable
+
+
+class Project:
+    """Symbol table + call graph over a set of parsed modules.
+
+    Attributes:
+        units: display path -> :class:`~repro.analysis.engine.ModuleUnit`
+            for every module in the program.
+        symbols: The project-wide :class:`SymbolTable`.
+        resolver: Shared call-site :class:`Resolver` (type caches warm
+            across rules).
+        callgraph: The resolved :class:`CallGraph`.
+    """
+
+    def __init__(self, units: Iterable) -> None:
+        self.units: Dict[str, object] = {}
+        self.symbols = SymbolTable()
+        for unit in units:
+            self.units[unit.display_path] = unit
+            self.symbols.add_unit(unit)
+        self.symbols.link_hierarchy()
+        self.resolver = Resolver(self.symbols)
+        self.callgraph = CallGraph(self.symbols, self.resolver)
+
+    def unit_for(self, display_path: str):
+        """The module unit behind a diagnostic path (pragma lookups)."""
+        return self.units.get(display_path)
+
+    def functions_in(self, display_path: str) -> List[FunctionInfo]:
+        """Every function defined in one module, in definition order."""
+        return sorted(
+            (fn for fn in self.symbols.functions.values()
+             if fn.unit is self.units.get(display_path)),
+            key=lambda fn: fn.node.lineno)
+
+    def function_at(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.symbols.functions.get(qualname)

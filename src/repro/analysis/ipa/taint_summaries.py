@@ -1,0 +1,488 @@
+"""Interprocedural taint for ``plaintext-wire``: summaries + reporting.
+
+The per-module rule in :mod:`repro.analysis.taint` stops at call
+boundaries: a decrypt result laundered through a one-line helper reaches
+the channel unseen.  This module closes that hole with *per-function
+taint summaries* composed along the project call graph:
+
+- ``ret_always`` -- the function returns decrypted data no matter what
+  goes in (it calls ``decrypt*`` / builds a ``PlainTensor`` and returns
+  the result, possibly through further summarized calls);
+- ``ret_deps`` -- parameter indices whose taint flows to the return
+  value (a pass-through helper has ``ret_deps == {0}``; an
+  ``encrypt_tensor`` wrapper has *empty* ``ret_deps``, which is exactly
+  the sanitizer summary: composition makes its result clean);
+- ``sink_params`` -- parameter indices that reach a wire/WAL sink
+  inside the function or transitively through its callees, each with
+  the shortest call path to the sink;
+- ``attr_always`` / ``attr_deps`` -- ``self`` attributes the function
+  stores taint into (unconditionally, or when a given parameter is
+  tainted).
+
+Summaries are context-insensitive (one per function, joined over call
+sites and over CHA dispatch candidates) and are computed with the same
+boolean engine as the local rule: each function body is re-analyzed
+under one *assumption* per parameter ("only parameter ``i`` is
+tainted"), and facts that appear under assumption ``i`` but not under
+the empty assumption are attributed to that parameter.  Monotonicity of
+the boolean lattice makes the attribution exact.
+
+``self``-attribute flows are tracked object-insensitively: one
+project-wide set of attribute *names* that may hold plaintext, grown to
+a fixpoint by re-running the summary pass until no new attribute is
+discovered (a ``self.buf = decrypt(...)`` in one method makes
+``self.buf`` a taint source in every other method reading it).
+
+The reporting pass then re-analyzes each function with all summaries
+and the attribute set active and emits only findings the local rule
+cannot see (anything it can see is deduplicated away by location), with
+the full call path rendered in the message::
+
+    plaintext leak: decrypted value 'share' flows into relay() and
+    reaches send() (path: collect -> relay -> forward -> send())
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.base import callee_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.ipa.dataflow import SummaryAnalysis
+from repro.analysis.ipa.project import Project
+from repro.analysis.ipa.symbols import FunctionInfo
+from repro.analysis.taint import (_describe, _FunctionTaint, _sink_label,
+                                  _target_names)
+
+#: Assumption runs per function are bounded: parameters past this index
+#: are never assumed tainted (their flows fall back to the local rule).
+MAX_ASSUMED_PARAMS = 6
+
+#: Global attribute-taint rounds (each is a full summary fixpoint); the
+#: attribute name set grows monotonically so this converges fast.
+MAX_ATTR_ROUNDS = 4
+
+#: One summarized sink flow: (parameter index, sink label, call path).
+SinkFlow = Tuple[int, str, Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class TaintSummary:
+    """Taint effects of one function, composable at its call sites."""
+
+    ret_always: bool = False
+    ret_deps: FrozenSet[int] = frozenset()
+    sink_params: Tuple[SinkFlow, ...] = ()
+    attr_always: FrozenSet[str] = frozenset()
+    attr_deps: FrozenSet[Tuple[str, int]] = frozenset()
+
+    def sink_flows_for(self, index: int) -> List[Tuple[str, Tuple[str, ...]]]:
+        return [(label, path) for i, label, path in self.sink_params
+                if i == index]
+
+
+EMPTY_SUMMARY = TaintSummary()
+
+
+def _param_offset(candidate: FunctionInfo, call: ast.Call,
+                  static_receiver: bool) -> int:
+    """Index of the first positional argument in the candidate's params.
+
+    ``obj.m(a)`` binds ``a`` to parameter 1 of an instance method
+    (``self`` is the receiver) and of a classmethod (``cls`` is
+    implicit); a ``@staticmethod`` binds from 0 even through a
+    receiver.  ``Class.m(obj, a)`` and plain functions bind from 0.
+    Constructor calls ``C(...)`` resolve to ``__init__`` whose ``self``
+    is likewise implicit.
+    """
+    if not candidate.is_method or candidate.binding == "static":
+        return 0
+    if candidate.name == "__init__" and not isinstance(call.func,
+                                                       ast.Attribute):
+        return 1  # C(...) constructor call
+    if isinstance(call.func, ast.Attribute) and not static_receiver:
+        return 1  # bound call through a receiver
+    if candidate.binding == "class":
+        return 1  # Class.m(a): ``cls`` is still implicit
+    return 0
+
+
+class _IpaTaint(_FunctionTaint):
+    """The boolean taint engine extended with summary composition.
+
+    One instance analyzes one function body either to *summarize* it
+    (``assumed`` carries parameter names taken as tainted; effects are
+    collected, no diagnostics) or to *report* (``assumed`` empty,
+    ``collect_findings`` true).
+    """
+
+    def __init__(self, rule, fn: FunctionInfo, analysis: "TaintSummaries",
+                 assumed: FrozenSet[str] = frozenset(),
+                 collect_findings: bool = False):
+        super().__init__(rule, fn.unit, fn.name)
+        self.fn = fn
+        self.analysis = analysis
+        self.assumed = assumed
+        self.collect_findings = collect_findings
+        self.tainted |= assumed
+        # Collected effects (summary mode).
+        self.returned_taint = False
+        self.attrs_written: Set[str] = set()
+        #: (sink label, call path starting at this function) -> None.
+        self.sink_hits: Dict[Tuple[str, Tuple[str, ...]], None] = {}
+        # Per-name provenance for readable reporting-mode messages.
+        self.origins: Dict[str, str] = {}
+        self._origin_call: Optional[str] = None
+        # Call targets pre-resolved by the call graph for this body.
+        self._site_targets: Dict[int, Tuple[str, ...]] = {
+            id(site): targets
+            for site, targets in
+            analysis.callgraph.sites.get(fn.qualname, [])}
+
+    # -- candidate plumbing ----------------------------------------------
+
+    def _candidates(self, call: ast.Call) -> List[FunctionInfo]:
+        symbols = self.analysis.symbols
+        targets = self._site_targets.get(id(call))
+        if targets is None:
+            targets = self.analysis.resolve(self.fn, call)
+        found = []
+        for qualname in targets:
+            info = symbols.functions.get(qualname)
+            if info is not None:
+                found.append(info)
+        return found
+
+    def _static_receiver(self, call: ast.Call) -> bool:
+        if not isinstance(call.func, ast.Attribute):
+            return False
+        owner = self.analysis.symbols.resolve_name(self.fn.module,
+                                                   call.func.value)
+        return owner in self.analysis.symbols.classes
+
+    def _actual_taints(self, call: ast.Call, candidate: FunctionInfo,
+                       receiver: bool, arg_taints: List[bool],
+                       kw_taints: Dict[Optional[str], bool],
+                       ) -> Dict[int, ast.expr]:
+        """param index -> the tainted actual expression feeding it."""
+        offset = _param_offset(candidate, call, self._static_receiver(call))
+        flows: Dict[int, ast.expr] = {}
+        if receiver and offset == 1 and candidate.binding == "instance" \
+                and isinstance(call.func, ast.Attribute):
+            flows[0] = call.func.value
+        for position, arg in enumerate(call.args):
+            if arg_taints[position]:
+                flows[offset + position] = arg
+        for kw in call.keywords:
+            if kw.arg is not None and kw_taints.get(kw.arg) and \
+                    kw.arg in candidate.params:
+                flows[candidate.params.index(kw.arg)] = kw.value
+        return flows
+
+    # -- hook overrides ---------------------------------------------------
+
+    def call_effect(self, node: ast.Call, receiver_tainted: bool,
+                    arg_taints: List[bool],
+                    kw_taints: Dict[Optional[str], bool]) -> Optional[bool]:
+        candidates = self._candidates(node)
+        if not candidates:
+            return None  # unresolved call: keep the local heuristic
+        for candidate in candidates:
+            summary = self.analysis.summary_for(candidate.qualname)
+            if summary.ret_always:
+                self._origin_call = callee_name(node.func)
+                return True
+            flows = self._actual_taints(node, candidate, receiver_tainted,
+                                        arg_taints, kw_taints)
+            if any(index in summary.ret_deps for index in flows):
+                self._origin_call = callee_name(node.func)
+                return True
+        # Every candidate's summary says the result is clean: this is
+        # the sanitizer summary (an encrypt_tensor wrapper's result is
+        # clean whatever went in), overriding the local heuristic.
+        return False
+
+    def observe_call(self, call: ast.Call) -> None:
+        candidates = self._candidates(call)
+        if not candidates:
+            return
+        receiver = isinstance(call.func, ast.Attribute) and \
+            self.is_tainted(call.func.value)
+        arg_taints = [self.is_tainted(arg) for arg in call.args]
+        kw_taints = {kw.arg: self.is_tainted(kw.value)
+                     for kw in call.keywords}
+        if not (receiver or any(arg_taints) or any(kw_taints.values())):
+            return
+        for candidate in candidates:
+            summary = self.analysis.summary_for(candidate.qualname)
+            flows = self._actual_taints(call, candidate, receiver,
+                                        arg_taints, kw_taints)
+            for index, actual in sorted(flows.items()):
+                for label, path in summary.sink_flows_for(index):
+                    self._record_summary_sink(call, candidate, actual,
+                                              label, path)
+            if not self.assumed and candidate.cls is not None:
+                # Taint stored into an attribute by the callee becomes
+                # grounded once a really-tainted actual reaches it.
+                for attr, index in summary.attr_deps:
+                    if index in flows:
+                        self.analysis.discovered_attrs.add(
+                            (candidate.cls, attr))
+
+    def _record_summary_sink(self, call: ast.Call, candidate: FunctionInfo,
+                             actual: ast.expr, label: str,
+                             path: Tuple[str, ...]) -> None:
+        full_path = (self.fn.name,) + path
+        self.sink_hits.setdefault((label, full_path), None)
+        if not (self.collect_findings and self.reporting):
+            return
+        site = (call.lineno, call.col_offset, label)
+        if site in self._seen:
+            return
+        self._seen.add(site)
+        rendered = " -> ".join(full_path) + f" -> {label}()"
+        self.hits.append(self.rule.diagnostic(
+            self.unit, call,
+            f"plaintext leak: decrypted value {_describe(actual)} flows "
+            f"into {candidate.name}() and reaches {label}() without "
+            f"passing through encrypt_tensor (path: {rendered})",
+            symbol=self.symbol))
+
+    def attribute_taint(self, node: ast.Attribute) -> Optional[bool]:
+        if isinstance(node.value, ast.Name) and \
+                node.value.id == self.fn.self_param and \
+                self.analysis.attr_is_tainted(self.fn.cls, node.attr):
+            return True
+        return None
+
+    def bind_attribute(self, target: ast.Attribute,
+                       value_tainted: bool) -> bool:
+        if not (isinstance(target.value, ast.Name)
+                and target.value.id == self.fn.self_param):
+            return False
+        if value_tainted:
+            self.attrs_written.add(target.attr)
+        return True  # claim it: do not coarsely taint ``self`` itself
+
+    def _bind(self, target: ast.expr, value_tainted: bool) -> None:
+        """Structured targets, unlike the base's name walk.
+
+        The base rule taints every name inside an assignment target, so
+        ``self.weights[i] = tainted`` taints ``self`` and ``i`` -- too
+        coarse once attributes are tracked by name: a tainted ``self``
+        makes *every* attribute read tainted.  Here subscript and
+        starred wrappers unwrap to the container being written (weak
+        update: writing one clean element does not clean it), and
+        attribute writes go through :meth:`bind_attribute`.
+        """
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, value_tainted)
+            return
+        core = target
+        while isinstance(core, (ast.Subscript, ast.Starred)):
+            core = core.value
+        weak = core is not target
+        if isinstance(core, ast.Attribute):
+            if self.bind_attribute(core, value_tainted):
+                return
+            if value_tainted:  # obj.attr = tainted: obj now holds taint
+                for name in _target_names(core.value):
+                    self.tainted.add(name)
+            return
+        if isinstance(core, ast.Name):
+            if value_tainted:
+                self.tainted.add(core.id)
+            elif not weak:
+                self.tainted.discard(core.id)
+                self.origins.pop(core.id, None)
+            return
+        super()._bind(target, value_tainted)
+
+    def on_return(self, tainted: bool) -> None:
+        if tainted:
+            self.returned_taint = True
+
+    # -- sinks and provenance ---------------------------------------------
+
+    def _assign(self, targets: List[ast.expr], value: ast.expr) -> None:
+        self._origin_call = None
+        super()._assign(targets, value)
+        origin = self._origin_call
+        for target in targets:
+            for name in _target_names(target):
+                if name not in self.tainted:
+                    self.origins.pop(name, None)
+                elif origin is not None:
+                    self.origins[name] = origin
+
+    def _scan_sinks(self, node: ast.AST) -> None:
+        """Record sink facts always; emit diagnostics only when reporting.
+
+        Replaces the base scanner so summary mode can harvest reached
+        sinks without fabricating diagnostics, and reporting mode can
+        attach provenance for summary-produced taint.
+        """
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            self.observe_call(call)
+            label = _sink_label(call.func)
+            if not label:
+                continue
+            flows = [arg for arg in call.args if self.is_tainted(arg)]
+            flows += [kw.value for kw in call.keywords
+                      if self.is_tainted(kw.value)]
+            if not flows:
+                continue
+            self.sink_hits.setdefault((label, (self.fn.name,)), None)
+            if not (self.collect_findings and self.reporting):
+                continue
+            key = (call.lineno, call.col_offset)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            described = _describe(flows[0])
+            origin = ""
+            if isinstance(flows[0], ast.Name):
+                producer = self.origins.get(flows[0].id)
+                if producer is not None:
+                    origin = f" (returned decrypted by {producer}())"
+            self.hits.append(self.rule.diagnostic(
+                self.unit, call,
+                f"plaintext leak: decrypted value {described}{origin} "
+                f"reaches {label}() without passing through "
+                f"encrypt_tensor", symbol=self.symbol))
+
+
+class TaintSummaries(SummaryAnalysis):
+    """Fixpoint of :class:`TaintSummary` over the project call graph."""
+
+    def __init__(self, rule, project: Project,
+                 attr_taint: Optional[Set[Tuple[str, str]]] = None):
+        super().__init__(project.callgraph)
+        self.rule = rule
+        self.project = project
+        #: (class qualname, attribute name) pairs that may hold
+        #: plaintext; scoped per class so two unrelated ``buf``
+        #: attributes never contaminate each other.
+        self.attr_taint: Set[Tuple[str, str]] = set(attr_taint or ())
+        #: Attribute pairs grounded through call sites this run.
+        self.discovered_attrs: Set[Tuple[str, str]] = set()
+
+    def resolve(self, fn: FunctionInfo, call: ast.Call) -> Tuple[str, ...]:
+        return self.project.resolver.resolve_call(fn, call)
+
+    def attr_is_tainted(self, cls: Optional[str], attr: str) -> bool:
+        """Whether ``cls`` (or any ancestor) has a tainted ``attr``."""
+        seen: Set[str] = set()
+        frontier = [cls] if cls is not None else []
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if (current, attr) in self.attr_taint:
+                return True
+            info = self.symbols.classes.get(current)
+            if info is not None:
+                frontier.extend(info.bases)
+        return False
+
+    def summary_for(self, qualname: str) -> TaintSummary:
+        summary = self.summary(qualname)
+        return summary if summary is not None else EMPTY_SUMMARY
+
+    # -- SummaryAnalysis interface ----------------------------------------
+
+    def bottom(self, fn: FunctionInfo) -> TaintSummary:
+        return EMPTY_SUMMARY
+
+    def _analyze(self, fn: FunctionInfo,
+                 assumed: FrozenSet[str]) -> _IpaTaint:
+        analyzer = _IpaTaint(self.rule, fn, self, assumed=assumed)
+        analyzer.run(fn.node.body)
+        return analyzer
+
+    def transfer(self, fn: FunctionInfo, get_summary) -> TaintSummary:
+        base = self._analyze(fn, frozenset())
+        ret_always = base.returned_taint
+        attr_always = frozenset(base.attrs_written)
+        base_sinks = set(base.sink_hits)
+        ret_deps: Set[int] = set()
+        attr_deps: Set[Tuple[str, int]] = set()
+        sink_params: Dict[Tuple[int, str], Tuple[str, ...]] = {}
+        for index, param in enumerate(fn.params[:MAX_ASSUMED_PARAMS]):
+            assumed = self._analyze(fn, frozenset({param}))
+            if assumed.returned_taint and not ret_always:
+                ret_deps.add(index)
+            for attr in assumed.attrs_written - base.attrs_written:
+                attr_deps.add((attr, index))
+            for label, path in assumed.sink_hits:
+                if (label, path) in base_sinks:
+                    continue  # reached without this parameter's help
+                best = sink_params.get((index, label))
+                if best is None or (len(path), path) < (len(best), best):
+                    sink_params[(index, label)] = path
+        flows = tuple(sorted(
+            (index, label, path)
+            for (index, label), path in sink_params.items()))
+        return TaintSummary(ret_always=ret_always,
+                            ret_deps=frozenset(ret_deps),
+                            sink_params=flows,
+                            attr_always=attr_always,
+                            attr_deps=frozenset(attr_deps))
+
+
+def collect_ipa_findings(rule, project: Project) -> List[Diagnostic]:
+    """All interprocedural ``plaintext-wire`` findings for a project.
+
+    Runs the attribute fixpoint (summaries re-derived until no new
+    tainted ``self`` attribute appears), then one reporting pass per
+    function; findings the per-module rule already produces are
+    deduplicated away by location so the two passes compose without
+    double counts.
+    """
+    attr_taint: Set[Tuple[str, str]] = set()
+    analysis = TaintSummaries(rule, project, attr_taint)
+    analysis.run()
+    for _ in range(MAX_ATTR_ROUNDS):
+        grown = analysis.discovered_attrs | _always_attrs(analysis)
+        if grown <= attr_taint:
+            break
+        attr_taint |= grown
+        analysis = TaintSummaries(rule, project, attr_taint)
+        analysis.run()
+
+    local_keys = _local_finding_keys(rule, project)
+    findings: List[Diagnostic] = []
+    for qualname in sorted(analysis.symbols.functions):
+        fn = analysis.symbols.functions[qualname]
+        reporter = _IpaTaint(rule, fn, analysis, collect_findings=True)
+        for diag in reporter.run(fn.node.body):
+            if (diag.path, diag.line, diag.col) in local_keys:
+                continue
+            findings.append(diag)
+    return findings
+
+
+def _always_attrs(analysis: TaintSummaries) -> Set[Tuple[str, str]]:
+    grown: Set[Tuple[str, str]] = set()
+    for qualname, summary in analysis.summaries.items():
+        if not isinstance(summary, TaintSummary) or not summary.attr_always:
+            continue
+        fn = analysis.symbols.functions.get(qualname)
+        if fn is not None and fn.cls is not None:
+            grown |= {(fn.cls, attr) for attr in summary.attr_always}
+    return grown
+
+
+def _local_finding_keys(rule, project: Project) -> Set[Tuple[str, int, int]]:
+    """(path, line, col) of every purely local plaintext-wire finding."""
+    keys: Set[Tuple[str, int, int]] = set()
+    for unit in project.units.values():
+        for diag in rule.check(unit):
+            keys.add((diag.path, diag.line, diag.col))
+    return keys

@@ -89,9 +89,16 @@ def _target_names(target: ast.expr) -> List[str]:
 
 
 class _FunctionTaint:
-    """Taint state and sink detection for one function (or module) body."""
+    """Taint state and sink detection for one function (or module) body.
 
-    def __init__(self, rule: "PlaintextWireRule", unit, symbol: str):
+    The interprocedural pass (:mod:`repro.analysis.ipa.taint_summaries`)
+    subclasses this and overrides the ``call_effect`` / ``observe_call``
+    / ``attribute_taint`` / ``bind_attribute`` / ``on_return`` hooks to
+    consult per-function summaries; the defaults below keep the original
+    purely local behavior.
+    """
+
+    def __init__(self, rule: Rule, unit, symbol: str):
         self.rule = rule
         self.unit = unit
         self.symbol = symbol
@@ -100,12 +107,43 @@ class _FunctionTaint:
         self.hits: List[Diagnostic] = []
         self._seen: Set[Tuple[int, int]] = set()
 
+    # -- interprocedural hooks (no-ops for the local analysis) -----------
+
+    def call_effect(self, node: ast.Call, receiver_tainted: bool,
+                    arg_taints: List[bool],
+                    kw_taints: "dict") -> "bool | None":
+        """Taint verdict for a call's *result* from callee summaries.
+
+        ``None`` falls back to the local heuristic (tainted receiver or
+        argument taints the result); ``False`` overrides it -- that is
+        how an ``encrypt_tensor`` wrapper acts as a sanitizer.
+        """
+        return None
+
+    def observe_call(self, call: ast.Call) -> None:
+        """Called for every call while scanning sinks (summary sinks)."""
+
+    def attribute_taint(self, node: ast.Attribute) -> "bool | None":
+        """Taint verdict for an attribute read; ``None`` -> recurse."""
+        return None
+
+    def bind_attribute(self, target: ast.Attribute,
+                       value_tainted: bool) -> bool:
+        """Handle an attribute assignment; ``True`` claims the binding."""
+        return False
+
+    def on_return(self, tainted: bool) -> None:
+        """Called for every ``return`` with the value's taint."""
+
     # -- expression taint ------------------------------------------------
 
     def is_tainted(self, node: ast.expr) -> bool:
         if isinstance(node, ast.Name):
             return node.id in self.tainted
         if isinstance(node, ast.Attribute):
+            modeled = self.attribute_taint(node)
+            if modeled is not None:
+                return modeled
             return self.is_tainted(node.value)
         if isinstance(node, ast.Subscript):
             return self.is_tainted(node.value) or self.is_tainted(node.slice)
@@ -158,11 +196,17 @@ class _FunctionTaint:
             return False
         if _is_source(node.func):
             return True
-        if isinstance(node.func, ast.Attribute) and \
-                self.is_tainted(node.func.value):
-            return True  # method on a tainted receiver, e.g. x.ravel()
-        return any(self.is_tainted(arg) for arg in node.args) or \
-            any(self.is_tainted(kw.value) for kw in node.keywords)
+        receiver = isinstance(node.func, ast.Attribute) and \
+            self.is_tainted(node.func.value)
+        arg_taints = [self.is_tainted(arg) for arg in node.args]
+        kw_taints = {kw.arg: self.is_tainted(kw.value)
+                     for kw in node.keywords}
+        modeled = self.call_effect(node, receiver, arg_taints, kw_taints)
+        if modeled is not None:
+            return modeled
+        # Local heuristic: a method on a tainted receiver (x.ravel())
+        # or any tainted argument taints the result.
+        return receiver or any(arg_taints) or any(kw_taints.values())
 
     def _comprehension_taint(self, node, results: List[ast.expr]) -> bool:
         bound: List[str] = []
@@ -184,6 +228,9 @@ class _FunctionTaint:
 
     def _bind(self, target: ast.expr, value_tainted: bool) -> None:
         """Strong update: assignment both taints and *untaints*."""
+        if isinstance(target, ast.Attribute) and \
+                self.bind_attribute(target, value_tainted):
+            return
         for name in _target_names(target):
             if value_tainted:
                 self.tainted.add(name)
@@ -208,6 +255,7 @@ class _FunctionTaint:
         for call in ast.walk(node):
             if not isinstance(call, ast.Call):
                 continue
+            self.observe_call(call)
             label = _sink_label(call.func)
             if not label:
                 continue
@@ -271,6 +319,9 @@ class _FunctionTaint:
             value = stmt.value if isinstance(stmt, ast.Return) else stmt.exc
             if value is not None:
                 self._scan_sinks(value)
+            if isinstance(stmt, ast.Return):
+                self.on_return(value is not None and
+                               self.is_tainted(value))
         elif isinstance(stmt, (ast.For, ast.AsyncFor)):
             self._scan_sinks(stmt.iter)
             if self.is_tainted(stmt.iter):
@@ -318,6 +369,12 @@ class PlaintextWireRule(Rule):
     name = "plaintext-wire"
     description = ("decrypted values must pass through encrypt_tensor "
                    "before send/serialize/WAL sinks")
+    needs_project = True
+
+    def check_project(self, project) -> Iterator[Diagnostic]:
+        """Interprocedural findings the per-module pass cannot see."""
+        from repro.analysis.ipa.taint_summaries import collect_ipa_findings
+        yield from collect_ipa_findings(self, project)
 
     def check(self, unit) -> Iterator[Diagnostic]:
         scopes: List[Tuple[str, List[ast.stmt]]] = [("", unit.tree.body)]

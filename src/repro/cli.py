@@ -419,11 +419,38 @@ def _cmd_tenants(args) -> int:
     return 0
 
 
+def _changed_files():
+    """Resolved paths git reports as modified or untracked, or ``None``.
+
+    ``None`` (git missing, not a repository, subprocess failure) makes
+    ``--changed-only`` degrade to a full scan -- strictly more findings,
+    never fewer, which is the safe direction for a lint gate.
+    """
+    import subprocess
+    from pathlib import Path
+
+    changed = set()
+    for command in (["git", "diff", "--name-only", "HEAD"],
+                    ["git", "ls-files", "--others",
+                     "--exclude-standard"]):
+        try:
+            output = subprocess.run(
+                command, capture_output=True, text=True, check=True,
+                timeout=30).stdout
+        except (OSError, subprocess.SubprocessError):
+            return None
+        for line in output.splitlines():
+            if line.strip():
+                changed.add(Path(line.strip()).resolve())
+    return changed
+
+
 def _cmd_lint(args) -> int:
     from pathlib import Path
 
     import repro
     from repro.analysis import (
+        ALL_RULES,
         TimeBudgetExceeded,
         load_baseline,
         run_lint,
@@ -433,11 +460,19 @@ def _cmd_lint(args) -> int:
     paths = [Path(p) for p in args.paths] if args.paths else \
         [Path(repro.__file__).resolve().parent]
     baseline_path = Path(args.baseline)
+    changed_paths = None
+    if args.changed_only:
+        changed_paths = _changed_files()
+        if changed_paths is None:
+            print("flcheck: warning: git unavailable, --changed-only "
+                  "falling back to a full scan", file=sys.stderr)
     try:
         report = run_lint(paths,
                           rule_filter=args.rule or None,
                           baseline=load_baseline(baseline_path),
-                          max_seconds=args.max_seconds)
+                          max_seconds=args.max_seconds,
+                          excludes=tuple(args.exclude),
+                          changed_paths=changed_paths)
     except (TimeBudgetExceeded, ValueError) as exc:
         print(f"flcheck: error: {exc}", file=sys.stderr)
         return 2
@@ -447,6 +482,12 @@ def _cmd_lint(args) -> int:
         print(f"flcheck: wrote {len(report.findings)} finding(s) to "
               f"{baseline_path}")
         return 0
+    if args.sarif:
+        descriptions = {rule.name: rule.description for rule in ALL_RULES}
+        Path(args.sarif).write_text(report.to_sarif(descriptions) + "\n",
+                                    encoding="utf-8")
+        print(f"flcheck: wrote SARIF log to {args.sarif}",
+              file=sys.stderr)
     print(report.to_json() if args.json else report.format())
     return 0 if report.clean else 1
 
@@ -630,6 +671,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="grandfathered-findings file")
     lint.add_argument("--update-baseline", action="store_true",
                       help="rewrite the baseline to the current findings")
+    lint.add_argument("--sarif", metavar="FILE", default=None,
+                      help="also write the report as a SARIF 2.1.0 log")
+    lint.add_argument("--changed-only", action="store_true",
+                      help="report findings only in files git sees as "
+                           "modified or untracked (the whole-program "
+                           "call graph still spans the full tree)")
+    lint.add_argument("--exclude", action="append", default=[],
+                      metavar="DIR",
+                      help="directory name to skip during discovery "
+                           "(repeatable), e.g. fixtures")
     lint.add_argument("--max-seconds", type=float, default=None,
                       help="abort (exit 2) past this time budget")
     lint.set_defaults(handler=_cmd_lint)

@@ -1,0 +1,39 @@
+"""Charges and counters drifting apart; marked lines must be flagged."""
+
+CAT_COMM_ADMISSION_REJECT = "comm.admission.reject"
+CAT_FAULT_SHED = "fault.shed"
+
+
+class QueueStats:
+    accepted: int = 0
+    rejected_full: int = 0
+    rejected_fenced: int = 0
+    rejected_overload: int = 0
+    rejected_quota: int = 0
+    delivered: int = 0
+    shed: int = 0
+    failed: int = 0
+    migrated_in: int = 0
+    migrated_out: int = 0
+
+
+class Channel:
+    def __init__(self, ledger):
+        self.ledger = ledger
+        self.stats = QueueStats()
+
+    def charge_only_accept(self):
+        self.ledger.charge("comm.admission.accept", 0.1)  # flagged
+
+    def charge_only_reject(self):
+        self.ledger.charge(CAT_COMM_ADMISSION_REJECT, 0.1)  # flagged
+
+    def count_only_accept(self):
+        self.stats.accepted += 1  # flagged -- ledger never hears of it
+
+    def count_only_shed(self):
+        self.stats.shed += 1  # flagged -- fault.shed never charged
+
+    def shed_charge_without_counter(self):
+        self.ledger.charge(CAT_FAULT_SHED, 0.0)  # flagged
+        self.stats.delivered += 1  # wrong counter for a shed

@@ -1,0 +1,70 @@
+"""Conservation-respecting admission paths the rule must accept."""
+
+CAT_COMM_ADMISSION_ACCEPT = "comm.admission.accept"
+CAT_FAULT_SHED = "fault.shed"
+
+
+def admission_category(verdict, tenant=None):
+    return f"comm.admission.{verdict}.{tenant}"
+
+
+class QueueStats:
+    accepted: int = 0
+    rejected_full: int = 0
+    rejected_fenced: int = 0
+    rejected_overload: int = 0
+    rejected_quota: int = 0
+    delivered: int = 0
+    shed: int = 0
+    failed: int = 0
+    migrated_in: int = 0
+    migrated_out: int = 0
+
+
+class FuzzReport:
+    accepted: int = 0
+    rejected: int = 0
+
+
+class Channel:
+    def __init__(self, ledger):
+        self.ledger = ledger
+        self.stats = QueueStats()
+
+    def _charge_accept(self, tenant=None):
+        # The counter move lives in the caller; the neighbourhood
+        # (callers' summaries) must reconcile the two.
+        if tenant is not None:
+            self.ledger.charge(admission_category("accept", tenant), 0.1)
+        else:
+            self.ledger.charge(CAT_COMM_ADMISSION_ACCEPT, 0.1)
+
+    def _charge_reject(self, quota=False):
+        self.ledger.charge(
+            admission_category("quota" if quota else "reject"), 0.1)
+
+    def submit(self, message, tenant=None):
+        self._charge_accept(tenant)
+        self.stats.accepted += 1
+
+    def reject(self, reason):
+        self._charge_reject(quota=reason == "quota")
+        if reason == "quota":
+            self.stats.rejected_quota += 1
+        else:
+            self.stats.rejected_overload += 1
+
+    def drain(self, deadline):
+        self.ledger.charge(CAT_FAULT_SHED, 0.0, count=1)
+        self.stats.shed += 1
+        self.stats.delivered += 1  # outflow side: no charge expected
+
+    def migrate(self, other):
+        # Migration counters have no admission category at all.
+        self.stats.migrated_out += 1
+        other.stats.migrated_in += 1
+
+
+def fuzz_loop(report: FuzzReport):
+    report.accepted += 1  # a fuzz verdict, not an admission event
+    report.rejected += 1

@@ -1,0 +1,55 @@
+"""Every way to break journal-then-act; marked lines must be flagged."""
+
+SHARD_SPLIT = "shard_split"
+
+
+class WalRecord:
+    def __init__(self, kind, payload=None):
+        self.kind = kind
+        self.payload = payload
+
+
+class WriteAheadLog:
+    def __init__(self):
+        self.records = []
+
+    def append(self, record):
+        self.records.append(record)
+        return len(self.records)
+
+
+class RoundStateMachine:
+    def apply(self, record):
+        self.last = record.kind
+
+
+class Pool:
+    def __init__(self):
+        self.wal = WriteAheadLog()
+        self.machine = RoundStateMachine()
+        self.applied = []
+
+    def _apply(self, record):
+        self.applied.append(record.kind)
+
+    def act_first(self, kind):
+        record = WalRecord(kind)
+        self._apply(record)  # flagged -- acts before wal.append
+        self.wal.append(record)
+
+    def never_journaled(self, kind):
+        record = WalRecord(kind)
+        self._apply(record)  # flagged -- no journal at all
+
+    def inline_record(self, kind):
+        self._apply(WalRecord(kind))  # flagged -- constructed at the call
+
+    def orphan_moves(self, channel):
+        self.migrate_orphans(channel)  # flagged -- no journaled topology
+
+    def migrate_orphans(self, channel):
+        channel.rebind(self)
+
+    def feed_rebalance(self):
+        record = WalRecord(kind=SHARD_SPLIT)
+        self.machine.apply(record)  # flagged -- rebalance kind rejected

@@ -1,0 +1,58 @@
+"""Journal-then-act done right: every pattern the rule must accept."""
+
+
+class WalRecord:
+    def __init__(self, kind, payload=None):
+        self.kind = kind
+        self.payload = payload
+
+
+class WriteAheadLog:
+    def __init__(self):
+        self.records = []
+
+    def append(self, record):
+        self.records.append(record)
+        return len(self.records)
+
+    def records_since(self, lsn):
+        return self.records[lsn:]
+
+
+class Pool:
+    def __init__(self, wal=None):
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.applied = []
+        for record in self.wal.records:  # replaying a journal is fine
+            self._apply(record)
+
+    def _apply(self, record):
+        self.applied.append(record.kind)
+
+    def _log(self, kind, payload=None):
+        record = WalRecord(kind, payload)
+        lsn = self.wal.append(record)  # journal ...
+        self._apply(record)  # ... then act
+        return lsn
+
+    def split(self, channel):
+        self._log("shard_split")  # journaling through a helper
+        self.migrate_orphans(channel)
+
+    def migrate_orphans(self, channel):
+        channel.rebind(self)
+
+    @classmethod
+    def from_bytes(cls, blob, wal):
+        return cls(wal)  # replay happens in __init__
+
+
+def recover(blob, wal, channel):
+    heir = Pool.from_bytes(blob, wal)  # transitively replays
+    heir.migrate_orphans(channel)
+    return heir
+
+
+def tail(log, machine, since):
+    for record in log.records_since(since):
+        machine.apply(record)  # journal-read records are durable

@@ -20,10 +20,11 @@ LEAK = ("def leak(channel, engine, c):\n"
         "    channel.send(plain)\n")
 
 
-def test_all_five_rules_are_registered():
+def test_all_seven_rules_are_registered():
     assert sorted(rule.name for rule in ALL_RULES) == [
         "deprecated-api", "determinism", "kernel-budget",
-        "ledger-category", "plaintext-wire"]
+        "ledger-category", "ledger-conservation", "plaintext-wire",
+        "wal-discipline"]
 
 
 def test_run_lint_over_a_directory(tmp_path):

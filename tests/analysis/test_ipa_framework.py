@@ -1,0 +1,196 @@
+"""The whole-program layer: symbol table, call graph, summary fixpoint.
+
+Corpora are built inline (tmp_path) rather than from the fixtures
+directory: framework behaviour -- resolution strategies, SCC ordering,
+fixpoint convergence -- is easier to pin against five-line modules
+written next to the assertion.
+"""
+
+import pytest
+
+from repro.analysis.engine import load_module
+from repro.analysis.ipa.dataflow import SummaryAnalysis
+from repro.analysis.ipa.project import Project
+from repro.analysis.ipa.symbols import module_name
+
+
+def project_from(tmp_path, files):
+    units = []
+    for name, source in files.items():
+        path = tmp_path / name
+        path.write_text(source)
+        units.append(load_module(path, name))
+    return Project(units)
+
+
+# ---------------------------------------------------------------------------
+# Symbol table.
+# ---------------------------------------------------------------------------
+
+def test_module_name_mapping():
+    assert module_name("repro/federation/shard.py") == \
+        "repro.federation.shard"
+    assert module_name("repro/analysis/__init__.py") == "repro.analysis"
+
+
+def test_functions_methods_and_bindings(tmp_path):
+    project = project_from(tmp_path, {"mod.py": (
+        "class C:\n"
+        "    def m(self): pass\n"
+        "    @staticmethod\n"
+        "    def s(x): pass\n"
+        "    @classmethod\n"
+        "    def k(cls): pass\n"
+        "def f(): pass\n")})
+    functions = project.symbols.functions
+    assert functions["mod.C.m"].binding == "instance"
+    assert functions["mod.C.m"].self_param == "self"
+    assert functions["mod.C.s"].binding == "static"
+    assert functions["mod.C.s"].self_param is None
+    assert functions["mod.C.k"].binding == "class"
+    assert functions["mod.f"].binding == "function"
+
+
+def test_hierarchy_links_across_modules(tmp_path):
+    project = project_from(tmp_path, {
+        "base.py": "class Base:\n    def run(self): pass\n",
+        "sub.py": ("from base import Base\n"
+                   "class Sub(Base):\n"
+                   "    def run(self): pass\n"),
+    })
+    symbols = project.symbols
+    assert symbols.classes["sub.Sub"].bases == ["base.Base"]
+    assert symbols.lookup_method("sub.Sub", "run") == "sub.Sub.run"
+    # CHA: a base-typed receiver may dispatch into the override.
+    assert symbols.override_targets("base.Base", "run") == \
+        ["base.Base.run", "sub.Sub.run"]
+
+
+def test_duck_candidates_refuse_builtin_method_names(tmp_path):
+    project = project_from(tmp_path, {"mod.py": (
+        "class A:\n"
+        "    def split(self): pass\n"
+        "    def ingest(self): pass\n")})
+    # ``x.split()`` on an untyped receiver is almost always a str.
+    assert project.symbols.duck_candidates("split") == []
+    assert project.symbols.duck_candidates("ingest") == ["mod.A.ingest"]
+
+
+# ---------------------------------------------------------------------------
+# Call resolution.
+# ---------------------------------------------------------------------------
+
+def _edges(project, qualname):
+    return set(project.callgraph.edges.get(qualname, ()))
+
+
+def test_direct_and_imported_calls_resolve(tmp_path):
+    project = project_from(tmp_path, {
+        "helpers.py": "def helper(): pass\n",
+        "main.py": ("from helpers import helper\n"
+                    "def top():\n"
+                    "    helper()\n"),
+    })
+    assert _edges(project, "main.top") == {"helpers.helper"}
+
+
+def test_constructor_and_typed_receiver_calls(tmp_path):
+    project = project_from(tmp_path, {"mod.py": (
+        "class Engine:\n"
+        "    def __init__(self): pass\n"
+        "    def encrypt(self): pass\n"
+        "def use():\n"
+        "    e = Engine()\n"
+        "    e.encrypt()\n")})
+    assert _edges(project, "mod.use") == \
+        {"mod.Engine.__init__", "mod.Engine.encrypt"}
+
+
+def test_self_attribute_receiver_types(tmp_path):
+    project = project_from(tmp_path, {"mod.py": (
+        "class Wal:\n"
+        "    def push(self): pass\n"
+        "class Pool:\n"
+        "    def __init__(self):\n"
+        "        self.wal = Wal()\n"
+        "    def log(self):\n"
+        "        self.wal.push()\n")})
+    assert "mod.Wal.push" in _edges(project, "mod.Pool.log")
+
+
+def test_classmethod_cls_call_reaches_init(tmp_path):
+    project = project_from(tmp_path, {"mod.py": (
+        "class Pool:\n"
+        "    def __init__(self): pass\n"
+        "    @classmethod\n"
+        "    def restore(cls):\n"
+        "        return cls()\n")})
+    assert _edges(project, "mod.Pool.restore") == {"mod.Pool.__init__"}
+
+
+def test_conditional_construction_types_the_receiver(tmp_path):
+    project = project_from(tmp_path, {"mod.py": (
+        "class Wal:\n"
+        "    def push(self): pass\n"
+        "class Pool:\n"
+        "    def __init__(self, wal=None):\n"
+        "        self.wal = wal if wal is not None else Wal()\n"
+        "    def log(self):\n"
+        "        self.wal.push()\n")})
+    assert "mod.Wal.push" in _edges(project, "mod.Pool.log")
+
+
+# ---------------------------------------------------------------------------
+# SCC condensation and the summary fixpoint.
+# ---------------------------------------------------------------------------
+
+RECURSIVE = (
+    "def leaf(): pass\n"
+    "def ping():\n"
+    "    leaf()\n"
+    "    pong()\n"
+    "def pong():\n"
+    "    ping()\n")
+
+
+def test_sccs_are_callee_first(tmp_path):
+    project = project_from(tmp_path, {"mod.py": RECURSIVE})
+    components = project.callgraph.sccs()
+    flat = [sorted(c) for c in components]
+    assert ["mod.leaf"] in flat
+    assert ["mod.ping", "mod.pong"] in flat
+    # The mutually recursive pair pops after its callee.
+    assert flat.index(["mod.leaf"]) < flat.index(["mod.ping", "mod.pong"])
+
+
+class ReachesLeaf(SummaryAnalysis):
+    """True for functions that (transitively) call ``leaf``."""
+
+    def bottom(self, fn):
+        return False
+
+    def transfer(self, fn, get_summary):
+        import ast
+
+        from repro.analysis.ipa.callgraph import own_statements
+        for node in own_statements(fn.node):
+            if isinstance(node, ast.Call):
+                for target in self._resolver.resolve_call(fn, node):
+                    if target.endswith(".leaf") or get_summary(target):
+                        return True
+        return False
+
+
+def test_fixpoint_converges_through_mutual_recursion(tmp_path):
+    project = project_from(tmp_path, {"mod.py": RECURSIVE})
+    analysis = ReachesLeaf(project.callgraph)
+    analysis._resolver = project.resolver
+    summaries = analysis.run()
+    assert summaries["mod.ping"] is True
+    assert summaries["mod.pong"] is True  # only through the cycle
+    assert summaries["mod.leaf"] is False
+
+
+def test_transfer_is_required():
+    with pytest.raises(NotImplementedError):
+        SummaryAnalysis.transfer(None, None, None)

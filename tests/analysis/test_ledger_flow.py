@@ -1,0 +1,70 @@
+"""``ledger-conservation``: charges and flow counters move together."""
+
+from tests.analysis.conftest import fixture_unit, marked_lines
+
+from repro.analysis.ipa.ledger_flow import (
+    FlowSummaries,
+    LedgerConservationRule,
+    tracked_classes,
+)
+from repro.analysis.ipa.project import Project
+
+
+def _project(*names):
+    return Project([fixture_unit(name) for name in names])
+
+
+def _findings(*names):
+    rule = LedgerConservationRule()
+    return list(rule.check_project(_project(*names)))
+
+
+def test_bad_fixture_flags_exactly_the_marked_lines():
+    unit = fixture_unit("ledger_flow_bad.py")
+    findings = _findings("ledger_flow_bad.py")
+    assert {diag.line for diag in findings} == marked_lines(unit)
+    assert all(diag.rule == "ledger-conservation" for diag in findings)
+
+
+def test_good_fixture_is_silent():
+    assert _findings("ledger_flow_good.py") == []
+
+
+def test_charge_and_counter_may_live_in_different_functions():
+    """``submit`` counts what ``_charge_accept`` charges: no finding."""
+    findings = _findings("ledger_flow_good.py")
+    assert [d for d in findings
+            if d.symbol in ("_charge_accept", "_charge_reject")] == []
+
+
+def test_conditional_verdict_charges_both_arms():
+    """``"quota" if q else "reject"`` matches either rejection counter."""
+    project = _project("ledger_flow_good.py")
+    effects = FlowSummaries(project, tracked_classes(project))
+    effects.run()
+    summary = effects.summary(
+        "fixtures.ledger_flow_good.Channel._charge_reject")
+    assert summary.verdicts == frozenset({"quota", "reject"})
+
+
+def test_outflow_counters_need_no_charge():
+    """delivered / migrated_* sit outside the charge correspondence."""
+    findings = _findings("ledger_flow_good.py")
+    assert [d for d in findings if d.symbol == "migrate"] == []
+
+
+def test_untracked_classes_are_out_of_scope():
+    """``FuzzReport.accepted`` counts fuzz verdicts, not admissions."""
+    project = _project("ledger_flow_good.py")
+    tracked = tracked_classes(project)
+    assert "fixtures.ledger_flow_good.QueueStats" in tracked
+    assert "fixtures.ledger_flow_good.FuzzReport" not in tracked
+    findings = _findings("ledger_flow_good.py")
+    assert [d for d in findings if d.symbol == "fuzz_loop"] == []
+
+
+def test_counter_without_charge_message_names_the_category():
+    findings = _findings("ledger_flow_bad.py")
+    shed = [d for d in findings if d.symbol == "count_only_shed"]
+    assert len(shed) == 1
+    assert "fault.shed" in shed[0].message

@@ -1,0 +1,230 @@
+"""Suppression precedence: pragmas, baselines, and their interaction."""
+
+import json
+
+from repro.analysis.diagnostics import normalize_message
+from repro.analysis.engine import (
+    load_baseline,
+    load_module,
+    run_lint,
+    write_baseline,
+)
+
+LEAK_LINE = "    channel.send(plain)"
+
+RNG_LINE = "    return random.random()"
+
+
+def _leak_module(sink_suffix=""):
+    return ("import random\n"
+            "def leak(channel, engine, c):\n"
+            "    plain = engine.decrypt_tensor(c)\n"
+            f"{LEAK_LINE}{sink_suffix}\n"
+            "def entropy():\n"
+            f"{RNG_LINE}\n")
+
+
+# ---------------------------------------------------------------------------
+# Pragma precedence.
+# ---------------------------------------------------------------------------
+
+def test_multi_rule_pragma_silences_each_listed_rule(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "import random\n"
+        "def leak(channel, engine, c):\n"
+        "    plain = engine.decrypt_tensor(c)\n"
+        "    channel.send(plain)"
+        "  # flcheck: allow[plaintext-wire, determinism]\n")
+    report = run_lint([tmp_path])
+    assert report.clean
+    assert report.suppressed == 1
+
+
+def test_pragma_anchors_to_the_finding_line_only(tmp_path):
+    # The pragma sits one line above the sink: it must NOT suppress.
+    (tmp_path / "mod.py").write_text(
+        "def leak(channel, engine, c):\n"
+        "    plain = engine.decrypt_tensor(c)\n"
+        "    # flcheck: allow[plaintext-wire]\n"
+        "    channel.send(plain)\n")
+    report = run_lint([tmp_path])
+    assert [d.rule for d in report.findings] == ["plaintext-wire"]
+    assert report.suppressed == 0
+
+
+def test_pragma_for_the_wrong_rule_does_not_suppress(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "def leak(channel, engine, c):\n"
+        "    plain = engine.decrypt_tensor(c)\n"
+        "    channel.send(plain)  # flcheck: allow[determinism]\n")
+    report = run_lint([tmp_path])
+    assert [d.rule for d in report.findings] == ["plaintext-wire"]
+
+
+def test_pragma_wins_over_baseline(tmp_path):
+    """A pragma-silenced hit counts as suppressed, not baselined,
+    even when the same fingerprint is also grandfathered."""
+    (tmp_path / "mod.py").write_text(_leak_module())
+    first = run_lint([tmp_path])
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, first.findings)
+
+    (tmp_path / "mod.py").write_text(
+        _leak_module(sink_suffix="  # flcheck: allow[plaintext-wire]"))
+    report = run_lint([tmp_path], baseline=load_baseline(baseline_path))
+    assert report.clean
+    assert report.suppressed == 1          # the pragma took the leak
+    assert report.baselined == 1           # the RNG hit stayed baselined
+
+
+def test_baseline_does_not_cover_new_findings(tmp_path):
+    (tmp_path / "mod.py").write_text(_leak_module())
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, run_lint([tmp_path]).findings)
+    # A second, different leak appears: only it should surface.
+    (tmp_path / "mod.py").write_text(
+        _leak_module() +
+        "def leak2(channel, engine, c):\n"
+        "    other = engine.decrypt_share(c)\n"
+        "    channel.broadcast(other)\n")
+    report = run_lint([tmp_path], baseline=load_baseline(baseline_path))
+    assert len(report.findings) == 1
+    assert report.findings[0].symbol == "leak2"
+    assert report.baselined == 2
+
+
+def test_pragmas_parse_per_unit():
+    source = ("x = 1  # flcheck: allow[rule-a, rule-b]\n"
+              "y = 2  # flcheck: allow[all]\n")
+    import ast
+    from pathlib import Path
+
+    from repro.analysis.engine import ModuleUnit, _parse_pragmas
+    unit = ModuleUnit(path=Path("m.py"), display_path="m.py",
+                      source=source, tree=ast.parse(source),
+                      pragmas=_parse_pragmas(source))
+    assert unit.allows("rule-a", 1) and unit.allows("rule-b", 1)
+    assert not unit.allows("rule-c", 1)
+    assert unit.allows("anything", 2)
+    assert not unit.allows("rule-a", 3)
+
+
+# ---------------------------------------------------------------------------
+# Baseline fingerprints survive identifier churn (the churn fix).
+# ---------------------------------------------------------------------------
+
+def test_normalize_message_strips_identifiers_and_paths():
+    assert normalize_message("decrypted value 'plain' flows into send()") \
+        == "decrypted value '<id>' flows into send()"
+    assert normalize_message('kind "shard_split" is rejected') == \
+        "kind '<id>' is rejected"
+    assert normalize_message(
+        "reaches send() (path: forward -> relay -> send())") == \
+        "reaches send() (path: <path>)"
+
+
+def test_baseline_survives_variable_rename(tmp_path):
+    """Renaming the tainted local must not resurrect a baselined leak."""
+    (tmp_path / "mod.py").write_text(
+        "def leak(channel, engine, c):\n"
+        "    plain = engine.decrypt_tensor(c)\n"
+        "    channel.send(plain)\n")
+    baseline_path = tmp_path / "baseline.json"
+    first = run_lint([tmp_path])
+    assert "'plain'" in first.findings[0].message
+    write_baseline(baseline_path, first.findings)
+
+    (tmp_path / "mod.py").write_text(
+        "def leak(channel, engine, c):\n"
+        "    cleartext = engine.decrypt_tensor(c)\n"
+        "    channel.send(cleartext)\n")
+    report = run_lint([tmp_path], baseline=load_baseline(baseline_path))
+    assert report.clean
+    assert report.baselined == 1
+
+
+def test_legacy_unnormalized_baseline_still_matches(tmp_path):
+    """Baselines written before normalization load through the same
+    normalizer, so their raw-identifier messages keep matching."""
+    (tmp_path / "mod.py").write_text(
+        "def leak(channel, engine, c):\n"
+        "    plain = engine.decrypt_tensor(c)\n"
+        "    channel.send(plain)\n")
+    first = run_lint([tmp_path])
+    legacy = {
+        "version": 1,
+        "findings": [{"rule": d.rule, "path": d.path,
+                      "message": d.message}  # raw, un-normalized
+                     for d in first.findings],
+    }
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(legacy))
+    report = run_lint([tmp_path], baseline=load_baseline(baseline_path))
+    assert report.clean and report.baselined == 1
+
+
+# ---------------------------------------------------------------------------
+# Atomic baseline writes.
+# ---------------------------------------------------------------------------
+
+def test_write_baseline_leaves_no_temporary_file(tmp_path):
+    (tmp_path / "mod.py").write_text(_leak_module())
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, run_lint([tmp_path]).findings)
+    assert baseline_path.exists()
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_write_baseline_replaces_atomically(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text("{\"version\": 1, \"findings\": "
+                             "[{\"rule\": \"old\", \"path\": \"p\", "
+                             "\"message\": \"m\"}]}")
+    write_baseline(baseline_path, [])
+    payload = json.loads(baseline_path.read_text())
+    assert payload == {"version": 1, "findings": []}
+
+
+# ---------------------------------------------------------------------------
+# --changed-only scoping.
+# ---------------------------------------------------------------------------
+
+HELPER = ("def relay(channel, payload):\n"
+          "    channel.send(payload)\n")
+
+# Import spelling must match the scanned display path ("pkg/helper.py"
+# -> module "pkg.helper") for the cross-module edge to resolve, exactly
+# as repo code imports through its ``repro.*`` paths.
+CALLER = ("from pkg.helper import relay\n"
+          "def forward(channel, engine, share):\n"
+          "    plain = engine.decrypt_share(share)\n"
+          "    relay(channel, plain)\n")
+
+
+def _cross_file_corpus(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "helper.py").write_text(HELPER)
+    (pkg / "caller.py").write_text(CALLER)
+    return pkg
+
+
+def test_changed_only_restricts_findings_to_changed_files(tmp_path):
+    pkg = _cross_file_corpus(tmp_path)
+    full = run_lint([pkg], rule_filter=["plaintext-wire"])
+    assert {d.path for d in full.findings} == {"pkg/caller.py"}
+
+    scoped = run_lint([pkg], rule_filter=["plaintext-wire"],
+                      changed_paths={(pkg / "caller.py").resolve()})
+    assert [d.path for d in scoped.findings] == ["pkg/caller.py"]
+    assert scoped.files_scanned == 2  # the whole tree is still parsed
+
+
+def test_changed_only_cross_file_flow_needs_the_full_graph(tmp_path):
+    """Only the un-changed helper is selected: the caller's finding is
+    out of scope, yet the graph spanned both files to derive it."""
+    pkg = _cross_file_corpus(tmp_path)
+    scoped = run_lint([pkg], rule_filter=["plaintext-wire"],
+                      changed_paths={(pkg / "helper.py").resolve()})
+    assert scoped.findings == []
+    assert scoped.files_scanned == 2

@@ -1,0 +1,65 @@
+"""``wal-discipline``: journal-then-act ordering, interprocedurally."""
+
+from tests.analysis.conftest import fixture_unit, marked_lines
+
+from repro.analysis.ipa.project import Project
+from repro.analysis.ipa.wal_rule import JournalSummaries, WalDisciplineRule
+
+
+def _findings(*names):
+    rule = WalDisciplineRule()
+    project = Project([fixture_unit(name) for name in names])
+    return list(rule.check_project(project))
+
+
+def test_bad_fixture_flags_exactly_the_marked_lines():
+    unit = fixture_unit("wal_discipline_bad.py")
+    findings = _findings("wal_discipline_bad.py")
+    assert {diag.line for diag in findings} == marked_lines(unit)
+    assert all(diag.rule == "wal-discipline" for diag in findings)
+
+
+def test_good_fixture_is_silent():
+    assert _findings("wal_discipline_good.py") == []
+
+
+def test_act_before_append_is_the_fresh_apply_finding():
+    findings = _findings("wal_discipline_bad.py")
+    by_symbol = {diag.symbol: diag.message for diag in findings}
+    assert "never journaled" in by_symbol["act_first"]
+    assert "journal-then-act" in by_symbol["never_journaled"]
+
+
+def test_rebalance_kind_fed_to_the_round_machine_is_named():
+    findings = _findings("wal_discipline_bad.py")
+    feed = [d for d in findings if d.symbol == "feed_rebalance"]
+    assert len(feed) == 1
+    assert "shard_split" in feed[0].message
+    assert "InvalidTransitionError" in feed[0].message
+
+
+def test_unjournaled_migrate_names_the_missing_journal():
+    findings = _findings("wal_discipline_bad.py")
+    orphan = [d for d in findings if d.symbol == "orphan_moves"]
+    assert len(orphan) == 1
+    assert "migrate_orphans" in orphan[0].message
+
+
+def test_journal_effects_compose_across_helpers():
+    """``split`` journals only through ``_log``; the summary sees it."""
+    project = Project([fixture_unit("wal_discipline_good.py")])
+    effects = JournalSummaries(project)
+    effects.run()
+    prefix = "fixtures.wal_discipline_good.Pool"
+    assert effects.summary(f"{prefix}._log").journals
+    assert effects.summary(f"{prefix}.split").journals
+    # Recovery replays transitively: from_bytes -> cls(...) -> __init__.
+    assert effects.summary(f"{prefix}.__init__").replays
+    assert effects.summary(f"{prefix}.from_bytes").replays
+    assert not effects.summary(f"{prefix}.migrate_orphans").journals
+
+
+def test_replayed_records_may_be_applied():
+    """The replay loop in ``__init__`` and ``tail`` raise no findings."""
+    findings = _findings("wal_discipline_good.py")
+    assert [d for d in findings if d.symbol in ("__init__", "tail")] == []
